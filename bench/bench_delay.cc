@@ -1,0 +1,42 @@
+// E5 (Theorem 4.1(1)): complete-answer enumeration has constant delay —
+// independent of ||D||. Chain workload with fixed per-tuple fan-out: the
+// database grows 16x across the sweep while the delay stays flat.
+#include <cstdio>
+
+#include "base/timer.h"
+#include "bench_util.h"
+#include "core/complete_enum.h"
+#include "workload/chains.h"
+
+using namespace omqe;
+
+int main() {
+  bench::PrintHeader("E5: constant-delay complete enumeration (chain workload)",
+                     "base_size   ||D||(facts)   answers   prep_ms   mean_ns   "
+                     "p95_ns   max_ns");
+  for (uint32_t base : {2000u, 4000u, 8000u, 16000u, 32000u}) {
+    Vocabulary vocab;
+    Database db(&vocab);
+    ChainParams params;
+    params.length = 3;
+    params.base_size = base;
+    params.fanout = 2;
+    GenerateChain(params, &db);
+    OMQ omq = MakeOMQ(Ontology(), ChainQuery(&vocab, params.length));
+
+    Stopwatch prep;
+    auto e = CompleteEnumerator::Create(omq, db);
+    double prep_ms = prep.ElapsedSeconds() * 1e3;
+    if (!e.ok()) return 1;
+
+    ValueTuple t;
+    bench::DelayStats stats = bench::MeasureDelays([&] { return (*e)->Next(&t); });
+    std::printf("%9u   %12zu   %7zu   %7.1f   %7.0f   %6.0f   %6.0f\n", base,
+                db.TotalFacts(), stats.answers, prep_ms, stats.mean_ns,
+                stats.p95_ns, stats.max_ns);
+  }
+  std::printf("\nExpected shape: answers grow with ||D|| but mean/p95 delay "
+              "stays flat (constant delay);\nmax delay is a single outlier "
+              "dominated by cache effects, not by ||D||.\n");
+  return 0;
+}

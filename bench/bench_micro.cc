@@ -1,0 +1,101 @@
+// Micro-benchmarks (google-benchmark) for the substrate hot paths: hash
+// containers, chase steps, semijoin reduction, and the per-answer step of
+// the tree walker. These quantify the constants behind the "constant
+// delay" claims.
+#include <benchmark/benchmark.h>
+
+#include "base/flat_hash.h"
+#include "base/rng.h"
+#include "chase/chase.h"
+#include "core/complete_enum.h"
+#include "eval/varrel.h"
+#include "workload/chains.h"
+#include "workload/office.h"
+
+using namespace omqe;
+
+static void BM_FlatMapInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    FlatMap<uint64_t, uint32_t> m;
+    for (uint64_t k = 1; k <= 10000; ++k) m.Put(k * 0x9e3779b9ULL, static_cast<uint32_t>(k));
+    benchmark::DoNotOptimize(m.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_FlatMapInsert);
+
+static void BM_TupleMapLookup(benchmark::State& state) {
+  TupleMap<uint32_t> m;
+  Rng rng(1);
+  std::vector<std::array<uint32_t, 3>> keys;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    keys.push_back({i, static_cast<uint32_t>(rng.Next()), i * 3});
+    m.InsertOrGet(keys.back().data(), 3, i);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.Find(keys[i % keys.size()].data(), 3));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TupleMapLookup);
+
+static void BM_ChaseOfficeWorkload(benchmark::State& state) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  OfficeParams params;
+  params.researchers = static_cast<uint32_t>(state.range(0));
+  GenerateOffice(params, &db);
+  Ontology onto = OfficeOntology(&vocab);
+  for (auto _ : state) {
+    ChaseOptions options;
+    options.null_depth = 4;
+    auto result = RunChase(db, onto, options);
+    benchmark::DoNotOptimize((*result)->db.TotalFacts());
+  }
+  state.SetItemsProcessed(state.iterations() * db.TotalFacts());
+}
+BENCHMARK(BM_ChaseOfficeWorkload)->Arg(1000)->Arg(10000);
+
+static void BM_SemijoinReduce(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    VarRelation a({0, 1});
+    VarRelation b({1, 2});
+    for (int i = 0; i < 20000; ++i) {
+      Value ta[2] = {static_cast<Value>(rng.Below(5000)),
+                     static_cast<Value>(rng.Below(5000))};
+      a.AddRow(ta);
+      Value tb[2] = {static_cast<Value>(rng.Below(5000)),
+                     static_cast<Value>(rng.Below(5000))};
+      b.AddRow(tb);
+    }
+    state.ResumeTiming();
+    SemijoinReduce(&a, b);
+    benchmark::DoNotOptimize(a.NumRows());
+  }
+}
+BENCHMARK(BM_SemijoinReduce);
+
+static void BM_EnumerationStep(benchmark::State& state) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  ChainParams params;
+  params.length = 3;
+  params.base_size = 10000;
+  params.fanout = 2;
+  GenerateChain(params, &db);
+  OMQ omq = MakeOMQ(Ontology(), ChainQuery(&vocab, params.length));
+  auto e = CompleteEnumerator::Create(omq, db);
+  ValueTuple t;
+  for (auto _ : state) {
+    if (!(*e)->Next(&t)) (*e)->Reset();
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnumerationStep);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+// E8 (Theorem 6.1 / Algorithm 2): enumeration of minimal partial answers
+// with multi-wildcards. University workload (ELI) whose anonymous courses
+// and departments produce genuinely multi-wildcard answers.
+#include <cstdio>
+
+#include "base/timer.h"
+#include "bench_util.h"
+#include "core/multiwild_enum.h"
+#include "workload/university.h"
+
+using namespace omqe;
+
+int main() {
+  bench::PrintHeader(
+      "E8: minimal partial answers with multi-wildcards (university)",
+      "faculty   ||D||   prep_ms   answers   multi_wild   mean_ns   p95_ns");
+  for (uint32_t n : {2000u, 4000u, 8000u, 16000u}) {
+    Vocabulary vocab;
+    Database db(&vocab);
+    UniversityParams params;
+    params.faculty = n;
+    params.students = n;
+    params.course_fraction = 0.6;
+    params.dept_fraction = 0.5;
+    GenerateUniversity(params, &db);
+    OMQ omq = CatalogOMQ(&vocab);
+
+    Stopwatch prep;
+    auto e = MultiWildcardEnumerator::Create(omq, db);
+    double prep_ms = prep.ElapsedSeconds() * 1e3;
+    if (!e.ok()) return 1;
+
+    ValueTuple t;
+    size_t multi = 0;
+    bench::DelayStats stats = bench::MeasureDelays([&] {
+      if (!(*e)->Next(&t)) return false;
+      int wilds = 0;
+      for (Value v : t) wilds += IsWildcard(v);
+      multi += wilds >= 2;
+      return true;
+    });
+    std::printf("%7u   %5zu   %7.1f   %7zu   %10zu   %7.0f   %6.0f\n", n,
+                db.TotalFacts(), prep_ms, stats.answers, multi, stats.mean_ns,
+                stats.p95_ns);
+  }
+  std::printf("\nExpected shape: answer count scales with data, delays stay "
+              "flat; a constant fraction\nof answers carries >= 2 wildcards "
+              "(anonymous course AND department).\n");
+  return 0;
+}

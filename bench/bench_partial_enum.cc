@@ -1,0 +1,75 @@
+// E7 (Theorem 5.2 / Algorithm 1) and E9 (Proposition 2.1): constant-delay
+// enumeration of minimal partial answers, and the complete-answers-first
+// wrapper. Office workload with varying null density.
+#include <cstdio>
+
+#include "base/timer.h"
+#include "bench_util.h"
+#include "core/complete_first.h"
+#include "core/partial_enum.h"
+#include "workload/office.h"
+
+using namespace omqe;
+
+int main() {
+  bench::PrintHeader(
+      "E7: minimal partial answers, single wildcard (office workload)",
+      "researchers   ||D||   prog_trees   prep_ms   answers   mean_ns   "
+      "p95_ns   max_ns");
+  for (uint32_t n : {5000u, 10000u, 20000u, 40000u, 80000u}) {
+    Vocabulary vocab;
+    Database db(&vocab);
+    OfficeParams params;
+    params.researchers = n;
+    params.office_fraction = 0.6;
+    params.building_fraction = 0.5;
+    GenerateOffice(params, &db);
+    OMQ omq = OfficeOMQ(&vocab);
+
+    Stopwatch prep;
+    auto e = PartialEnumerator::Create(omq, db);
+    double prep_ms = prep.ElapsedSeconds() * 1e3;
+    if (!e.ok()) return 1;
+
+    ValueTuple t;
+    bench::DelayStats stats = bench::MeasureDelays([&] { return (*e)->Next(&t); });
+    std::printf("%11u   %5zu   %10zu   %7.1f   %7zu   %7.0f   %6.0f   %6.0f\n",
+                n, db.TotalFacts(), (*e)->num_progress_trees(), prep_ms,
+                stats.answers, stats.mean_ns, stats.p95_ns, stats.max_ns);
+  }
+
+  bench::PrintHeader("E9: complete answers first (Proposition 2.1)",
+                     "researchers   answers   mean_ns   p95_ns   "
+                     "first_wildcard_rank");
+  for (uint32_t n : {10000u, 40000u}) {
+    Vocabulary vocab;
+    Database db(&vocab);
+    OfficeParams params;
+    params.researchers = n;
+    GenerateOffice(params, &db);
+    OMQ omq = OfficeOMQ(&vocab);
+    auto e = CompleteFirstEnumerator::Create(omq, db);
+    if (!e.ok()) return 1;
+    ValueTuple t;
+    size_t rank = 0, first_wild = 0;
+    bench::DelayStats stats = bench::MeasureDelays([&] {
+      if (!(*e)->Next(&t)) return false;
+      ++rank;
+      if (first_wild == 0) {
+        for (Value v : t) {
+          if (IsWildcard(v)) {
+            first_wild = rank;
+            break;
+          }
+        }
+      }
+      return true;
+    });
+    std::printf("%11u   %7zu   %7.0f   %6.0f   %19zu\n", n, stats.answers,
+                stats.mean_ns, stats.p95_ns, first_wild);
+  }
+  std::printf("\nExpected shape: delays flat across a 16x data sweep; with the "
+              "Prop 2.1 wrapper the\nfirst wildcard answer appears only after "
+              "every complete answer.\n");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// E10 (Theorems 3.4 / 5.1): the triangle reductions, run forward. Triangle
+// detection is solved through the OMQ engine (Boolean gadget query, and the
+// minimality test of (*,*,*)) and compared against direct detection. The
+// lower bounds say the OMQ route cannot beat the direct route by more than
+// constants — the measured shape shows both growing linearly in the edges.
+#include <cstdio>
+
+#include "base/timer.h"
+#include "bench_util.h"
+#include "reductions/triangle.h"
+
+using namespace omqe;
+
+int main() {
+  bench::PrintHeader("E10: triangle detection through the OMQ engine",
+                     "vertices   edges   planted   direct_ms   boolean_cq_ms   "
+                     "omq_minimality_ms   agree");
+  for (uint32_t n : {1000u, 2000u, 4000u, 8000u}) {
+    for (bool planted : {false, true}) {
+      EdgeList edges = GenBipartite(n / 2, n / 2, n * 3, 99);
+      if (planted) PlantTriangle(&edges, n);
+
+      Stopwatch direct_watch;
+      bool direct = DetectTriangleDirect(edges);
+      double direct_ms = direct_watch.ElapsedSeconds() * 1e3;
+
+      Stopwatch cq_watch;
+      bool via_cq = DetectTriangleViaBooleanCQ(edges);
+      double cq_ms = cq_watch.ElapsedSeconds() * 1e3;
+
+      Stopwatch omq_watch;
+      bool via_omq = DetectTriangleViaOMQ(edges);
+      double omq_ms = omq_watch.ElapsedSeconds() * 1e3;
+
+      std::printf("%8u   %5zu   %7d   %9.2f   %13.2f   %17.2f   %s\n", n,
+                  edges.size(), planted, direct_ms, cq_ms, omq_ms,
+                  (direct == via_cq && direct == via_omq) ? "yes" : "NO!");
+    }
+  }
+  std::printf("\nExpected shape: all three columns grow roughly linearly in "
+              "the edge count; the OMQ\nroute pays a constant-factor premium "
+              "(chase + minimality refutations), as the\nconditional lower "
+              "bounds predict it must at least match triangle detection.\n");
+  return 0;
+}

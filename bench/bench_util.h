@@ -1,0 +1,52 @@
+// Shared helpers for the experiment harnesses: delay statistics and table
+// printing. Every bench binary prints a self-contained table whose rows are
+// the series EXPERIMENTS.md records.
+#ifndef OMQE_BENCH_BENCH_UTIL_H_
+#define OMQE_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "base/timer.h"
+#include "data/value.h"
+
+namespace omqe::bench {
+
+struct DelayStats {
+  size_t answers = 0;
+  double mean_ns = 0;
+  double p95_ns = 0;
+  double max_ns = 0;
+};
+
+/// Runs `next` (returning false at end) to exhaustion, recording the delay
+/// before every answer (including the first after preprocessing).
+template <typename NextFn>
+DelayStats MeasureDelays(NextFn&& next) {
+  std::vector<int64_t> delays;
+  int64_t last = NowNanos();
+  while (next()) {
+    int64_t now = NowNanos();
+    delays.push_back(now - last);
+    last = now;
+  }
+  DelayStats stats;
+  stats.answers = delays.size();
+  if (delays.empty()) return stats;
+  double sum = 0;
+  for (int64_t d : delays) sum += static_cast<double>(d);
+  stats.mean_ns = sum / static_cast<double>(delays.size());
+  std::sort(delays.begin(), delays.end());
+  stats.p95_ns = static_cast<double>(delays[delays.size() * 95 / 100]);
+  stats.max_ns = static_cast<double>(delays.back());
+  return stats;
+}
+
+inline void PrintHeader(const char* title, const char* columns) {
+  std::printf("\n== %s ==\n%s\n", title, columns);
+}
+
+}  // namespace omqe::bench
+
+#endif  // OMQE_BENCH_BENCH_UTIL_H_

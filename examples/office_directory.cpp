@@ -1,0 +1,73 @@
+// office_directory: the Example 1.1/2.2 workload at scale. Builds a
+// directory of researchers with partially-known office assignments and
+// shows the enumeration modes the paper studies, including the
+// complete-answers-first wrapper (Proposition 2.1) and single-testing.
+//
+//   $ ./office_directory [num_researchers]
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/timer.h"
+#include "core/complete_first.h"
+#include "core/omq.h"
+#include "core/single_testing.h"
+#include "workload/office.h"
+
+using namespace omqe;
+
+int main(int argc, char** argv) {
+  uint32_t researchers = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 20000;
+
+  Vocabulary vocab;
+  Database db(&vocab);
+  OfficeParams params;
+  params.researchers = researchers;
+  params.office_fraction = 0.7;
+  params.building_fraction = 0.6;
+  GenerateOffice(params, &db);
+  OMQ omq = OfficeOMQ(&vocab);
+  std::printf("Generated %zu facts for %u researchers.\n\n", db.TotalFacts(),
+              researchers);
+
+  // Complete answers first (Prop 2.1), so fully-known rows lead the report.
+  Stopwatch prep;
+  auto e = CompleteFirstEnumerator::Create(omq, db);
+  if (!e.ok()) {
+    std::fprintf(stderr, "error: %s\n", e.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Preprocessing (chase + both enumerators): %.1f ms\n",
+              prep.ElapsedSeconds() * 1e3);
+
+  ValueTuple t;
+  size_t complete = 0, with_wildcards = 0, shown = 0;
+  Stopwatch enum_time;
+  while ((*e)->Next(&t)) {
+    bool wild = false;
+    for (Value v : t) wild |= IsWildcard(v);
+    wild ? ++with_wildcards : ++complete;
+    if (shown < 5 || (wild && shown < 10)) {
+      std::printf("  %-12s office=%-12s building=%s\n",
+                  vocab.ValueName(t[0]).c_str(), vocab.ValueName(t[1]).c_str(),
+                  vocab.ValueName(t[2]).c_str());
+      ++shown;
+    }
+  }
+  std::printf(
+      "\n%zu directory rows enumerated in %.1f ms: %zu fully known, %zu with "
+      "unknowns.\n",
+      complete + with_wildcards, enum_time.ElapsedSeconds() * 1e3, complete,
+      with_wildcards);
+
+  // Single-testing: answer point queries in (data-)constant time each.
+  auto tester = SingleTester::Create(omq, db);
+  ValueTuple probe{vocab.ConstantId("researcher0"), vocab.ConstantId("office0"),
+                   kStar};
+  Stopwatch test_time;
+  bool is_minimal = (*tester)->TestMinimalPartial(probe);
+  std::printf(
+      "\nSingle test: is (researcher0, office0, *) a minimal partial answer? "
+      "%s  (%.1f us)\n",
+      is_minimal ? "yes" : "no", test_time.ElapsedSeconds() * 1e6);
+  return 0;
+}

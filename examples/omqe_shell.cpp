@@ -1,0 +1,188 @@
+// omqe_shell: a small command-line front end over the library — load an
+// ontology and a database from files (or use the built-in demo), then run a
+// query in one of the paper's evaluation modes.
+//
+//   $ ./omqe_shell --mode=partial --query='q(x,y) :- HasOffice(x,y)' \
+//                  [--ontology=onto.txt] [--data=facts.txt] [--limit=N]
+//
+// Modes: complete | partial | multi | complete-first | test (reads candidate
+// tuples from stdin, one per line, e.g. "mary, room1, *").
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "base/str.h"
+#include "core/complete_first.h"
+#include "core/complete_enum.h"
+#include "core/multiwild_enum.h"
+#include "core/omq.h"
+#include "core/partial_enum.h"
+#include "core/single_testing.h"
+#include "cq/parser.h"
+#include "data/loader.h"
+#include "tgd/parser.h"
+
+using namespace omqe;
+
+namespace {
+
+const char* kDemoOntology = R"(
+  Researcher(x) -> exists y. HasOffice(x, y)
+  HasOffice(x, y) -> Office(y)
+  Office(x) -> exists y. InBuilding(x, y)
+)";
+
+const char* kDemoData = R"(
+  Researcher(mary) Researcher(john) Researcher(mike)
+)";
+
+std::string ReadFileOr(const char* path, const char* fallback) {
+  if (path == nullptr) return fallback;
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::string text;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) text.append(buffer, n);
+  std::fclose(f);
+  return text;
+}
+
+void PrintTuple(const Vocabulary& vocab, const ValueTuple& t) {
+  std::printf("(");
+  for (uint32_t i = 0; i < t.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", vocab.ValueName(t[i]).c_str());
+  }
+  std::printf(")\n");
+}
+
+template <typename Enumerator>
+void RunEnumeration(Enumerator& e, const Vocabulary& vocab, size_t limit) {
+  ValueTuple t;
+  size_t n = 0;
+  while (n < limit && e->Next(&t)) {
+    PrintTuple(vocab, t);
+    ++n;
+  }
+  std::printf("-- %zu answer(s)%s\n", n, n == limit ? " (limit reached)" : "");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* mode = "partial";
+  const char* query_text = "q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)";
+  const char* ontology_path = nullptr;
+  const char* data_path = nullptr;
+  size_t limit = 1000;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&](std::string_view prefix) -> const char* {
+      return StartsWith(arg, prefix) ? argv[i] + prefix.size() : nullptr;
+    };
+    if (const char* v = value("--mode=")) mode = v;
+    if (const char* v = value("--query=")) query_text = v;
+    if (const char* v = value("--ontology=")) ontology_path = v;
+    if (const char* v = value("--data=")) data_path = v;
+    if (const char* v = value("--limit=")) limit = std::strtoul(v, nullptr, 10);
+  }
+
+  Vocabulary vocab;
+  auto onto = ParseOntology(ReadFileOr(ontology_path, kDemoOntology), &vocab);
+  if (!onto.ok()) {
+    std::fprintf(stderr, "ontology: %s\n", onto.status().ToString().c_str());
+    return 1;
+  }
+  Database db(&vocab);
+  // Demo data uses whitespace-separated facts; normalize to lines.
+  std::string data = ReadFileOr(data_path, kDemoData);
+  for (char& c : data) {
+    if (c == ')') c = ')';  // no-op, keeps the loader line-based below
+  }
+  // Accept both one-per-line and whitespace-separated facts.
+  std::string lines;
+  int depth = 0;
+  for (char c : data) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    lines += (c == ' ' && depth == 0) ? '\n' : c;
+  }
+  if (Status s = LoadFacts(lines, &db); !s.ok()) {
+    std::fprintf(stderr, "data: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto query = ParseCQ(query_text, &vocab);
+  if (!query.ok()) {
+    std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  OMQ omq = MakeOMQ(std::move(onto).value(), std::move(query).value());
+  std::printf("# %zu facts, mode=%s\n", db.TotalFacts(), mode);
+
+  if (std::strcmp(mode, "complete") == 0) {
+    auto e = CompleteEnumerator::Create(omq, db);
+    if (!e.ok()) { std::fprintf(stderr, "%s\n", e.status().ToString().c_str()); return 1; }
+    RunEnumeration(*e, vocab, limit);
+  } else if (std::strcmp(mode, "partial") == 0) {
+    auto e = PartialEnumerator::Create(omq, db);
+    if (!e.ok()) { std::fprintf(stderr, "%s\n", e.status().ToString().c_str()); return 1; }
+    RunEnumeration(*e, vocab, limit);
+  } else if (std::strcmp(mode, "multi") == 0) {
+    auto e = MultiWildcardEnumerator::Create(omq, db);
+    if (!e.ok()) { std::fprintf(stderr, "%s\n", e.status().ToString().c_str()); return 1; }
+    RunEnumeration(*e, vocab, limit);
+  } else if (std::strcmp(mode, "complete-first") == 0) {
+    auto e = CompleteFirstEnumerator::Create(omq, db);
+    if (!e.ok()) { std::fprintf(stderr, "%s\n", e.status().ToString().c_str()); return 1; }
+    RunEnumeration(*e, vocab, limit);
+  } else if (std::strcmp(mode, "test") == 0) {
+    auto tester = SingleTester::Create(omq, db);
+    if (!tester.ok()) {
+      std::fprintf(stderr, "%s\n", tester.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("# enter one candidate per line, e.g.: mary, room1, *\n");
+    char line[4096];
+    while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+      ValueTuple cand;
+      bool ok = true;
+      for (std::string_view piece : SplitTrim(line, ',')) {
+        if (piece == "*") {
+          cand.push_back(kStar);
+        } else if (piece.size() > 2 && piece[0] == '*' && piece[1] == '_') {
+          cand.push_back(MakeWildcard(static_cast<uint32_t>(
+              std::strtoul(std::string(piece.substr(2)).c_str(), nullptr, 10))));
+        } else {
+          Value v = vocab.FindConstant(piece);
+          if (v == UINT32_MAX) {
+            std::printf("unknown constant '%.*s'\n",
+                        static_cast<int>(piece.size()), piece.data());
+            ok = false;
+            break;
+          }
+          cand.push_back(v);
+        }
+      }
+      if (!ok || cand.size() != omq.query.arity()) {
+        std::printf("expected %u values\n", omq.query.arity());
+        continue;
+      }
+      bool has_multi = false, has_star = false;
+      for (Value v : cand) {
+        has_multi |= IsWildcard(v) && v != kStar;
+        has_star |= v == kStar;
+      }
+      bool result = has_multi ? (*tester)->TestMinimalMultiWildcard(cand)
+                  : has_star ? (*tester)->TestMinimalPartial(cand)
+                             : (*tester)->TestComplete(cand);
+      std::printf("%s\n", result ? "yes" : "no");
+    }
+  } else {
+    std::fprintf(stderr, "unknown mode %s\n", mode);
+    return 1;
+  }
+  return 0;
+}

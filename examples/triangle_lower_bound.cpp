@@ -1,0 +1,46 @@
+// triangle_lower_bound: the fine-grained lower-bound constructions as a
+// demo. Theorem 5.1's gadget turns triangle detection into a single
+// minimality test of (*,*,*); we solve triangle detection through the OMQ
+// engine and compare with direct detection.
+//
+//   $ ./triangle_lower_bound [num_vertices]
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/timer.h"
+#include "reductions/triangle.h"
+
+using namespace omqe;
+
+int main(int argc, char** argv) {
+  uint32_t n = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 2000;
+  uint32_t m = n * 3;
+
+  std::printf("Graphs with %u vertices, %u edges.\n\n", n, m);
+  for (bool planted : {false, true}) {
+    EdgeList edges = GenBipartite(n / 2, n / 2, m, 42);
+    if (planted) PlantTriangle(&edges, n);
+
+    Stopwatch direct;
+    bool expected = DetectTriangleDirect(edges);
+    double direct_ms = direct.ElapsedSeconds() * 1e3;
+
+    Stopwatch via_omq;
+    bool got = DetectTriangleViaOMQ(edges);
+    double omq_ms = via_omq.ElapsedSeconds() * 1e3;
+
+    std::printf("planted=%d  direct: %-5s (%.2f ms)   via OMQ minimality test: "
+                "%-5s (%.2f ms)\n",
+                planted, expected ? "yes" : "no", direct_ms, got ? "yes" : "no",
+                omq_ms);
+    if (expected != got) {
+      std::fprintf(stderr, "REDUCTION MISMATCH\n");
+      return 1;
+    }
+  }
+  std::printf(
+      "\nThe paper's Theorem 5.1: if this minimality test ran in constant time\n"
+      "after linear preprocessing, triangle detection would be linear-time —\n"
+      "which is why all-testing minimal partial answers is NOT in DelayClin.\n");
+  return 0;
+}

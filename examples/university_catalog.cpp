@@ -1,0 +1,68 @@
+// university_catalog: an (ELI, CQ) workload. Faculty teach courses (some
+// anonymous), courses belong to departments. Demonstrates constant-delay
+// enumeration of the catalog and all-testing (Theorem 4.1(2)): after linear
+// preprocessing, arbitrary candidate rows are verified in constant time.
+//
+//   $ ./university_catalog [num_faculty]
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/rng.h"
+#include "base/str.h"
+#include "base/timer.h"
+#include "core/all_testing.h"
+#include "core/multiwild_enum.h"
+#include "core/omq.h"
+#include "workload/university.h"
+
+using namespace omqe;
+
+int main(int argc, char** argv) {
+  uint32_t faculty = argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 5000;
+
+  Vocabulary vocab;
+  Database db(&vocab);
+  UniversityParams params;
+  params.faculty = faculty;
+  params.students = faculty * 3;
+  GenerateUniversity(params, &db);
+  OMQ omq = CatalogOMQ(&vocab);
+  std::printf("University with %u faculty, %u students: %zu facts. ELI: %s\n\n",
+              faculty, params.students, db.TotalFacts(),
+              omq.IsELI() ? "yes" : "no");
+
+  // Catalog with unknowns: every faculty member teaches something.
+  auto e = MultiWildcardEnumerator::Create(omq, db);
+  if (!e.ok()) {
+    std::fprintf(stderr, "error: %s\n", e.status().ToString().c_str());
+    return 1;
+  }
+  ValueTuple t;
+  size_t rows = 0;
+  while ((*e)->Next(&t)) {
+    if (rows++ < 6) {
+      std::printf("  teaches(%s, %s) in dept %s\n", vocab.ValueName(t[0]).c_str(),
+                  vocab.ValueName(t[1]).c_str(), vocab.ValueName(t[2]).c_str());
+    }
+  }
+  std::printf("  ... %zu catalog rows total (with multi-wildcard unknowns).\n\n",
+              rows);
+
+  // All-testing: verify candidate rows in constant time.
+  Stopwatch prep;
+  auto tester = AllTester::Create(omq, db);
+  std::printf("All-tester preprocessing: %.1f ms\n", prep.ElapsedSeconds() * 1e3);
+  Rng rng(17);
+  size_t hits = 0, tests = 20000;
+  Stopwatch probe;
+  for (size_t i = 0; i < tests; ++i) {
+    uint32_t f = static_cast<uint32_t>(rng.Below(faculty));
+    ValueTuple cand{vocab.ConstantId(StrPrintf("fac%u", f)),
+                    vocab.ConstantId(StrPrintf("course%u", f)),
+                    vocab.ConstantId(StrPrintf("dept%u", f / 40))};
+    hits += (*tester)->Test(cand);
+  }
+  std::printf("%zu membership tests in %.1f ms (%zu certain answers).\n", tests,
+              probe.ElapsedSeconds() * 1e3, hits);
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Open-addressing hash containers. These realize the constant-time lookup
+// tables of the paper's RAM model:
+//   - FlatMap<K,V>: linear probing map for integral keys (key K(-1) reserved).
+//   - TupleMap<V>:  map keyed by short tuples of uint32_t, stored in an arena.
+// Neither supports erase; algorithms that conceptually remove entries store a
+// sentinel value instead (matching how the paper re-uses zero-initialized
+// memory).
+#ifndef OMQE_BASE_FLAT_HASH_H_
+#define OMQE_BASE_FLAT_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "base/hash.h"
+#include "base/status.h"
+
+namespace omqe {
+
+template <typename K, typename V>
+class FlatMap {
+  static constexpr K kEmpty = static_cast<K>(-1);
+
+ public:
+  explicit FlatMap(size_t initial_capacity = 16) { Rehash(RoundUp(initial_capacity)); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    std::fill(keys_.begin(), keys_.end(), kEmpty);
+    size_ = 0;
+  }
+
+  /// Returns a pointer to the value for `k`, or nullptr when absent.
+  V* Find(K k) {
+    size_t i = Probe(k);
+    return keys_[i] == kEmpty ? nullptr : &vals_[i];
+  }
+  const V* Find(K k) const {
+    size_t i = Probe(k);
+    return keys_[i] == kEmpty ? nullptr : &vals_[i];
+  }
+
+  /// Inserts (k, v) if absent; returns the stored value either way.
+  V& InsertOrGet(K k, const V& v) {
+    MaybeGrow();
+    size_t i = Probe(k);
+    if (keys_[i] == kEmpty) {
+      keys_[i] = k;
+      vals_[i] = v;
+      ++size_;
+    }
+    return vals_[i];
+  }
+
+  V& operator[](K k) { return InsertOrGet(k, V()); }
+
+  /// Overwrites the value for `k` (inserting if needed).
+  void Put(K k, const V& v) { InsertOrGet(k, v) = v; }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != kEmpty) fn(keys_[i], vals_[i]);
+    }
+  }
+
+ private:
+  static size_t RoundUp(size_t n) {
+    size_t c = 16;
+    while (c < n) c <<= 1;
+    return c;
+  }
+  size_t Probe(K k) const {
+    OMQE_CHECK(k != kEmpty);
+    size_t mask = keys_.size() - 1;
+    size_t i = Mix64(static_cast<uint64_t>(k)) & mask;
+    while (keys_[i] != kEmpty && keys_[i] != k) i = (i + 1) & mask;
+    return i;
+  }
+  void MaybeGrow() {
+    if (size_ * 4 < keys_.size() * 3) return;
+    Rehash(keys_.size() * 2);
+  }
+  void Rehash(size_t cap) {
+    std::vector<K> old_keys = std::move(keys_);
+    std::vector<V> old_vals = std::move(vals_);
+    keys_.assign(cap, kEmpty);
+    vals_.assign(cap, V());
+    size_ = 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != kEmpty) InsertOrGet(old_keys[i], old_vals[i]);
+    }
+  }
+
+  std::vector<K> keys_;
+  std::vector<V> vals_;
+  size_t size_ = 0;
+};
+
+/// Map keyed by short tuples of uint32_t. Keys are copied into an arena;
+/// lookups never allocate.
+template <typename V>
+class TupleMap {
+  struct Slot {
+    uint32_t offset = 0;
+    uint32_t len = 0xffffffffu;  // len == 0xffffffff marks an empty slot
+    V value{};
+  };
+
+ public:
+  explicit TupleMap(size_t initial_capacity = 16) {
+    slots_.resize(RoundUp(initial_capacity));
+  }
+
+  size_t size() const { return size_; }
+
+  V* Find(const uint32_t* key, uint32_t len) {
+    size_t i = Probe(key, len);
+    return slots_[i].len == 0xffffffffu ? nullptr : &slots_[i].value;
+  }
+  const V* Find(const uint32_t* key, uint32_t len) const {
+    size_t i = Probe(key, len);
+    return slots_[i].len == 0xffffffffu ? nullptr : &slots_[i].value;
+  }
+
+  V& InsertOrGet(const uint32_t* key, uint32_t len, const V& v) {
+    MaybeGrow();
+    size_t i = Probe(key, len);
+    if (slots_[i].len == 0xffffffffu) {
+      slots_[i].offset = static_cast<uint32_t>(arena_.size());
+      slots_[i].len = len;
+      arena_.insert(arena_.end(), key, key + len);
+      slots_[i].value = v;
+      ++size_;
+    }
+    return slots_[i].value;
+  }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.len != 0xffffffffu) fn(arena_.data() + s.offset, s.len, s.value);
+    }
+  }
+
+ private:
+  static size_t RoundUp(size_t n) {
+    size_t c = 16;
+    while (c < n) c <<= 1;
+    return c;
+  }
+  bool KeyEquals(const Slot& s, const uint32_t* key, uint32_t len) const {
+    return s.len == len &&
+           std::memcmp(arena_.data() + s.offset, key, len * sizeof(uint32_t)) == 0;
+  }
+  size_t Probe(const uint32_t* key, uint32_t len) const {
+    size_t mask = slots_.size() - 1;
+    size_t i = HashSpan32(key, len) & mask;
+    while (slots_[i].len != 0xffffffffu && !KeyEquals(slots_[i], key, len)) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+  void MaybeGrow() {
+    if (size_ * 4 < slots_.size() * 3) return;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot());
+    size_ = 0;
+    for (const Slot& s : old) {
+      if (s.len == 0xffffffffu) continue;
+      // Re-probe; arena offsets stay valid.
+      size_t i = Probe(arena_.data() + s.offset, s.len);
+      slots_[i] = s;
+      ++size_;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> arena_;
+  size_t size_ = 0;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_FLAT_HASH_H_

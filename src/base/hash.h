@@ -1,0 +1,49 @@
+// Hashing utilities: a 64-bit mix function (xmx variant of Murmur3's
+// finalizer) and tuple/span hashing used by the flat hash containers and by
+// the paper's RAM-model lookup tables.
+#ifndef OMQE_BASE_HASH_H_
+#define OMQE_BASE_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace omqe {
+
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return Mix64(seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2)));
+}
+
+/// Hash of a span of 32-bit values (fact tuples, key tuples).
+inline uint64_t HashSpan32(const uint32_t* p, size_t n) {
+  uint64_t h = 0x8e5d3c4f1b2a6978ULL ^ (n * 0x9e3779b97f4a7c15ULL);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    uint64_t w = (static_cast<uint64_t>(p[i]) << 32) | p[i + 1];
+    h = HashCombine(h, w);
+  }
+  if (i < n) h = HashCombine(h, p[i]);
+  return h;
+}
+
+inline uint64_t HashString(std::string_view s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h);
+}
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_HASH_H_

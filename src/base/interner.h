@@ -1,0 +1,70 @@
+// String interner: bidirectional mapping between strings and dense uint32
+// ids. Used for constants, relation names, and variable names.
+#ifndef OMQE_BASE_INTERNER_H_
+#define OMQE_BASE_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/flat_hash.h"
+#include "base/hash.h"
+
+namespace omqe {
+
+class Interner {
+ public:
+  /// Returns the id for `s`, creating one if needed.
+  uint32_t Intern(std::string_view s) {
+    uint64_t h = HashString(s);
+    // Resolve (rare) hash collisions with a per-hash chain of candidates.
+    uint32_t* found = map_.Find(h);
+    if (found != nullptr) {
+      uint32_t id = *found;
+      while (true) {
+        if (strings_[id] == s) return id;
+        if (next_[id] == kNoNext) break;
+        id = next_[id];
+      }
+      uint32_t fresh = Add(s);
+      next_[id] = fresh;
+      return fresh;
+    }
+    uint32_t fresh = Add(s);
+    map_.Put(h, fresh);
+    return fresh;
+  }
+
+  /// Returns the id for `s` or UINT32_MAX when never interned.
+  uint32_t Lookup(std::string_view s) const {
+    const uint32_t* found = map_.Find(HashString(s));
+    if (found == nullptr) return UINT32_MAX;
+    uint32_t id = *found;
+    while (true) {
+      if (strings_[id] == s) return id;
+      if (next_[id] == kNoNext) return UINT32_MAX;
+      id = next_[id];
+    }
+  }
+
+  const std::string& Name(uint32_t id) const { return strings_[id]; }
+  uint32_t size() const { return static_cast<uint32_t>(strings_.size()); }
+
+ private:
+  static constexpr uint32_t kNoNext = UINT32_MAX;
+
+  uint32_t Add(std::string_view s) {
+    strings_.emplace_back(s);
+    next_.push_back(kNoNext);
+    return static_cast<uint32_t>(strings_.size() - 1);
+  }
+
+  std::vector<std::string> strings_;
+  std::vector<uint32_t> next_;
+  FlatMap<uint64_t, uint32_t> map_;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_INTERNER_H_

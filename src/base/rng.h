@@ -1,0 +1,35 @@
+// Deterministic pseudo-random generator (xoshiro256**) for workload
+// generators and property tests. Same seed -> same workload on every
+// platform, which std::mt19937 + distributions do not guarantee.
+#ifndef OMQE_BASE_RNG_H_
+#define OMQE_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace omqe {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t Next();
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Below(uint64_t n);
+
+  /// Uniform value in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Chance(double p);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_RNG_H_

@@ -1,0 +1,148 @@
+// SmallVec<T, N>: vector with inline storage for the first N elements.
+// Facts and query atoms have tiny arities, so tuples almost never touch the
+// heap. Only supports trivially copyable T, which is all we store.
+#ifndef OMQE_BASE_SMALL_VEC_H_
+#define OMQE_BASE_SMALL_VEC_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+#include "base/status.h"
+
+namespace omqe {
+
+template <typename T, int N = 4>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec only supports trivially copyable types");
+
+ public:
+  SmallVec() = default;
+  SmallVec(std::initializer_list<T> init) {
+    reserve(static_cast<uint32_t>(init.size()));
+    for (const T& v : init) push_back(v);
+  }
+  SmallVec(const T* begin, const T* end) {
+    reserve(static_cast<uint32_t>(end - begin));
+    for (const T* p = begin; p != end; ++p) push_back(*p);
+  }
+  SmallVec(const SmallVec& other) { CopyFrom(other); }
+  SmallVec& operator=(const SmallVec& other) {
+    if (this != &other) {
+      clear_storage();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+  SmallVec(SmallVec&& other) noexcept { MoveFrom(std::move(other)); }
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this != &other) {
+      clear_storage();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+  ~SmallVec() { clear_storage(); }
+
+  T* data() { return heap_ ? heap_ : inline_; }
+  const T* data() const { return heap_ ? heap_ : inline_; }
+  uint32_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  T& operator[](uint32_t i) { return data()[i]; }
+  const T& operator[](uint32_t i) const { return data()[i]; }
+  T& back() { return data()[size_ - 1]; }
+  const T& back() const { return data()[size_ - 1]; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(uint32_t n) {
+    if (n <= capacity_) return;
+    Grow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) Grow(capacity_ * 2);
+    data()[size_++] = v;
+  }
+
+  void resize(uint32_t n, T fill = T()) {
+    reserve(n);
+    for (uint32_t i = size_; i < n; ++i) data()[i] = fill;
+    size_ = n;
+  }
+
+  void pop_back() { --size_; }
+
+  bool contains(const T& v) const {
+    return std::find(begin(), end(), v) != end();
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const SmallVec& a, const SmallVec& b) {
+    return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+  }
+
+ private:
+  void CopyFrom(const SmallVec& other) {
+    size_ = 0;
+    capacity_ = N;
+    heap_ = nullptr;
+    reserve(other.size_);
+    std::memcpy(data(), other.data(), sizeof(T) * other.size_);
+    size_ = other.size_;
+  }
+  void MoveFrom(SmallVec&& other) {
+    if (other.heap_) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      heap_ = nullptr;
+      capacity_ = N;
+      size_ = other.size_;
+      std::memcpy(inline_, other.inline_, sizeof(T) * other.size_);
+      other.size_ = 0;
+    }
+  }
+  void clear_storage() {
+    delete[] heap_;
+    heap_ = nullptr;
+    capacity_ = N;
+    size_ = 0;
+  }
+  void Grow(uint32_t n) {
+    uint32_t cap = std::max<uint32_t>(n, capacity_ * 2);
+    T* fresh = new T[cap];
+    std::memcpy(fresh, data(), sizeof(T) * size_);
+    delete[] heap_;
+    heap_ = fresh;
+    capacity_ = cap;
+  }
+
+  T inline_[N];
+  T* heap_ = nullptr;
+  uint32_t size_ = 0;
+  uint32_t capacity_ = N;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_SMALL_VEC_H_

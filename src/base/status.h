@@ -1,0 +1,103 @@
+// Lightweight Status / StatusOr error handling, in the style of the
+// database-engine codebases this project follows (Arrow, RocksDB): library
+// code reports recoverable errors through return values rather than
+// exceptions; programming errors abort via OMQE_CHECK.
+#ifndef OMQE_BASE_STATUS_H_
+#define OMQE_BASE_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace omqe {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kNotSupported,
+  kResourceExhausted,
+  kInternal,
+};
+
+/// Result of an operation that can fail. Cheap to copy when OK.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status NotSupported(std::string m) {
+    return Status(StatusCode::kNotSupported, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" rendering.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value or an error Status. Minimal absl::StatusOr analogue.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  StatusOr(Status status) : rep_(std::move(status)) {}   // NOLINT(runtime/explicit)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  const Status& status() const { return std::get<Status>(rep_); }
+
+  T& value() & { return std::get<T>(rep_); }
+  const T& value() const& { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> rep_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+}  // namespace internal
+
+}  // namespace omqe
+
+/// Aborts (with location) when `cond` does not hold. Used for invariants
+/// that indicate a bug in omqe itself, never for bad user input.
+#define OMQE_CHECK(cond)                                           \
+  do {                                                             \
+    if (!(cond)) ::omqe::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#define OMQE_RETURN_IF_ERROR(expr)              \
+  do {                                          \
+    ::omqe::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+#endif  // OMQE_BASE_STATUS_H_

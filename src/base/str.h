@@ -1,0 +1,26 @@
+// Small string helpers shared by the parsers and pretty-printers.
+#ifndef OMQE_BASE_STR_H_
+#define OMQE_BASE_STR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace omqe {
+
+/// Splits on `sep`, trimming ASCII whitespace from each piece; empty pieces
+/// are dropped.
+std::vector<std::string_view> SplitTrim(std::string_view s, char sep);
+
+/// Trims ASCII whitespace on both sides.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_STR_H_

@@ -1,0 +1,31 @@
+// Monotonic wall-clock timing for the benchmark harnesses. The delay
+// experiments need per-answer timestamps, so the clock must be cheap.
+#ifndef OMQE_BASE_TIMER_H_
+#define OMQE_BASE_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace omqe {
+
+/// Nanoseconds on a monotonic clock.
+inline int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+  void Reset() { start_ = NowNanos(); }
+  int64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const { return static_cast<double>(ElapsedNanos()) * 1e-9; }
+
+ private:
+  int64_t start_;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_TIMER_H_

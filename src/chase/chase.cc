@@ -1,0 +1,491 @@
+#include "chase/chase.h"
+
+#include <algorithm>
+
+#include "base/flat_hash.h"
+#include "horn/horn.h"
+
+namespace omqe {
+
+namespace {
+
+constexpr Value kUnbound = 0xffffffffu;
+
+/// Incremental hash index over one relation, keyed by a set of positions.
+/// Unlike PositionIndex it supports appending rows as the chase grows.
+class DynIndex {
+ public:
+  DynIndex(RelId rel, std::vector<uint32_t> key_positions)
+      : rel_(rel), key_positions_(std::move(key_positions)) {}
+
+  RelId rel() const { return rel_; }
+  const std::vector<uint32_t>& key_positions() const { return key_positions_; }
+
+  void Add(const Database& db, uint32_t row) {
+    OMQE_CHECK(row == next_.size());
+    next_.push_back(UINT32_MAX);
+    const Value* t = db.Row(rel_, row);
+    if (key_positions_.empty()) {
+      // Chain in reverse (traversal order does not matter for the chase).
+      next_[row] = all_head_;
+      all_head_ = row;
+      return;
+    }
+    ValueTuple key;
+    for (uint32_t p : key_positions_) key.push_back(t[p]);
+    uint32_t& head = heads_.InsertOrGet(key.data(), key.size(), UINT32_MAX);
+    next_[row] = head;
+    head = row;
+  }
+
+  uint32_t First(const Value* key) const {
+    if (key_positions_.empty()) return all_head_;
+    const uint32_t* head =
+        heads_.Find(key, static_cast<uint32_t>(key_positions_.size()));
+    return head == nullptr ? UINT32_MAX : *head;
+  }
+  uint32_t Next(uint32_t row) const { return next_[row]; }
+
+ private:
+  RelId rel_;
+  std::vector<uint32_t> key_positions_;
+  TupleMap<uint32_t> heads_;
+  std::vector<uint32_t> next_;
+  uint32_t all_head_ = UINT32_MAX;
+};
+
+struct PlanStep {
+  uint32_t atom;       // body atom index matched in this step
+  uint32_t index_id;   // DynIndex to probe
+};
+
+/// Matching plan for one (TGD, delta-atom) pair: after seeding the
+/// assignment from the delta atom, probe the remaining body atoms in a
+/// greedy bound-variables-first order.
+struct MatchPlan {
+  uint32_t tgd;
+  uint32_t delta_atom;
+  std::vector<PlanStep> steps;
+};
+
+class ChaseEngine {
+ public:
+  ChaseEngine(const Database& input, const Ontology& onto, const ChaseOptions& options)
+      : input_(input),
+        onto_(onto),
+        options_(options),
+        result_(std::make_unique<ChaseResult>(input.vocab())) {}
+
+  StatusOr<std::unique_ptr<ChaseResult>> Run() {
+    BuildPlans();
+    result_->cap_used = options_.null_depth;
+    // Input nulls have depth 0 and no block.
+    null_depth_.assign(input_.NullHighWater(), 0);
+    null_block_.assign(input_.NullHighWater(), UINT32_MAX);
+
+    // Copy the input facts; they form the initial delta.
+    for (RelId r = 0; r < input_.NumRelationSlots(); ++r) {
+      uint32_t arity = input_.Arity(r);
+      for (uint32_t row = 0; row < input_.NumRows(r); ++row) {
+        OMQE_RETURN_IF_ERROR(AddFact(r, input_.Row(r, row), arity, UINT32_MAX));
+      }
+    }
+    // Fire TGDs with empty bodies once.
+    for (uint32_t t = 0; t < onto_.tgds().size(); ++t) {
+      if (onto_.tgds()[t].body().empty()) {
+        std::vector<Value> assign(onto_.tgds()[t].num_vars(), kUnbound);
+        OMQE_RETURN_IF_ERROR(Apply(t, assign));
+      }
+    }
+
+    while (!delta_.empty()) {
+      std::vector<FactRef> delta = std::move(delta_);
+      delta_.clear();
+      for (const FactRef& f : delta) {
+        for (const MatchPlan& plan : plans_) {
+          const TGD& tgd = onto_.tgds()[plan.tgd];
+          if (tgd.body()[plan.delta_atom].rel != f.rel) continue;
+          std::vector<Value> assign(tgd.num_vars(), kUnbound);
+          SmallVec<uint32_t, 8> bound;
+          if (!UnifyAtom(tgd.body()[plan.delta_atom], result_->db.Row(f), &assign,
+                         &bound)) {
+            continue;
+          }
+          OMQE_RETURN_IF_ERROR(Backtrack(plan, 0, &assign));
+        }
+      }
+    }
+
+    // Count the database part.
+    for (RelId r = 0; r < result_->db.NumRelationSlots(); ++r) {
+      uint32_t arity = result_->db.Arity(r);
+      for (uint32_t row = 0; row < result_->db.NumRows(r); ++row) {
+        const Value* t = result_->db.Row(r, row);
+        bool has_null = false;
+        for (uint32_t i = 0; i < arity; ++i) has_null |= IsNull(t[i]);
+        if (!has_null) ++result_->db_part_facts;
+      }
+    }
+    result_->blocks = std::move(blocks_);
+    result_->null_block = std::move(null_block_);
+    return std::move(result_);
+  }
+
+ private:
+  void BuildPlans() {
+    head_plans_.resize(onto_.tgds().size());
+    for (uint32_t t = 0; t < onto_.tgds().size(); ++t) {
+      const TGD& tgd = onto_.tgds()[t];
+      // Restricted mode: a probe plan over the head atoms, seeded from the
+      // frontier variables, to decide whether the head is already satisfied.
+      if (options_.mode == ChaseMode::kRestricted && tgd.ExistentialVars() != 0) {
+        VarSet bound = tgd.FrontierVars();
+        const auto& head = tgd.head();
+        std::vector<bool> used(head.size(), false);
+        for (size_t step = 0; step < head.size(); ++step) {
+          int best = -1;
+          int best_bound = -1;
+          for (uint32_t j = 0; j < head.size(); ++j) {
+            if (used[j]) continue;
+            int nb = __builtin_popcountll(CQ::AtomVars(head[j]) & bound);
+            if (nb > best_bound) {
+              best_bound = nb;
+              best = static_cast<int>(j);
+            }
+          }
+          used[best] = true;
+          const Atom& atom = head[best];
+          std::vector<uint32_t> key_pos;
+          for (uint32_t p = 0; p < atom.terms.size(); ++p) {
+            if (bound & VarBit(VarOf(atom.terms[p]))) key_pos.push_back(p);
+          }
+          head_plans_[t].push_back(
+              {static_cast<uint32_t>(best), RegisterIndex(atom.rel, key_pos)});
+          bound |= CQ::AtomVars(atom);
+        }
+      }
+      const auto& body = tgd.body();
+      for (uint32_t d = 0; d < body.size(); ++d) {
+        MatchPlan plan;
+        plan.tgd = t;
+        plan.delta_atom = d;
+        VarSet bound = CQ::AtomVars(body[d]);
+        std::vector<bool> used(body.size(), false);
+        used[d] = true;
+        for (size_t step = 1; step < body.size(); ++step) {
+          // Greedy: next atom with the most bound variables.
+          int best = -1;
+          int best_bound = -1;
+          for (uint32_t j = 0; j < body.size(); ++j) {
+            if (used[j]) continue;
+            int nb = __builtin_popcountll(CQ::AtomVars(body[j]) & bound);
+            if (nb > best_bound) {
+              best_bound = nb;
+              best = static_cast<int>(j);
+            }
+          }
+          used[best] = true;
+          const Atom& atom = body[best];
+          std::vector<uint32_t> key_pos;
+          for (uint32_t p = 0; p < atom.terms.size(); ++p) {
+            if (bound & VarBit(VarOf(atom.terms[p]))) key_pos.push_back(p);
+          }
+          plan.steps.push_back(
+              {static_cast<uint32_t>(best), RegisterIndex(atom.rel, key_pos)});
+          bound |= CQ::AtomVars(atom);
+        }
+        plans_.push_back(std::move(plan));
+      }
+    }
+  }
+
+  uint32_t RegisterIndex(RelId rel, const std::vector<uint32_t>& key_pos) {
+    for (uint32_t i = 0; i < indexes_.size(); ++i) {
+      if (indexes_[i].rel() == rel && indexes_[i].key_positions() == key_pos) return i;
+    }
+    indexes_.emplace_back(rel, key_pos);
+    if (rel >= rel_indexes_.size()) rel_indexes_.resize(rel + 1);
+    rel_indexes_[rel].push_back(static_cast<uint32_t>(indexes_.size() - 1));
+    return static_cast<uint32_t>(indexes_.size() - 1);
+  }
+
+  /// Unifies `atom` (all-variable TGD atom) with a fact tuple; binds fresh
+  /// variables, records them in `bound` for undo; returns false on clash.
+  static bool UnifyAtom(const Atom& atom, const Value* tuple,
+                        std::vector<Value>* assign, SmallVec<uint32_t, 8>* bound) {
+    for (uint32_t p = 0; p < atom.terms.size(); ++p) {
+      uint32_t v = VarOf(atom.terms[p]);
+      if ((*assign)[v] == kUnbound) {
+        (*assign)[v] = tuple[p];
+        bound->push_back(v);
+      } else if ((*assign)[v] != tuple[p]) {
+        for (uint32_t b : *bound) (*assign)[b] = kUnbound;
+        return false;
+      }
+    }
+    return true;
+  }
+
+  Status Backtrack(const MatchPlan& plan, size_t step, std::vector<Value>* assign) {
+    if (step == plan.steps.size()) return Apply(plan.tgd, *assign);
+    const PlanStep& ps = plan.steps[step];
+    const Atom& atom = onto_.tgds()[plan.tgd].body()[ps.atom];
+    const DynIndex& index = indexes_[ps.index_id];
+    ValueTuple key;
+    for (uint32_t p : index.key_positions()) key.push_back((*assign)[VarOf(atom.terms[p])]);
+    for (uint32_t row = index.First(key.data()); row != UINT32_MAX;
+         row = index.Next(row)) {
+      SmallVec<uint32_t, 8> bound;
+      if (!UnifyAtom(atom, result_->db.Row(atom.rel, row), assign, &bound)) continue;
+      OMQE_RETURN_IF_ERROR(Backtrack(plan, step + 1, assign));
+      for (uint32_t b : bound) (*assign)[b] = kUnbound;
+    }
+    return Status::OK();
+  }
+
+  /// Restricted-chase check: can the head be matched in the current
+  /// instance with the frontier fixed by `assign`?
+  bool HeadSatisfied(uint32_t t, std::vector<Value>& assign, size_t step) {
+    const std::vector<PlanStep>& plan = head_plans_[t];
+    if (step == plan.size()) return true;
+    const Atom& atom = onto_.tgds()[t].head()[plan[step].atom];
+    const DynIndex& index = indexes_[plan[step].index_id];
+    ValueTuple key;
+    for (uint32_t p : index.key_positions()) key.push_back(assign[VarOf(atom.terms[p])]);
+    for (uint32_t row = index.First(key.data()); row != UINT32_MAX;
+         row = index.Next(row)) {
+      SmallVec<uint32_t, 8> bound;
+      if (!UnifyAtom(atom, result_->db.Row(atom.rel, row), &assign, &bound)) continue;
+      bool ok = HeadSatisfied(t, assign, step + 1);
+      for (uint32_t b : bound) assign[b] = kUnbound;
+      if (ok) return true;
+    }
+    return false;
+  }
+
+  /// Fires TGD `t` under a complete body assignment (oblivious semantics:
+  /// once per (TGD, body tuple), even if the head is already satisfied).
+  Status Apply(uint32_t t, std::vector<Value>& assign) {
+    const TGD& tgd = onto_.tgds()[t];
+    // Dedup key: TGD id followed by the values of its body variables.
+    ValueTuple key;
+    key.push_back(t);
+    VarSet body_vars = tgd.BodyVars();
+    VarSet rest = body_vars;
+    uint32_t max_depth = 0;
+    while (rest) {
+      uint32_t v = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      key.push_back(assign[v]);
+      if (IsNull(assign[v])) {
+        max_depth = std::max(max_depth, null_depth_[NullIndex(assign[v])]);
+      }
+    }
+    char& seen = applied_.InsertOrGet(key.data(), key.size(), 0);
+    if (seen) return Status::OK();
+
+    VarSet existentials = tgd.ExistentialVars();
+    uint32_t block = UINT32_MAX;
+    if (existentials) {
+      if (options_.mode == ChaseMode::kRestricted && HeadSatisfied(t, assign, 0)) {
+        seen = 1;  // monotone: once satisfied, always satisfied
+        return Status::OK();
+      }
+      if (max_depth + 1 > options_.null_depth) {
+        result_->truncated = true;
+        // Leave `seen` unset so a later run with a larger cap would fire;
+        // within this run the same application is cheap to re-suppress.
+        seen = 0;
+        return Status::OK();
+      }
+      block = PickBlock(tgd, assign, body_vars);
+      // Invent the fresh nulls.
+      VarSet ex = existentials;
+      while (ex) {
+        uint32_t v = static_cast<uint32_t>(__builtin_ctzll(ex));
+        ex &= ex - 1;
+        Value null = result_->db.FreshNull();
+        assign[v] = null;
+        null_depth_.push_back(max_depth + 1);
+        null_block_.push_back(block);
+      }
+    }
+    seen = 1;
+
+    ValueTuple tuple;
+    for (const Atom& h : tgd.head()) {
+      tuple.clear();
+      for (Term term : h.terms) tuple.push_back(assign[VarOf(term)]);
+      OMQE_RETURN_IF_ERROR(AddFact(h.rel, tuple.data(), tuple.size(), block));
+    }
+    // Unbind the existentials for the caller's backtracking.
+    VarSet ex = existentials;
+    while (ex) {
+      uint32_t v = static_cast<uint32_t>(__builtin_ctzll(ex));
+      ex &= ex - 1;
+      assign[v] = kUnbound;
+    }
+    return Status::OK();
+  }
+
+  /// Block for the nulls of a firing application: the block of any body
+  /// null, else a fresh block rooted at the instantiated guard fact.
+  uint32_t PickBlock(const TGD& tgd, const std::vector<Value>& assign,
+                     VarSet body_vars) {
+    VarSet rest = body_vars;
+    while (rest) {
+      uint32_t v = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      if (IsNull(assign[v])) {
+        uint32_t b = null_block_[NullIndex(assign[v])];
+        if (b != UINT32_MAX) return b;
+      }
+    }
+    ChaseBlock block;
+    int guard = tgd.GuardAtom();
+    if (guard >= 0) {
+      block.has_source = true;
+      block.source_rel = tgd.body()[guard].rel;
+      for (Term term : tgd.body()[guard].terms) {
+        block.source_tuple.push_back(assign[VarOf(term)]);
+      }
+    }
+    blocks_.push_back(std::move(block));
+    return static_cast<uint32_t>(blocks_.size() - 1);
+  }
+
+  Status AddFact(RelId rel, const Value* tuple, uint32_t arity, uint32_t block) {
+    if (!result_->db.AddFact(rel, tuple, arity)) return Status::OK();
+    if (result_->db.TotalFacts() > options_.max_facts) {
+      return Status::ResourceExhausted("chase exceeded the fact budget");
+    }
+    FactRef ref{rel, result_->db.NumRows(rel) - 1};
+    // Maintain the dynamic indexes.
+    if (rel < rel_indexes_.size()) {
+      for (uint32_t i : rel_indexes_[rel]) indexes_[i].Add(result_->db, ref.row);
+    }
+    delta_.push_back(ref);
+    // Record block membership for facts containing a block null.
+    for (uint32_t i = 0; i < arity; ++i) {
+      if (IsNull(tuple[i])) {
+        uint32_t b = null_block_[NullIndex(tuple[i])];
+        if (b != UINT32_MAX) {
+          blocks_[b].facts.push_back(ref);
+        }
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  const Database& input_;
+  const Ontology& onto_;
+  const ChaseOptions& options_;
+  std::unique_ptr<ChaseResult> result_;
+
+  std::vector<MatchPlan> plans_;
+  std::vector<std::vector<PlanStep>> head_plans_;
+  std::vector<DynIndex> indexes_;
+  std::vector<std::vector<uint32_t>> rel_indexes_;
+  TupleMap<char> applied_;
+  std::vector<uint32_t> null_depth_;
+  std::vector<uint32_t> null_block_;
+  std::vector<ChaseBlock> blocks_;
+  std::vector<FactRef> delta_;
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<ChaseResult>> RunChase(const Database& input,
+                                                const Ontology& onto,
+                                                const ChaseOptions& options) {
+  ChaseEngine engine(input, onto, options);
+  return engine.Run();
+}
+
+std::unique_ptr<Database> HornDatalogSaturation(const Database& input,
+                                                const Ontology& onto,
+                                                Vocabulary* vocab) {
+  // Grounded guarded-datalog saturation through the Horn engine
+  // (Proposition 3.3's device, restricted to the existential-free fragment).
+  HornFormula horn;
+  TupleMap<uint32_t> fact_var;           // (rel, tuple) -> horn variable
+  std::vector<ValueTuple> var_fact;      // horn variable -> (rel, tuple)
+  std::vector<uint32_t> worklist;
+
+  auto intern_fact = [&](const Value* tuple, uint32_t arity, RelId rel) {
+    ValueTuple key;
+    key.push_back(rel);
+    for (uint32_t i = 0; i < arity; ++i) key.push_back(tuple[i]);
+    uint32_t fresh = horn.num_vars();
+    uint32_t& v = fact_var.InsertOrGet(key.data(), key.size(), fresh);
+    if (v == fresh) {
+      horn.AddVar();
+      var_fact.push_back(key);
+      worklist.push_back(v);
+    }
+    return v;
+  };
+
+  // Seed with the input facts (unit clauses).
+  for (RelId r = 0; r < input.NumRelationSlots(); ++r) {
+    uint32_t arity = input.Arity(r);
+    for (uint32_t row = 0; row < input.NumRows(r); ++row) {
+      uint32_t v = intern_fact(input.Row(r, row), arity, r);
+      horn.AddClause({}, v);
+    }
+  }
+
+  // For every potential guard fact, instantiate every guarded datalog TGD
+  // whose guard unifies with it; heads become new potential facts.
+  while (!worklist.empty()) {
+    uint32_t fv = worklist.back();
+    worklist.pop_back();
+    ValueTuple fact = var_fact[fv];  // copy: var_fact may grow below
+    RelId rel = fact[0];
+    for (const TGD& tgd : onto.tgds()) {
+      if (tgd.ExistentialVars() != 0 || tgd.body().empty()) continue;
+      int guard_idx = tgd.GuardAtom();
+      if (guard_idx < 0) continue;  // only the guarded fragment
+      const Atom& guard = tgd.body()[static_cast<size_t>(guard_idx)];
+      if (guard.rel != rel) continue;
+      // Unify the guard with the fact; the guard binds all body variables.
+      std::vector<Value> assign(tgd.num_vars(), 0xffffffffu);
+      bool ok = true;
+      for (uint32_t p = 0; p < guard.terms.size(); ++p) {
+        uint32_t var = VarOf(guard.terms[p]);
+        Value val = fact[p + 1];
+        if (assign[var] == 0xffffffffu) {
+          assign[var] = val;
+        } else if (assign[var] != val) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      std::vector<uint32_t> body_vars;
+      ValueTuple tuple;
+      for (const Atom& b : tgd.body()) {
+        tuple.clear();
+        for (Term term : b.terms) tuple.push_back(assign[VarOf(term)]);
+        body_vars.push_back(intern_fact(tuple.data(), tuple.size(), b.rel));
+      }
+      for (const Atom& h : tgd.head()) {
+        tuple.clear();
+        for (Term term : h.terms) tuple.push_back(assign[VarOf(term)]);
+        horn.AddClause(body_vars, intern_fact(tuple.data(), tuple.size(), h.rel));
+      }
+    }
+  }
+
+  std::vector<bool> model = horn.MinimalModel();
+  auto out = std::make_unique<Database>(vocab);
+  for (uint32_t v = 0; v < model.size(); ++v) {
+    if (!model[v]) continue;
+    const ValueTuple& fact = var_fact[v];
+    out->AddFact(fact[0], fact.data() + 1, fact.size() - 1);
+  }
+  return out;
+}
+
+}  // namespace omqe

@@ -1,0 +1,47 @@
+// All-testing of complete answers (Theorem 4.1(2), Proposition 4.2):
+// after linear-time preprocessing, each candidate tuple is tested in
+// constant time.
+//
+// The OMQ only needs to be *free-connex* acyclic (not acyclic): the join
+// tree of q + G(x̄) decomposes q, after removing the guard G, into
+// components q_1..q_k that are each acyclic and free-connex acyclic
+// (Prop 4.2). Each component is normalized into full acyclic trees with
+// hash-indexed relations; a candidate passes iff each node's projection of
+// the candidate is a row of the node's relation.
+#ifndef OMQE_CORE_ALL_TESTING_H_
+#define OMQE_CORE_ALL_TESTING_H_
+
+#include <memory>
+#include <vector>
+
+#include "chase/query_directed.h"
+#include "core/omq.h"
+#include "eval/normalize.h"
+
+namespace omqe {
+
+class AllTester {
+ public:
+  static StatusOr<std::unique_ptr<AllTester>> Create(
+      const OMQ& omq, const Database& db, const QdcOptions& options = QdcOptions());
+
+  /// Constant-time test: is `candidate` (constants, one per answer
+  /// position) a certain answer?
+  bool Test(const ValueTuple& candidate) const;
+
+  const ChaseResult& chase() const { return *chase_; }
+
+ private:
+  AllTester() = default;
+
+  std::vector<uint32_t> answer_vars_;
+  uint32_t num_vars_ = 0;
+  bool always_false_ = false;
+  std::unique_ptr<ChaseResult> chase_;
+  /// One normalization per guard component (their trees are merged here).
+  std::vector<Normalized> parts_;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_CORE_ALL_TESTING_H_

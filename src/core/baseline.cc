@@ -1,0 +1,43 @@
+#include "core/baseline.h"
+
+#include "eval/brute.h"
+
+namespace omqe {
+
+namespace {
+std::unique_ptr<ChaseResult> ChaseFor(const OMQ& omq, const Database& db,
+                                      const QdcOptions& options) {
+  auto chase = QueryDirectedChase(db, omq.ontology, omq.query, options);
+  OMQE_CHECK(chase.ok());
+  return std::move(chase).value();
+}
+}  // namespace
+
+std::vector<ValueTuple> BaselineCompleteAnswers(const OMQ& omq, const Database& db,
+                                                const QdcOptions& options) {
+  auto chase = ChaseFor(omq, db, options);
+  return BruteCompleteAnswers(omq.query, chase->db);
+}
+
+std::vector<ValueTuple> BaselineMinimalPartialAnswers(const OMQ& omq,
+                                                      const Database& db,
+                                                      const QdcOptions& options) {
+  auto chase = ChaseFor(omq, db, options);
+  return BruteMinimalPartialAnswers(omq.query, chase->db);
+}
+
+std::vector<ValueTuple> BaselineMinimalMultiWildcardAnswers(
+    const OMQ& omq, const Database& db, const QdcOptions& options) {
+  auto chase = ChaseFor(omq, db, options);
+  return BruteMinimalMultiWildcardAnswers(omq.query, chase->db);
+}
+
+bool BaselineSingleTest(const OMQ& omq, const Database& db, const ValueTuple& tuple,
+                        const QdcOptions& options) {
+  for (const ValueTuple& answer : BaselineCompleteAnswers(omq, db, options)) {
+    if (answer == tuple) return true;
+  }
+  return false;
+}
+
+}  // namespace omqe

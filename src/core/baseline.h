@@ -1,0 +1,34 @@
+// Baseline algorithms for the experiments: materialize-everything
+// evaluation (chase + backtracking join + dedup + minimization). These are
+// what a system without the paper's machinery would do; the benchmarks
+// compare delay and time-to-first-answer against them.
+#ifndef OMQE_CORE_BASELINE_H_
+#define OMQE_CORE_BASELINE_H_
+
+#include <vector>
+
+#include "chase/query_directed.h"
+#include "core/omq.h"
+
+namespace omqe {
+
+/// Chase + join + dedup: all complete answers.
+std::vector<ValueTuple> BaselineCompleteAnswers(const OMQ& omq, const Database& db,
+                                                const QdcOptions& options = QdcOptions());
+
+/// Chase + join + wildcarding + quadratic minimization: Q(D)*.
+std::vector<ValueTuple> BaselineMinimalPartialAnswers(
+    const OMQ& omq, const Database& db, const QdcOptions& options = QdcOptions());
+
+/// Chase + join + canonicalization + quadratic minimization: Q(D)^W.
+std::vector<ValueTuple> BaselineMinimalMultiWildcardAnswers(
+    const OMQ& omq, const Database& db, const QdcOptions& options = QdcOptions());
+
+/// Single test by materializing all answers and probing (the quadratic-ish
+/// strawman for Theorem 3.1's linear-time claim).
+bool BaselineSingleTest(const OMQ& omq, const Database& db, const ValueTuple& tuple,
+                        const QdcOptions& options = QdcOptions());
+
+}  // namespace omqe
+
+#endif  // OMQE_CORE_BASELINE_H_

@@ -1,0 +1,50 @@
+// Constant-delay enumeration of complete answers to OMQs from (G, CQ) that
+// are acyclic and free-connex acyclic (Theorem 4.1(1)).
+//
+// Preprocessing (linear in ||D||): query-directed chase, then the (q1, D1)
+// normalization restricted to constant answers (the paper's P_db trick).
+// Enumeration: a TreeWalker over the normalized forest — constant delay,
+// no repetitions.
+#ifndef OMQE_CORE_COMPLETE_ENUM_H_
+#define OMQE_CORE_COMPLETE_ENUM_H_
+
+#include <memory>
+
+#include "chase/query_directed.h"
+#include "core/omq.h"
+#include "core/tree_walker.h"
+#include "eval/normalize.h"
+
+namespace omqe {
+
+class CompleteEnumerator {
+ public:
+  /// Runs the full preprocessing phase. Requires omq acyclic + free-connex
+  /// acyclic and a guarded ontology.
+  static StatusOr<std::unique_ptr<CompleteEnumerator>> Create(
+      const OMQ& omq, const Database& db, const QdcOptions& options = QdcOptions());
+
+  /// Emits the next answer; false signals end of enumeration.
+  bool Next(ValueTuple* out);
+
+  /// Restarts the enumeration phase (preprocessing is not repeated).
+  void Reset() { walker_->Reset(); }
+
+  const ChaseResult& chase() const { return *chase_; }
+  const Normalized& normalized() const { return norm_; }
+
+ private:
+  CompleteEnumerator() = default;
+
+  std::vector<uint32_t> answer_vars_;
+  std::unique_ptr<ChaseResult> chase_;
+  Normalized norm_;
+  std::unique_ptr<TreeWalker> walker_;
+};
+
+/// Convenience: materializes all answers (for tests and baselines).
+std::vector<ValueTuple> AllCompleteAnswers(const OMQ& omq, const Database& db);
+
+}  // namespace omqe
+
+#endif  // OMQE_CORE_COMPLETE_ENUM_H_

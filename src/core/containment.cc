@@ -1,0 +1,63 @@
+#include "core/containment.h"
+
+#include "base/str.h"
+#include "eval/brute.h"
+
+namespace omqe {
+
+StatusOr<bool> IsContainedIn(const Ontology& onto, const CQ& q1, const CQ& q2,
+                             Vocabulary* vocab, const QdcOptions& options) {
+  if (q1.arity() != q2.arity()) {
+    return Status::InvalidArgument("containment needs queries of equal arity");
+  }
+  if (!onto.IsGuarded()) {
+    return Status::InvalidArgument("containment requires a guarded ontology");
+  }
+
+  // Freeze q1: its canonical database with variables as fresh constants.
+  Database frozen(vocab);
+  std::vector<Value> var_const(q1.num_vars(), 0);
+  for (uint32_t v = 0; v < q1.num_vars(); ++v) {
+    var_const[v] = vocab->ConstantId(StrPrintf("@frozen_%s", q1.var_name(v).c_str()));
+  }
+  ValueTuple tuple;
+  for (const Atom& atom : q1.atoms()) {
+    tuple.clear();
+    for (Term t : atom.terms) {
+      tuple.push_back(IsVarTerm(t) ? var_const[VarOf(t)] : ConstOf(t));
+    }
+    frozen.AddFact(atom.rel, tuple);
+  }
+  ValueTuple frozen_answer;
+  for (uint32_t v : q1.answer_vars()) frozen_answer.push_back(var_const[v]);
+
+  // Chase the critical instance and test q2 at the frozen answer.
+  auto chase = QueryDirectedChase(frozen, onto, q2, options);
+  if (!chase.ok()) return chase.status();
+  HomSearch search(q2, (*chase)->db);
+  std::vector<Value> pre(std::max<uint32_t>(q2.num_vars(), 1), kNoValue);
+  for (uint32_t i = 0; i < frozen_answer.size(); ++i) {
+    uint32_t v = q2.answer_vars()[i];
+    if (pre[v] != kNoValue && pre[v] != frozen_answer[i]) return false;
+    pre[v] = frozen_answer[i];
+  }
+  bool contained = search.HasHom(pre);
+  if (!contained && (*chase)->truncated) {
+    return Status::NotSupported(
+        "containment undecided: the chase of the critical instance was "
+        "truncated; raise QdcOptions::max_depth");
+  }
+  return contained;
+}
+
+StatusOr<bool> AreEquivalent(const Ontology& onto, const CQ& q1, const CQ& q2,
+                             Vocabulary* vocab, const QdcOptions& options) {
+  auto forward = IsContainedIn(onto, q1, q2, vocab, options);
+  if (!forward.ok()) return forward.status();
+  if (!*forward) return false;
+  auto backward = IsContainedIn(onto, q2, q1, vocab, options);
+  if (!backward.ok()) return backward.status();
+  return *backward;
+}
+
+}  // namespace omqe

@@ -1,0 +1,34 @@
+// OMQ containment and equivalence (paper Section 2: Q1 ⊆ Q2 iff
+// Q1(D) ⊆ Q2(D) for every S-database D).
+//
+// For two OMQs over the SAME ontology O whose CQs use only data-schema
+// relations, containment reduces to one chase round: freeze q1's canonical
+// database (variables become fresh constants), chase it with O, and test
+// the frozen answer tuple against q2 — the canonical database is the
+// critical instance. The test is sound and complete when the chase is not
+// truncated (finite chase); with a truncated chase a positive answer is
+// still sound, a negative one is reported as NotSupported (the instance
+// needed more chase depth).
+#ifndef OMQE_CORE_CONTAINMENT_H_
+#define OMQE_CORE_CONTAINMENT_H_
+
+#include "base/status.h"
+#include "chase/query_directed.h"
+#include "core/omq.h"
+
+namespace omqe {
+
+/// Is q1 contained in q2 under the shared ontology `onto`?
+/// Both queries must have equal arity; InvalidArgument otherwise.
+StatusOr<bool> IsContainedIn(const Ontology& onto, const CQ& q1, const CQ& q2,
+                             Vocabulary* vocab,
+                             const QdcOptions& options = QdcOptions());
+
+/// Equivalence: containment both ways.
+StatusOr<bool> AreEquivalent(const Ontology& onto, const CQ& q1, const CQ& q2,
+                             Vocabulary* vocab,
+                             const QdcOptions& options = QdcOptions());
+
+}  // namespace omqe
+
+#endif  // OMQE_CORE_CONTAINMENT_H_

@@ -1,0 +1,183 @@
+#include "core/multiwild_enum.h"
+
+#include <algorithm>
+
+namespace omqe {
+
+namespace {
+
+/// q with every variable replaced by rep[var] (head keeps positions).
+CQ SubstituteVarsLocal(const CQ& q, const std::vector<uint32_t>& rep) {
+  CQ out;
+  for (uint32_t v = 0; v < q.num_vars(); ++v) out.AddVar(q.var_name(v));
+  for (const Atom& a : q.atoms()) {
+    Atom fresh;
+    fresh.rel = a.rel;
+    for (Term t : a.terms) {
+      fresh.terms.push_back(IsVarTerm(t) ? MakeVarTerm(rep[VarOf(t)]) : t);
+    }
+    out.AddAtom(std::move(fresh));
+  }
+  for (uint32_t v : q.answer_vars()) out.AddAnswerVar(rep[v]);
+  return out;
+}
+
+}  // namespace
+
+CanonicalMultiTester::CanonicalMultiTester(const CQ& q, const Database& chase_db)
+    : q_(q), db_(chase_db) {}
+
+CanonicalMultiTester::Pattern* CanonicalMultiTester::PatternFor(
+    const ValueTuple& candidate) {
+  ValueTuple shape;
+  for (Value v : candidate) shape.push_back(IsWildcard(v) ? WildcardIndex(v) : 0);
+  for (auto& p : patterns_) {
+    if (p->shape == shape) return p.get();
+  }
+  auto p = std::make_unique<Pattern>();
+  p->shape = shape;
+  // Merge answer variables sharing a wildcard class.
+  std::vector<uint32_t> rep(q_.num_vars());
+  for (uint32_t v = 0; v < q_.num_vars(); ++v) rep[v] = v;
+  FlatMap<uint32_t, uint32_t> class_rep;
+  std::vector<uint32_t> class_ids;
+  for (uint32_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == 0) continue;
+    uint32_t v = q_.answer_vars()[i];
+    uint32_t& r = class_rep.InsertOrGet(shape[i], v);
+    rep[v] = r;
+    if (std::find(class_ids.begin(), class_ids.end(), shape[i]) == class_ids.end()) {
+      class_ids.push_back(shape[i]);
+    }
+  }
+  std::sort(class_ids.begin(), class_ids.end());
+  for (uint32_t c : class_ids) p->class_vars.push_back(*class_rep.Find(c));
+  p->merged = std::make_unique<CQ>(SubstituteVarsLocal(q_, rep));
+  p->search = std::make_unique<HomSearch>(*p->merged, db_);
+  patterns_.push_back(std::move(p));
+  return patterns_.back().get();
+}
+
+bool CanonicalMultiTester::Test(const ValueTuple& candidate) {
+  char& memo = memo_.InsertOrGet(candidate.data(), candidate.size(), 0);
+  if (memo != 0) return memo == 1;
+
+  Pattern* pattern = PatternFor(candidate);
+  const CQ& merged = *pattern->merged;
+  // Pre-bind the constant positions (coherence may fail for repeated vars).
+  std::vector<Value> pre(std::max<uint32_t>(merged.num_vars(), 1), kNoValue);
+  bool coherent = true;
+  for (uint32_t i = 0; i < candidate.size() && coherent; ++i) {
+    if (IsWildcard(candidate[i])) continue;
+    uint32_t v = merged.answer_vars()[i];
+    if (pre[v] == kNoValue) {
+      pre[v] = candidate[i];
+    } else {
+      coherent = pre[v] == candidate[i];
+    }
+  }
+  bool found = false;
+  if (coherent) {
+    const std::vector<uint32_t>& class_vars = pattern->class_vars;
+    pattern->search->ForEachHom(pre, [&](const std::vector<Value>& assign) {
+      // Class values must be pairwise distinct nulls; canonical numbering
+      // then matches automatically (first occurrences are ordered).
+      for (size_t i = 0; i < class_vars.size(); ++i) {
+        Value vi = assign[class_vars[i]];
+        if (!IsNull(vi)) return true;  // keep searching
+        for (size_t j = 0; j < i; ++j) {
+          if (assign[class_vars[j]] == vi) return true;
+        }
+      }
+      found = true;
+      return false;  // stop
+    });
+  }
+  memo = found ? 1 : 2;
+  return found;
+}
+
+StatusOr<std::unique_ptr<MultiWildcardEnumerator>> MultiWildcardEnumerator::Create(
+    const OMQ& omq, const Database& db, const QdcOptions& options) {
+  auto a1 = PartialEnumerator::Create(omq, db, options);
+  if (!a1.ok()) return a1.status();
+  auto e = std::unique_ptr<MultiWildcardEnumerator>(new MultiWildcardEnumerator());
+  e->query_ = omq.query;
+  e->a1_ = std::move(a1).value();
+  e->tester_ =
+      std::make_unique<CanonicalMultiTester>(e->query_, e->a1_->chase().db);
+  return e;
+}
+
+void MultiWildcardEnumerator::PruneAbove(const ValueTuple& answer) {
+  // F(c̄) := 1 and remove c̄ from L for every c̄ with answer ≺ c̄.
+  for (const ValueTuple& c : MultiWildcardCone(CollapseToSingle(answer))) {
+    if (!PrecedesStrictMulti(answer, c)) continue;
+    f_.InsertOrGet(c.data(), c.size(), 0) = 1;
+    RemoveFromL(c);
+  }
+}
+
+void MultiWildcardEnumerator::RemoveFromL(const ValueTuple& t) {
+  uint32_t* slot = l_index_.Find(t.data(), t.size());
+  if (slot != nullptr) l_alive_[*slot] = false;
+}
+
+void MultiWildcardEnumerator::ProcessRound(const ValueTuple& star_answer,
+                                           ValueTuple* out) {
+  // Line 3-6: extend L with the fresh answers in the cone.
+  for (const ValueTuple& c : MultiWildcardCone(star_answer)) {
+    char& f = f_.InsertOrGet(c.data(), c.size(), 0);
+    if (f != 0) continue;
+    if (!is_answer(c)) continue;
+    f = 1;
+    uint32_t slot = static_cast<uint32_t>(l_entries_.size());
+    l_entries_.push_back(c);
+    l_alive_.push_back(true);
+    l_index_.InsertOrGet(c.data(), c.size(), slot);
+    PruneAbove(c);
+  }
+  // Line 7-9: output a ≺-minimal answer in the ball.
+  std::vector<ValueTuple> ball;
+  for (ValueTuple& c : MultiWildcardBall(star_answer)) {
+    if (is_answer(c)) ball.push_back(std::move(c));
+  }
+  OMQE_CHECK(!ball.empty());  // the witness of ā* is always in its ball
+  std::vector<ValueTuple> minimal = MinimizeTuples(std::move(ball), /*multi=*/true);
+  *out = minimal.front();
+  RemoveFromL(*out);
+}
+
+bool MultiWildcardEnumerator::Next(ValueTuple* out) {
+  if (done_) return false;
+  if (!flushing_) {
+    ValueTuple star;
+    if (a1_->Next(&star)) {
+      ProcessRound(star, out);
+      return true;
+    }
+    flushing_ = true;
+    flush_pos_ = 0;
+  }
+  while (flush_pos_ < l_entries_.size()) {
+    size_t i = flush_pos_++;
+    if (l_alive_[i]) {
+      *out = l_entries_[i];
+      return true;
+    }
+  }
+  done_ = true;
+  return false;
+}
+
+std::vector<ValueTuple> AllMinimalMultiWildcardAnswers(const OMQ& omq,
+                                                       const Database& db) {
+  auto e = MultiWildcardEnumerator::Create(omq, db);
+  OMQE_CHECK(e.ok());
+  std::vector<ValueTuple> out;
+  ValueTuple t;
+  while ((*e)->Next(&t)) out.push_back(t);
+  return out;
+}
+
+}  // namespace omqe

@@ -1,0 +1,14 @@
+#include "core/omq.h"
+
+namespace omqe {
+
+OMQ MakeOMQ(Ontology ontology, CQ query) {
+  OMQ omq;
+  omq.data_schema = ontology.Symbols();
+  for (const Atom& a : query.atoms()) omq.data_schema.Add(a.rel);
+  omq.ontology = std::move(ontology);
+  omq.query = std::move(query);
+  return omq;
+}
+
+}  // namespace omqe

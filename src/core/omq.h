@@ -1,0 +1,34 @@
+// Ontology-mediated queries Q = (O, S, q) and their structural properties.
+#ifndef OMQE_CORE_OMQ_H_
+#define OMQE_CORE_OMQ_H_
+
+#include <string>
+
+#include "cq/cq.h"
+#include "cq/properties.h"
+#include "data/schema.h"
+#include "tgd/tgd.h"
+
+namespace omqe {
+
+struct OMQ {
+  Ontology ontology;
+  /// The data schema S: relations databases may use. Informative; the
+  /// algorithms read O and q.
+  SchemaSet data_schema;
+  CQ query;
+
+  bool IsAcyclic() const { return omqe::IsAcyclic(query); }
+  bool IsFreeConnexAcyclic() const { return omqe::IsFreeConnexAcyclic(query); }
+  bool IsWeaklyAcyclic() const { return omqe::IsWeaklyAcyclic(query); }
+  bool IsSelfJoinFree() const { return query.IsSelfJoinFree(); }
+  bool IsGuarded() const { return ontology.IsGuarded(); }
+  bool IsELI() const { return ontology.IsELI(); }
+};
+
+/// Builds an OMQ whose data schema is every symbol used by O or q.
+OMQ MakeOMQ(Ontology ontology, CQ query);
+
+}  // namespace omqe
+
+#endif  // OMQE_CORE_OMQ_H_

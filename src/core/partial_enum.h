@@ -1,0 +1,121 @@
+// Enumeration of minimal partial answers with a single wildcard
+// (Section 5, Theorem 5.2, Algorithm 1).
+//
+// Preprocessing: query-directed chase; (q1, D1) normalization keeping null
+// values; enumeration of all *progress trees* (q, g) — excursions of
+// subtrees of q1 into the null part of D1 — from the chase-like blocks
+// (Lemma 5.3), stored in bidirectionally linked `trees(v, h)` lists sorted
+// in database-preferring order, plus a location table for O(1) pruning.
+//
+// Enumeration: a pre-order walk over q1's join forest. At each atom v with
+// predecessor binding h|ȳ the walk iterates the list trees(v, h|ȳ); each
+// progress tree extends h over its whole subtree (constants and '*'s).
+// After each output, prune(h) removes the progress trees that are strictly
+// more wildcarded than the branch just output (≻db), which is exactly what
+// guarantees minimality and no repetitions (Prop 5.5). Removal unlinks
+// nodes but preserves their forward pointers, so live iterators keep
+// working — the paper's mutation of the global lists.
+#ifndef OMQE_CORE_PARTIAL_ENUM_H_
+#define OMQE_CORE_PARTIAL_ENUM_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/flat_hash.h"
+#include "chase/query_directed.h"
+#include "core/omq.h"
+#include "eval/normalize.h"
+
+namespace omqe {
+
+class PartialEnumerator {
+ public:
+  /// Requires omq acyclic + free-connex acyclic with a guarded ontology and
+  /// a null-free input database.
+  static StatusOr<std::unique_ptr<PartialEnumerator>> Create(
+      const OMQ& omq, const Database& db, const QdcOptions& options = QdcOptions());
+
+  /// Next minimal partial answer; wildcard positions hold kStar.
+  bool Next(ValueTuple* out);
+
+  /// Restarts the walk. The pruned list state is reusable (the paper's S'
+  /// observation), so preprocessing is not repeated; the same answer set is
+  /// produced again.
+  void Reset();
+
+  const ChaseResult& chase() const { return *chase_; }
+  size_t num_progress_trees() const { return pool_.size(); }
+
+ private:
+  struct Slot {
+    int tree;
+    int node;
+    std::vector<uint32_t> vars;       // node variables (ascending)
+    std::vector<uint32_t> pred_vars;  // shared with parent
+    std::vector<int> children;        // child slot ids (same tree)
+  };
+  struct Subtree {
+    int root_slot;
+    uint64_t mask;                    // slots included
+    std::vector<uint32_t> vars;       // union of node vars (ascending)
+  };
+  struct PTree {
+    uint32_t subtree;                 // Subtree id
+    ValueTuple g;                     // values over Subtree::vars (kStar allowed)
+    uint32_t prev = UINT32_MAX;
+    uint32_t next = UINT32_MAX;
+    uint32_t list = UINT32_MAX;       // owning list id
+    bool alive = true;
+  };
+  struct Frame {
+    int slot;
+    uint32_t cur;                     // pool id of current progress tree
+    bool fresh;                       // list head not yet fetched
+    SmallVec<uint32_t, 8> bound;      // vars bound by the current tree
+  };
+
+  PartialEnumerator() = default;
+
+  void BuildSlots();
+  void BuildSubtrees();
+  void CollectProgressTrees();
+  void CollectFromRow(int slot, uint32_t row);
+  void LinkLists();
+  uint32_t SubtreeIdFor(uint64_t mask, int root_slot);
+  void AddProgressTree(uint32_t subtree, const std::vector<Value>& hom);
+  int NextAtom(int after) const;
+  void BindTree(Frame* frame, const PTree& tree);
+  void UnbindTree(Frame* frame);
+  void Prune();
+  void Unlink(uint32_t id);
+  uint32_t ListHeadFor(int slot);
+  uint32_t AdvanceSkippingDead(uint32_t id) const;
+
+  std::vector<uint32_t> answer_vars_;
+  uint32_t num_vars_ = 0;
+  std::unique_ptr<ChaseResult> chase_;
+  Normalized norm_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::vector<int>> node_to_slot_;  // [tree][node] -> slot
+  std::vector<Subtree> subtrees_;
+  FlatMap<uint64_t, uint32_t> subtree_by_mask_;
+  std::vector<PTree> pool_;
+  TupleMap<uint32_t> location_;   // [subtree, g...] -> pool id
+  TupleMap<uint32_t> list_ids_;   // [root_slot, h|pred...] -> list id
+  std::vector<uint32_t> list_head_by_id_;
+
+  // Enumeration state.
+  std::vector<Value> h_;
+  std::vector<Frame> stack_;
+  bool started_ = false;
+  bool exhausted_ = false;
+  bool boolean_emitted_ = false;
+};
+
+/// Convenience: materializes all minimal partial answers.
+std::vector<ValueTuple> AllMinimalPartialAnswers(const OMQ& omq, const Database& db);
+
+}  // namespace omqe
+
+#endif  // OMQE_CORE_PARTIAL_ENUM_H_

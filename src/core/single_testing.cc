@@ -1,0 +1,211 @@
+#include "core/single_testing.h"
+
+#include "core/wildcards.h"
+#include "cq/properties.h"
+#include "eval/brute.h"
+#include "eval/yannakakis.h"
+
+namespace omqe {
+
+namespace {
+
+/// Coherence: positions sharing an answer variable must carry equal values.
+/// Returns false on conflict; fills `binding` (kNoValue where unseen).
+bool BindCoherently(const CQ& q, const ValueTuple& candidate,
+                    std::vector<Value>* binding) {
+  OMQE_CHECK(candidate.size() == q.arity());
+  binding->assign(q.num_vars(), kNoValue);
+  for (uint32_t i = 0; i < candidate.size(); ++i) {
+    Value& slot = (*binding)[q.answer_vars()[i]];
+    if (slot == kNoValue) {
+      slot = candidate[i];
+    } else if (slot != candidate[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Is the Boolean query (already bound) satisfiable on db? Linear-time
+/// Yannakakis when acyclic; sound backtracking fallback otherwise.
+bool TestBoolean(const CQ& bound, const Database& db) {
+  if (IsAcyclic(bound)) return BooleanAcyclicEval(bound, db);
+  HomSearch search(bound, db);
+  std::vector<Value> pre(std::max<uint32_t>(bound.num_vars(), 1), kNoValue);
+  return search.HasHom(pre);
+}
+
+/// q with every variable replaced by rep[var]; the head keeps its positions.
+CQ SubstituteVars(const CQ& q, const std::vector<uint32_t>& rep) {
+  CQ out;
+  for (uint32_t v = 0; v < q.num_vars(); ++v) out.AddVar(q.var_name(v));
+  for (const Atom& a : q.atoms()) {
+    Atom fresh;
+    fresh.rel = a.rel;
+    for (Term t : a.terms) {
+      fresh.terms.push_back(IsVarTerm(t) ? MakeVarTerm(rep[VarOf(t)]) : t);
+    }
+    out.AddAtom(std::move(fresh));
+  }
+  for (uint32_t v : q.answer_vars()) out.AddAnswerVar(rep[v]);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SingleTester>> SingleTester::Create(
+    const OMQ& omq, const Database& db, const QdcOptions& options) {
+  if (!omq.IsGuarded()) {
+    return Status::InvalidArgument("ontology is not guarded");
+  }
+  auto chase = QueryDirectedChase(db, omq.ontology, omq.query, options);
+  if (!chase.ok()) return chase.status();
+
+  auto tester = std::unique_ptr<SingleTester>(new SingleTester());
+  tester->query_ = omq.query;
+  tester->chase_ = std::move(chase).value();
+
+  // D' := chase db plus P_db(c) for every database constant c (used by the
+  // minimality refutations).
+  Vocabulary* vocab = tester->chase_->db.vocab();
+  tester->pdb_ = vocab->FreshRelation("P_db", 1);
+  tester->with_pdb_ = std::make_unique<Database>(vocab);
+  const Database& chased = tester->chase_->db;
+  for (RelId r = 0; r < chased.NumRelationSlots(); ++r) {
+    for (uint32_t row = 0; row < chased.NumRows(r); ++row) {
+      tester->with_pdb_->AddFact(r, chased.Row(r, row), chased.Arity(r));
+    }
+  }
+  for (Value v : chased.ActiveDomain()) {
+    if (IsConstant(v)) tester->with_pdb_->AddFact(tester->pdb_, &v, 1);
+  }
+  return tester;
+}
+
+bool SingleTester::TestComplete(const ValueTuple& candidate) const {
+  std::vector<Value> binding;
+  if (!BindCoherently(query_, candidate, &binding)) return false;
+  for (Value v : candidate) {
+    if (!IsConstant(v)) return false;
+  }
+  return TestBoolean(BindAnswerVars(query_, candidate), chase_->db);
+}
+
+bool SingleTester::TestPartialOn(const CQ& q, const ValueTuple& candidate,
+                                 const Database& db) const {
+  std::vector<Value> binding;
+  if (!BindCoherently(q, candidate, &binding)) return false;
+  // Quantify the wildcard variables, bind the rest.
+  VarSet to_quantify = 0;
+  for (uint32_t i = 0; i < candidate.size(); ++i) {
+    if (candidate[i] == kStar) to_quantify |= VarBit(q.answer_vars()[i]);
+  }
+  CQ quantified = QuantifyAnswerVars(q, to_quantify);
+  ValueTuple reduced;
+  for (uint32_t i = 0; i < candidate.size(); ++i) {
+    uint32_t v = q.answer_vars()[i];
+    if (to_quantify & VarBit(v)) continue;
+    if (!IsConstant(candidate[i])) return false;
+    reduced.push_back(candidate[i]);
+  }
+  // `reduced` follows quantified.answer_vars() order but may repeat
+  // variables; BindAnswerVars handles the repetition (coherence holds).
+  return TestBoolean(BindAnswerVars(quantified, reduced), db);
+}
+
+bool SingleTester::TestPartial(const ValueTuple& candidate) const {
+  return TestPartialOn(query_, candidate, chase_->db);
+}
+
+bool SingleTester::TestMinimalPartial(const ValueTuple& candidate) const {
+  if (!TestPartial(candidate)) return false;
+  // Refute minimality: if the wildcard at variable y can be filled with a
+  // database constant (query + P_db(y) still has a partial answer), then a
+  // strictly smaller partial answer exists.
+  for (uint32_t i = 0; i < candidate.size(); ++i) {
+    if (candidate[i] != kStar) continue;
+    uint32_t y = query_.answer_vars()[i];
+    CQ with_guard = query_;
+    Atom guard;
+    guard.rel = pdb_;
+    guard.terms.push_back(MakeVarTerm(y));
+    with_guard.AddAtom(std::move(guard));
+    if (TestPartialOn(with_guard, candidate, *with_pdb_)) return false;
+  }
+  return true;
+}
+
+bool SingleTester::TestMultiPartial(const ValueTuple& candidate) const {
+  // Merge answer variables that share a wildcard, collapse to '*', and test
+  // as a single-wildcard partial answer (Appendix C.1).
+  std::vector<Value> binding;
+  if (!BindCoherently(query_, candidate, &binding)) return false;
+  std::vector<uint32_t> rep(query_.num_vars());
+  for (uint32_t v = 0; v < query_.num_vars(); ++v) rep[v] = v;
+  // Representative per wildcard index: first variable carrying it.
+  FlatMap<uint32_t, uint32_t> class_rep;
+  for (uint32_t i = 0; i < candidate.size(); ++i) {
+    if (!IsWildcard(candidate[i])) continue;
+    uint32_t v = query_.answer_vars()[i];
+    uint32_t& r = class_rep.InsertOrGet(WildcardIndex(candidate[i]), v);
+    rep[v] = r;
+  }
+  CQ merged = SubstituteVars(query_, rep);
+  return TestPartialOn(merged, CollapseToSingle(candidate), chase_->db);
+}
+
+bool SingleTester::TestMinimalMultiWildcard(const ValueTuple& candidate) const {
+  if (!IsCanonicalMultiTuple(candidate)) return false;
+  if (!TestMultiPartial(candidate)) return false;
+
+  // Collect the wildcard classes and one representative variable for each.
+  std::vector<uint32_t> class_ids;     // wildcard indices, ascending
+  std::vector<uint32_t> class_var;     // a variable carrying the class
+  for (uint32_t i = 0; i < candidate.size(); ++i) {
+    if (!IsWildcard(candidate[i])) continue;
+    uint32_t j = WildcardIndex(candidate[i]);
+    bool seen = false;
+    for (uint32_t c : class_ids) seen |= (c == j);
+    if (!seen) {
+      class_ids.push_back(j);
+      class_var.push_back(query_.answer_vars()[i]);
+    }
+  }
+
+  // Family (a): some wildcard class can be filled with a database constant.
+  for (uint32_t k = 0; k < class_ids.size(); ++k) {
+    CQ with_guard = query_;
+    Atom guard;
+    guard.rel = pdb_;
+    guard.terms.push_back(MakeVarTerm(class_var[k]));
+    with_guard.AddAtom(std::move(guard));
+    // Merged test (as in TestMultiPartial) against D' = chase + P_db.
+    std::vector<uint32_t> rep(with_guard.num_vars());
+    for (uint32_t v = 0; v < with_guard.num_vars(); ++v) rep[v] = v;
+    FlatMap<uint32_t, uint32_t> class_rep;
+    for (uint32_t i = 0; i < candidate.size(); ++i) {
+      if (!IsWildcard(candidate[i])) continue;
+      uint32_t v = with_guard.answer_vars()[i];
+      uint32_t& r = class_rep.InsertOrGet(WildcardIndex(candidate[i]), v);
+      rep[v] = r;
+    }
+    CQ merged = SubstituteVars(with_guard, rep);
+    if (TestPartialOn(merged, CollapseToSingle(candidate), *with_pdb_)) return false;
+  }
+
+  // Family (b): two wildcard classes can be identified.
+  for (uint32_t k1 = 0; k1 < class_ids.size(); ++k1) {
+    for (uint32_t k2 = k1 + 1; k2 < class_ids.size(); ++k2) {
+      ValueTuple merged_cand = candidate;
+      for (Value& v : merged_cand) {
+        if (IsWildcard(v) && WildcardIndex(v) == class_ids[k2]) {
+          v = MakeWildcard(class_ids[k1]);
+        }
+      }
+      if (TestMultiPartial(CanonicalizeMultiTuple(merged_cand))) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace omqe

@@ -1,0 +1,43 @@
+#include "core/ucq.h"
+
+namespace omqe {
+
+StatusOr<std::unique_ptr<UcqEnumerator>> UcqEnumerator::Create(
+    const Ontology& ontology, std::vector<CQ> disjuncts, const Database& db,
+    const QdcOptions& options) {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("a UCQ needs at least one disjunct");
+  }
+  uint32_t arity = disjuncts.front().arity();
+  auto e = std::unique_ptr<UcqEnumerator>(new UcqEnumerator());
+  for (CQ& q : disjuncts) {
+    if (q.arity() != arity) {
+      return Status::InvalidArgument("all UCQ disjuncts must share one arity");
+    }
+    OMQ omq = MakeOMQ(ontology, q);
+    auto enumerator = CompleteEnumerator::Create(omq, db, options);
+    if (!enumerator.ok()) return enumerator.status();
+    e->enumerators_.push_back(std::move(enumerator).value());
+    auto tester = AllTester::Create(omq, db, options);
+    if (!tester.ok()) return tester.status();
+    e->testers_.push_back(std::move(tester).value());
+  }
+  return e;
+}
+
+bool UcqEnumerator::Next(ValueTuple* out) {
+  while (current_ < enumerators_.size()) {
+    while (enumerators_[current_]->Next(out)) {
+      // Suppress answers already produced by an earlier disjunct.
+      bool duplicate = false;
+      for (size_t j = 0; j < current_ && !duplicate; ++j) {
+        duplicate = testers_[j]->Test(*out);
+      }
+      if (!duplicate) return true;
+    }
+    ++current_;
+  }
+  return false;
+}
+
+}  // namespace omqe

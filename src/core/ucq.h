@@ -1,0 +1,41 @@
+// Unions of conjunctive queries. The paper's conclusion names (G, UCQ) as
+// an open direction; what is known composable today is the classic union
+// construction: enumerate the disjuncts in order and suppress duplicates
+// with constant-time all-testers (Theorem 4.1(2)) of the *earlier*
+// disjuncts. Every answer is produced exactly once; the delay is constant
+// amortized (a disjunct's duplicate answer is skipped at most once; see
+// Carmeli & Kröll 2021 for the sharper interleavings).
+//
+// Requirements per disjunct: acyclic + free-connex acyclic (enumeration)
+// — which also covers the all-testing requirement — and equal arity.
+#ifndef OMQE_CORE_UCQ_H_
+#define OMQE_CORE_UCQ_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/all_testing.h"
+#include "core/complete_enum.h"
+
+namespace omqe {
+
+class UcqEnumerator {
+ public:
+  static StatusOr<std::unique_ptr<UcqEnumerator>> Create(
+      const Ontology& ontology, std::vector<CQ> disjuncts, const Database& db,
+      const QdcOptions& options = QdcOptions());
+
+  /// Next answer of the union, without repetition.
+  bool Next(ValueTuple* out);
+
+ private:
+  UcqEnumerator() = default;
+
+  std::vector<std::unique_ptr<CompleteEnumerator>> enumerators_;
+  std::vector<std::unique_ptr<AllTester>> testers_;  // testers_[i] tests disjunct i
+  size_t current_ = 0;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_CORE_UCQ_H_

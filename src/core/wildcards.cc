@@ -1,0 +1,175 @@
+#include "core/wildcards.h"
+
+#include <algorithm>
+
+#include "base/flat_hash.h"
+#include "base/status.h"
+
+namespace omqe {
+
+bool PrecedesEqSingle(const ValueTuple& a, const ValueTuple& b) {
+  if (a.size() != b.size()) return false;
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    if (b[i] != a[i] && b[i] != kStar) return false;
+  }
+  return true;
+}
+
+bool PrecedesStrictSingle(const ValueTuple& a, const ValueTuple& b) {
+  return a != b && PrecedesEqSingle(a, b);
+}
+
+bool PrecedesEqMulti(const ValueTuple& a, const ValueTuple& b) {
+  if (a.size() != b.size()) return false;
+  // (1) positionwise: wherever b has a non-wildcard, a must agree. (Where b
+  // has a wildcard, a may hold anything — a constant or a different
+  // wildcard; cf. the paper's example (a,*1,*2,*1) < (a,*1,*2,*3).)
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    if (!IsWildcard(b[i]) && a[i] != b[i]) return false;
+  }
+  // (2) b_i = b_j implies a_i = a_j.
+  for (uint32_t i = 0; i < a.size(); ++i) {
+    for (uint32_t j = i + 1; j < a.size(); ++j) {
+      if (b[i] == b[j] && a[i] != a[j]) return false;
+    }
+  }
+  return true;
+}
+
+bool PrecedesStrictMulti(const ValueTuple& a, const ValueTuple& b) {
+  return a != b && PrecedesEqMulti(a, b);
+}
+
+bool IsCanonicalMultiTuple(const ValueTuple& t) {
+  uint32_t next = 1;
+  for (Value v : t) {
+    if (!IsWildcard(v)) continue;
+    uint32_t j = WildcardIndex(v);
+    if (j == 0 || j > next) return false;  // *_0 is the single wildcard
+    if (j == next) ++next;
+  }
+  return true;
+}
+
+ValueTuple NullsToStar(const ValueTuple& answer) {
+  ValueTuple out = answer;
+  for (Value& v : out) {
+    if (IsNull(v)) v = kStar;
+  }
+  return out;
+}
+
+ValueTuple NullsToMultiWildcards(const ValueTuple& answer) {
+  ValueTuple out = answer;
+  SmallVec<Value, 8> seen;
+  for (Value& v : out) {
+    if (!IsNull(v)) continue;
+    uint32_t j = 0;
+    while (j < seen.size() && seen[j] != v) ++j;
+    if (j == seen.size()) seen.push_back(v);
+    v = MakeWildcard(j + 1);
+  }
+  return out;
+}
+
+ValueTuple CanonicalizeMultiTuple(const ValueTuple& t) {
+  ValueTuple out = t;
+  SmallVec<Value, 8> seen;
+  for (Value& v : out) {
+    if (!IsWildcard(v)) continue;
+    uint32_t j = 0;
+    while (j < seen.size() && seen[j] != v) ++j;
+    if (j == seen.size()) seen.push_back(v);
+    v = MakeWildcard(j + 1);
+  }
+  return out;
+}
+
+ValueTuple CollapseToSingle(const ValueTuple& multi) {
+  ValueTuple out = multi;
+  for (Value& v : out) {
+    if (IsWildcard(v)) v = kStar;
+  }
+  return out;
+}
+
+namespace {
+
+// Enumerates all partitions of the star positions; each partition block j
+// (ordered by first occurrence) becomes wildcard *_j.
+void BallRec(const ValueTuple& star_tuple, uint32_t pos,
+             std::vector<uint32_t>* block_of, uint32_t num_blocks,
+             std::vector<ValueTuple>* out) {
+  if (pos == star_tuple.size()) {
+    ValueTuple t = star_tuple;
+    uint32_t star_seen = 0;
+    for (uint32_t i = 0; i < t.size(); ++i) {
+      if (t[i] == kStar) {
+        t[i] = MakeWildcard((*block_of)[star_seen++] + 1);
+      }
+    }
+    out->push_back(CanonicalizeMultiTuple(t));
+    return;
+  }
+  if (star_tuple[pos] != kStar) {
+    BallRec(star_tuple, pos + 1, block_of, num_blocks, out);
+    return;
+  }
+  for (uint32_t b = 0; b <= num_blocks; ++b) {
+    block_of->push_back(b);
+    BallRec(star_tuple, pos + 1, block_of, std::max(num_blocks, b + 1), out);
+    block_of->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<ValueTuple> MultiWildcardBall(const ValueTuple& star_tuple) {
+  std::vector<ValueTuple> out;
+  std::vector<uint32_t> block_of;
+  BallRec(star_tuple, 0, &block_of, 0, &out);
+  // Partitions enumerated in restricted-growth form are already distinct.
+  return out;
+}
+
+std::vector<ValueTuple> MultiWildcardCone(const ValueTuple& star_tuple) {
+  // Enumerate all ways of turning further constant positions into '*', then
+  // take the union of the balls.
+  std::vector<uint32_t> const_positions;
+  for (uint32_t i = 0; i < star_tuple.size(); ++i) {
+    if (star_tuple[i] != kStar) const_positions.push_back(i);
+  }
+  OMQE_CHECK(const_positions.size() <= 20);
+  std::vector<ValueTuple> out;
+  TupleMap<char> dedup;
+  for (uint32_t mask = 0; mask < (1u << const_positions.size()); ++mask) {
+    ValueTuple widened = star_tuple;
+    for (uint32_t i = 0; i < const_positions.size(); ++i) {
+      if (mask & (1u << i)) widened[const_positions[i]] = kStar;
+    }
+    for (ValueTuple& t : MultiWildcardBall(widened)) {
+      char& seen = dedup.InsertOrGet(t.data(), t.size(), 0);
+      if (!seen) {
+        seen = 1;
+        out.push_back(std::move(t));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ValueTuple> MinimizeTuples(std::vector<ValueTuple> tuples, bool multi) {
+  std::vector<ValueTuple> out;
+  for (size_t i = 0; i < tuples.size(); ++i) {
+    bool minimal = true;
+    for (size_t j = 0; j < tuples.size() && minimal; ++j) {
+      if (i == j) continue;
+      minimal = !(multi ? PrecedesStrictMulti(tuples[j], tuples[i])
+                        : PrecedesStrictSingle(tuples[j], tuples[i]));
+    }
+    if (minimal) out.push_back(tuples[i]);
+  }
+  return out;
+}
+
+}  // namespace omqe

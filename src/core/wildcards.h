@@ -1,0 +1,58 @@
+// Wildcard tuples and the preference orders of paper Section 2.
+//
+// Single wildcard: tuples over adom ∪ {kStar}; c̄ ⪯ c̄' iff positionwise
+// c'_i ∈ {c_i, *}. Multi-wildcard: tuples over adom ∪ {*_1, *_2, ...} with
+// the numbering condition (the first occurrence of *_j is preceded by a
+// first occurrence of *_{j-1}); c̄ ⪯ c̄' iff (1) positionwise c_i = c'_i or
+// (c_i not a wildcard and c'_i a wildcard) and (2) c'_i = c'_j implies
+// c_i = c_j. Balls and cones are from Section 6.
+#ifndef OMQE_CORE_WILDCARDS_H_
+#define OMQE_CORE_WILDCARDS_H_
+
+#include <vector>
+
+#include "data/value.h"
+
+namespace omqe {
+
+/// c̄ ⪯ c̄' for single-wildcard tuples.
+bool PrecedesEqSingle(const ValueTuple& a, const ValueTuple& b);
+/// c̄ ≺ c̄' (strict).
+bool PrecedesStrictSingle(const ValueTuple& a, const ValueTuple& b);
+
+/// c̄ ⪯ c̄' for multi-wildcard tuples.
+bool PrecedesEqMulti(const ValueTuple& a, const ValueTuple& b);
+bool PrecedesStrictMulti(const ValueTuple& a, const ValueTuple& b);
+
+/// True when the multi-wildcard numbering condition holds.
+bool IsCanonicalMultiTuple(const ValueTuple& t);
+
+/// Replaces nulls with '*' — the map ā -> ā*_N.
+ValueTuple NullsToStar(const ValueTuple& answer);
+
+/// Replaces nulls with *_1, *_2, ... consistently by first occurrence — the
+/// map ā -> ā^W_N.
+ValueTuple NullsToMultiWildcards(const ValueTuple& answer);
+
+/// Renumbers the wildcards of a multi-wildcard tuple canonically (first
+/// occurrences get increasing indices); constants are untouched.
+ValueTuple CanonicalizeMultiTuple(const ValueTuple& t);
+
+/// Replaces every multi-wildcard with the single '*'.
+ValueTuple CollapseToSingle(const ValueTuple& multi);
+
+/// The multi-wildcard ball B_W(ā*): all canonical multi-wildcard tuples that
+/// collapse to the single-wildcard tuple ā*.
+std::vector<ValueTuple> MultiWildcardBall(const ValueTuple& star_tuple);
+
+/// The multi-wildcard cone cone_W(ā*) = union of B_W(b̄*) over all b̄* with
+/// ā* ⪯ b̄* (replacing further constants by '*').
+std::vector<ValueTuple> MultiWildcardCone(const ValueTuple& star_tuple);
+
+/// Keeps only the ≺-minimal elements of `tuples` (quadratic; ground truth
+/// and constant-size sets only). `multi` selects the order.
+std::vector<ValueTuple> MinimizeTuples(std::vector<ValueTuple> tuples, bool multi);
+
+}  // namespace omqe
+
+#endif  // OMQE_CORE_WILDCARDS_H_

@@ -1,0 +1,126 @@
+#include "cq/hypergraph.h"
+
+#include <algorithm>
+
+namespace omqe {
+
+std::vector<int> JoinForest::PreOrder() const {
+  std::vector<int> order;
+  order.reserve(parent.size());
+  std::vector<int> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) stack.push_back(*it);
+  while (!stack.empty()) {
+    int v = stack.back();
+    stack.pop_back();
+    order.push_back(v);
+    for (auto it = children[v].rbegin(); it != children[v].rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return order;
+}
+
+std::vector<int> JoinForest::BottomUp() const {
+  std::vector<int> order = PreOrder();
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::optional<JoinForest> GyoJoinForest(const std::vector<VarSet>& edges) {
+  const size_t n = edges.size();
+  JoinForest forest;
+  forest.parent.assign(n, -1);
+  forest.children.resize(n);
+  if (n == 0) return forest;
+
+  std::vector<VarSet> cur(edges);
+  std::vector<bool> alive(n, true);
+  size_t alive_count = n;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Occurrence count per variable among alive edges (VarSet has <= 64 vars).
+    uint32_t occ[64] = {0};
+    for (size_t e = 0; e < n; ++e) {
+      if (!alive[e]) continue;
+      VarSet s = cur[e];
+      while (s) {
+        uint32_t v = static_cast<uint32_t>(__builtin_ctzll(s));
+        s &= s - 1;
+        ++occ[v];
+      }
+    }
+    // Remove vertices unique to one edge.
+    for (size_t e = 0; e < n; ++e) {
+      if (!alive[e]) continue;
+      VarSet s = cur[e];
+      while (s) {
+        uint32_t v = static_cast<uint32_t>(__builtin_ctzll(s));
+        s &= s - 1;
+        if (occ[v] == 1) {
+          cur[e] &= ~VarBit(v);
+          changed = true;
+        }
+      }
+    }
+    // Remove one edge contained in another (ear removal).
+    for (size_t e = 0; e < n && alive_count > 1; ++e) {
+      if (!alive[e]) continue;
+      for (size_t w = 0; w < n; ++w) {
+        if (w == e || !alive[w]) continue;
+        bool contained = (cur[e] & ~cur[w]) == 0;
+        if (!contained) continue;
+        // Tie-break equal sets by index so exactly one survives.
+        if (cur[e] == cur[w] && w > e) continue;
+        alive[e] = false;
+        --alive_count;
+        forest.parent[e] = static_cast<int>(w);
+        forest.children[w].push_back(static_cast<int>(e));
+        changed = true;
+        break;
+      }
+    }
+  }
+
+  // Acyclic iff the alive remnants are pairwise variable-disjoint (each
+  // connected component reduced to a single edge).
+  std::vector<size_t> remaining;
+  for (size_t e = 0; e < n; ++e) {
+    if (alive[e]) remaining.push_back(e);
+  }
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    for (size_t j = i + 1; j < remaining.size(); ++j) {
+      if (cur[remaining[i]] & cur[remaining[j]]) return std::nullopt;
+    }
+  }
+  for (size_t e : remaining) forest.roots.push_back(static_cast<int>(e));
+  std::sort(forest.roots.begin(), forest.roots.end());
+  return forest;
+}
+
+bool IsAcyclicHypergraph(const std::vector<VarSet>& edges) {
+  return GyoJoinForest(edges).has_value();
+}
+
+void ReRoot(JoinForest* forest, int new_root) {
+  // Reverse parent pointers along the path from new_root to its old root.
+  std::vector<int> path;
+  for (int v = new_root; v != -1; v = forest->parent[v]) path.push_back(v);
+  int old_root = path.back();
+  for (size_t i = path.size(); i-- > 1;) {
+    int parent = path[i];
+    int child = path[i - 1];
+    // parent loses `child`, child gains `parent`.
+    auto& pc = forest->children[parent];
+    pc.erase(std::find(pc.begin(), pc.end(), child));
+    forest->children[child].push_back(parent);
+    forest->parent[parent] = child;
+  }
+  forest->parent[new_root] = -1;
+  for (int& r : forest->roots) {
+    if (r == old_root) r = new_root;
+  }
+}
+
+}  // namespace omqe

@@ -1,0 +1,40 @@
+// Hypergraph acyclicity via GYO ear removal, producing join forests.
+// Nodes of the forest are indices into the input edge list (one edge per
+// query atom, plus possibly a virtual guard edge for free-connex tests).
+#ifndef OMQE_CQ_HYPERGRAPH_H_
+#define OMQE_CQ_HYPERGRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cq/cq.h"
+
+namespace omqe {
+
+struct JoinForest {
+  std::vector<int> parent;                 // -1 for roots
+  std::vector<std::vector<int>> children;  // derived from parent
+  std::vector<int> roots;
+
+  /// Pre-order over all nodes, roots in index order.
+  std::vector<int> PreOrder() const;
+  /// Nodes ordered children-before-parents (for bottom-up passes).
+  std::vector<int> BottomUp() const;
+};
+
+/// Runs GYO ear removal. Returns the join forest when the hypergraph is
+/// acyclic, std::nullopt otherwise. Empty edges are allowed and become
+/// children of arbitrary nodes (or isolated roots).
+std::optional<JoinForest> GyoJoinForest(const std::vector<VarSet>& edges);
+
+/// Convenience: acyclicity only.
+bool IsAcyclicHypergraph(const std::vector<VarSet>& edges);
+
+/// Re-roots the tree containing `new_root` so that `new_root` becomes a
+/// root; other trees are unchanged.
+void ReRoot(JoinForest* forest, int new_root);
+
+}  // namespace omqe
+
+#endif  // OMQE_CQ_HYPERGRAPH_H_

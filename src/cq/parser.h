@@ -1,0 +1,28 @@
+// Text format for conjunctive queries:
+//
+//   q(x1, x2) :- HasOffice(x1, x2), InBuilding(x2, y)
+//
+// Plain identifiers are variables; 'quoted' identifiers (single or double
+// quotes) and integer literals are constants. A Boolean query has the head
+// "q()" or no head at all ("HasOffice(x, y), Office(y)").
+// Every answer variable must occur in the body (safety).
+#ifndef OMQE_CQ_PARSER_H_
+#define OMQE_CQ_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "cq/cq.h"
+#include "data/schema.h"
+
+namespace omqe {
+
+/// Parses a CQ, registering relation symbols and constants in `vocab`.
+StatusOr<CQ> ParseCQ(std::string_view text, Vocabulary* vocab);
+
+/// Parses or aborts; for tests and examples.
+CQ MustParseCQ(std::string_view text, Vocabulary* vocab);
+
+}  // namespace omqe
+
+#endif  // OMQE_CQ_PARSER_H_

@@ -1,0 +1,177 @@
+#include "cq/properties.h"
+
+#include <algorithm>
+
+namespace omqe {
+
+namespace {
+std::vector<VarSet> AtomEdgeSets(const CQ& q) {
+  std::vector<VarSet> edges;
+  edges.reserve(q.atoms().size());
+  for (const Atom& a : q.atoms()) edges.push_back(CQ::AtomVars(a));
+  return edges;
+}
+}  // namespace
+
+bool IsAcyclic(const CQ& q) {
+  return IsAcyclicHypergraph(AtomEdgeSets(q));
+}
+
+bool IsFreeConnexAcyclic(const CQ& q) {
+  std::vector<VarSet> edges = AtomEdgeSets(q);
+  edges.push_back(q.AnswerVarSet());
+  return IsAcyclicHypergraph(edges);
+}
+
+bool IsWeaklyAcyclic(const CQ& q) {
+  VarSet answers = q.AnswerVarSet();
+  std::vector<VarSet> edges = AtomEdgeSets(q);
+  for (VarSet& e : edges) e &= ~answers;
+  return IsAcyclicHypergraph(edges);
+}
+
+std::vector<VarSet> GaifmanAdjacency(const CQ& q) {
+  std::vector<VarSet> adj(q.num_vars(), 0);
+  for (const Atom& a : q.atoms()) {
+    VarSet s = CQ::AtomVars(a);
+    VarSet rest = s;
+    while (rest) {
+      uint32_t v = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      adj[v] |= s & ~VarBit(v);
+    }
+  }
+  return adj;
+}
+
+bool HasBadPath(const CQ& q) {
+  std::vector<VarSet> adj = GaifmanAdjacency(q);
+  VarSet free = q.AnswerVarSet();
+  VarSet quant = q.AllVars() & ~free;
+
+  // co(x) = set of variables co-occurring with x in some atom (adj).
+  // For each free x: BFS from the quantified neighbours of x through
+  // quantified variables; reachable quantified set Z. A bad path x..y exists
+  // iff some free y != x is adjacent to Z and no atom contains both x and y.
+  VarSet free_it = free;
+  while (free_it) {
+    uint32_t x = static_cast<uint32_t>(__builtin_ctzll(free_it));
+    free_it &= free_it - 1;
+    VarSet frontier = adj[x] & quant;
+    VarSet reached = frontier;
+    while (frontier) {
+      uint32_t z = static_cast<uint32_t>(__builtin_ctzll(frontier));
+      frontier &= frontier - 1;
+      VarSet fresh = (adj[z] & quant) & ~reached;
+      reached |= fresh;
+      frontier |= fresh;
+    }
+    // Free endpoints adjacent to the reached quantified set.
+    VarSet rest = reached;
+    VarSet ends = 0;
+    while (rest) {
+      uint32_t z = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      ends |= adj[z] & free;
+    }
+    ends &= ~VarBit(x);
+    while (ends) {
+      uint32_t y = static_cast<uint32_t>(__builtin_ctzll(ends));
+      ends &= ends - 1;
+      // Bad unless some atom contains both x and y.
+      bool together = false;
+      for (const Atom& a : q.atoms()) {
+        VarSet s = CQ::AtomVars(a);
+        if ((s & VarBit(x)) && (s & VarBit(y))) {
+          together = true;
+          break;
+        }
+      }
+      if (!together) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::vector<int>> VarConnectedComponents(const CQ& q) {
+  const auto& atoms = q.atoms();
+  const int n = static_cast<int>(atoms.size());
+  std::vector<int> comp(n, -1);
+  std::vector<std::vector<int>> out;
+  for (int i = 0; i < n; ++i) {
+    if (comp[i] != -1) continue;
+    int id = static_cast<int>(out.size());
+    out.emplace_back();
+    // BFS over atoms sharing variables.
+    std::vector<int> stack{i};
+    comp[i] = id;
+    VarSet seen_vars = CQ::AtomVars(atoms[i]);
+    while (!stack.empty()) {
+      int a = stack.back();
+      stack.pop_back();
+      out[id].push_back(a);
+      for (int b = 0; b < n; ++b) {
+        if (comp[b] != -1) continue;
+        if (CQ::AtomVars(atoms[b]) & seen_vars) {
+          comp[b] = id;
+          seen_vars |= CQ::AtomVars(atoms[b]);
+          stack.push_back(b);
+          // Restart the scan: seen_vars grew, earlier atoms may now connect.
+          b = -1;
+        }
+      }
+    }
+    std::sort(out[id].begin(), out[id].end());
+  }
+  return out;
+}
+
+bool IsVarConnected(const CQ& q) {
+  return VarConnectedComponents(q).size() <= 1;
+}
+
+bool IsELIQ(const CQ& q) {
+  if (q.arity() != 1) return false;
+  if (!q.Constants().empty()) return false;
+  // No reflexive loops, no multi-edges, arities at most 2, and the variable
+  // graph is a forest (union-find: no edge may close a cycle).
+  std::vector<VarSet> pairs;
+  std::vector<uint32_t> parent(q.num_vars());
+  for (uint32_t v = 0; v < q.num_vars(); ++v) parent[v] = v;
+  auto find = [&](uint32_t v) {
+    while (parent[v] != v) v = parent[v] = parent[parent[v]];
+    return v;
+  };
+  for (const Atom& a : q.atoms()) {
+    if (a.terms.size() > 2) return false;
+    if (a.terms.size() != 2) continue;
+    uint32_t u = VarOf(a.terms[0]);
+    uint32_t v = VarOf(a.terms[1]);
+    if (u == v) return false;  // reflexive loop
+    VarSet pair = VarBit(u) | VarBit(v);
+    if (std::find(pairs.begin(), pairs.end(), pair) != pairs.end()) {
+      return false;  // multi-edge
+    }
+    pairs.push_back(pair);
+    uint32_t ru = find(u), rv = find(v);
+    if (ru == rv) return false;  // cycle
+    parent[ru] = rv;
+  }
+  return true;
+}
+
+CQ InducedSubquery(const CQ& q, const std::vector<int>& atom_indices) {
+  CQ sub;
+  for (uint32_t v = 0; v < q.num_vars(); ++v) sub.AddVar(q.var_name(v));
+  VarSet vars = 0;
+  for (int i : atom_indices) {
+    sub.AddAtom(q.atoms()[i]);
+    vars |= CQ::AtomVars(q.atoms()[i]);
+  }
+  for (uint32_t v : q.answer_vars()) {
+    if (vars & VarBit(v)) sub.AddAnswerVar(v);
+  }
+  return sub;
+}
+
+}  // namespace omqe

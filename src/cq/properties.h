@@ -1,0 +1,57 @@
+// Structural properties of CQs from the paper: acyclicity, free-connex
+// acyclicity, weak acyclicity (Section 2), bad paths (Appendix D.2),
+// connectivity and variable components, Gaifman graphs.
+#ifndef OMQE_CQ_PROPERTIES_H_
+#define OMQE_CQ_PROPERTIES_H_
+
+#include <optional>
+#include <vector>
+
+#include "cq/cq.h"
+#include "cq/hypergraph.h"
+
+namespace omqe {
+
+/// q is acyclic iff it has a join tree (constants are ignored).
+bool IsAcyclic(const CQ& q);
+
+/// q is free-connex acyclic iff q plus a guard atom over the answer
+/// variables is acyclic. (Independent of plain acyclicity.)
+bool IsFreeConnexAcyclic(const CQ& q);
+
+/// q is weakly acyclic iff q becomes acyclic after replacing the answer
+/// variables with constants.
+bool IsWeaklyAcyclic(const CQ& q);
+
+/// Per-variable adjacency of the Gaifman graph of q (variables only; two
+/// variables are adjacent when they co-occur in an atom).
+std::vector<VarSet> GaifmanAdjacency(const CQ& q);
+
+/// A bad path: free x, quantified z_1..z_k (k>=1), free y, consecutive
+/// variables co-occur in an atom, and no atom contains both x and y.
+/// For acyclic q, existence of a bad path is equivalent to NOT free-connex
+/// acyclic (Bagan-Durand-Grandjean; used in the paper's Appendix D.2).
+bool HasBadPath(const CQ& q);
+
+/// Partition of atoms into connected components by shared *variables*
+/// (constants do not connect; such components evaluate independently).
+/// Returns one vector of atom indices per component. Atoms without
+/// variables each form their own component.
+std::vector<std::vector<int>> VarConnectedComponents(const CQ& q);
+
+/// True if the query has a single variable-connected component.
+bool IsVarConnected(const CQ& q);
+
+/// ELIQ recognition (paper Appendix A.3): a unary CQ without constants
+/// whose variable graph is a disjoint union of trees, with no reflexive
+/// loops and no multi-edges (at most one atom over any two variables).
+bool IsELIQ(const CQ& q);
+
+/// Builds the sub-CQ induced by the given atom indices. Variables keep
+/// their ids and names; the answer tuple is restricted to answer variables
+/// occurring in the selected atoms (in original order).
+CQ InducedSubquery(const CQ& q, const std::vector<int>& atom_indices);
+
+}  // namespace omqe
+
+#endif  // OMQE_CQ_PROPERTIES_H_

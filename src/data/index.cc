@@ -1,0 +1,39 @@
+#include "data/index.h"
+
+namespace omqe {
+
+PositionIndex::PositionIndex(const Database& db, RelId rel,
+                             std::vector<uint32_t> key_positions)
+    : key_positions_(std::move(key_positions)) {
+  uint32_t rows = db.NumRows(rel);
+  next_.assign(rows, UINT32_MAX);
+  ValueTuple key;
+  key.resize(static_cast<uint32_t>(key_positions_.size()));
+  // Insert in reverse row order and prepend, so that chain traversal visits
+  // rows in ascending order (deterministic enumeration output).
+  for (uint32_t i = rows; i-- > 0;) {
+    const Value* t = db.Row(rel, i);
+    if (key_positions_.empty()) {
+      next_[i] = all_head_;
+      all_head_ = i;
+      continue;
+    }
+    for (uint32_t k = 0; k < key.size(); ++k) key[k] = t[key_positions_[k]];
+    uint32_t& head = heads_.InsertOrGet(key.data(), key.size(), UINT32_MAX);
+    next_[i] = head;
+    head = i;
+  }
+}
+
+PositionIndex::Matches PositionIndex::Lookup(const Value* key) const {
+  return Matches(this, First(key));
+}
+
+uint32_t PositionIndex::First(const Value* key) const {
+  if (key_positions_.empty()) return all_head_;
+  const uint32_t* head =
+      heads_.Find(key, static_cast<uint32_t>(key_positions_.size()));
+  return head == nullptr ? UINT32_MAX : *head;
+}
+
+}  // namespace omqe

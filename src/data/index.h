@@ -1,0 +1,54 @@
+// PositionIndex: hash index over one relation of a Database, keyed by the
+// values at a subset of argument positions. Build is O(rows); probe returns
+// the matching rows in O(1) + output. This is the workhorse behind
+// semijoins, the progress condition, and constant-delay lookups.
+#ifndef OMQE_DATA_INDEX_H_
+#define OMQE_DATA_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/flat_hash.h"
+#include "data/database.h"
+
+namespace omqe {
+
+class PositionIndex {
+ public:
+  /// Builds an index on `rel` keyed by `key_positions` (may be empty, which
+  /// makes all rows one bucket).
+  PositionIndex(const Database& db, RelId rel, std::vector<uint32_t> key_positions);
+
+  /// Iterator over the rows matching a key.
+  class Matches {
+   public:
+    Matches(const PositionIndex* index, uint32_t head) : index_(index), cur_(head) {}
+    bool Done() const { return cur_ == UINT32_MAX; }
+    uint32_t Row() const { return cur_; }
+    void Next() { cur_ = index_->next_[cur_]; }
+
+   private:
+    const PositionIndex* index_;
+    uint32_t cur_;
+  };
+
+  /// Rows whose key positions equal `key` (length = key_positions.size()).
+  Matches Lookup(const Value* key) const;
+
+  /// First matching row or UINT32_MAX.
+  uint32_t First(const Value* key) const;
+
+  bool HasMatch(const Value* key) const { return First(key) != UINT32_MAX; }
+
+  const std::vector<uint32_t>& key_positions() const { return key_positions_; }
+
+ private:
+  std::vector<uint32_t> key_positions_;
+  TupleMap<uint32_t> heads_;          // key tuple -> first row in chain
+  std::vector<uint32_t> next_;        // per-row chain links
+  uint32_t all_head_ = UINT32_MAX;    // used when key_positions_ is empty
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_DATA_INDEX_H_

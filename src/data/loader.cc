@@ -1,0 +1,76 @@
+#include "data/loader.h"
+
+#include <cctype>
+#include <cstdio>
+#include <string>
+
+#include "base/str.h"
+
+namespace omqe {
+
+namespace {
+
+Status ParseFactLine(std::string_view line, Database* db) {
+  Vocabulary* vocab = db->vocab();
+  size_t open = line.find('(');
+  size_t close = line.rfind(')');
+  if (open == std::string_view::npos || close == std::string_view::npos ||
+      close < open) {
+    return Status::ParseError("malformed fact: " + std::string(line));
+  }
+  std::string_view rel_name = Trim(line.substr(0, open));
+  if (rel_name.empty()) return Status::ParseError("missing relation name");
+  for (char c : rel_name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return Status::ParseError("bad relation name: " + std::string(rel_name));
+    }
+  }
+  ValueTuple args;
+  std::string_view inner = line.substr(open + 1, close - open - 1);
+  if (!Trim(inner).empty()) {
+    for (std::string_view raw : SplitTrim(inner, ',')) {
+      if (raw.size() >= 2 && (raw.front() == '\'' || raw.front() == '"') &&
+          raw.back() == raw.front()) {
+        raw = raw.substr(1, raw.size() - 2);
+      }
+      args.push_back(vocab->ConstantId(raw));
+    }
+  }
+  RelId rel = vocab->TryRelationId(rel_name, args.size());
+  if (rel == UINT32_MAX) {
+    return Status::ParseError("arity mismatch for relation " + std::string(rel_name));
+  }
+  db->AddFact(rel, args);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LoadFacts(std::string_view text, Database* db) {
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(start, end - start));
+    start = end + 1;
+    if (!line.empty() && line.back() == '.') line = Trim(line.substr(0, line.size() - 1));
+    if (!line.empty() && line[0] != '#' && line[0] != '%') {
+      OMQE_RETURN_IF_ERROR(ParseFactLine(line, db));
+    }
+    if (end == text.size()) break;
+  }
+  return Status::OK();
+}
+
+Status LoadFactsFromFile(const std::string& path, Database* db) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::InvalidArgument("cannot open " + path);
+  std::string text;
+  char buffer[1 << 16];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) text.append(buffer, n);
+  std::fclose(f);
+  return LoadFacts(text, db);
+}
+
+}  // namespace omqe

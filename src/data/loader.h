@@ -1,0 +1,22 @@
+// Text loader for databases: one fact per line, "Rel(c1, c2)", with '#'
+// and '%' comments. Constants are bare identifiers, quoted strings or
+// integers; relations are registered in the vocabulary on first use.
+#ifndef OMQE_DATA_LOADER_H_
+#define OMQE_DATA_LOADER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "data/database.h"
+
+namespace omqe {
+
+/// Parses facts from `text` into `db`. Duplicate facts are ignored.
+Status LoadFacts(std::string_view text, Database* db);
+
+/// Reads `path` and loads its facts.
+Status LoadFactsFromFile(const std::string& path, Database* db);
+
+}  // namespace omqe
+
+#endif  // OMQE_DATA_LOADER_H_

@@ -1,0 +1,87 @@
+// Vocabulary: the global symbol tables (relation names with arities and
+// constant names) shared by databases, queries and ontologies.  A Schema in
+// the paper's sense (the "data schema" S of an OMQ) is a subset of relation
+// ids over a Vocabulary.
+#ifndef OMQE_DATA_SCHEMA_H_
+#define OMQE_DATA_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/interner.h"
+#include "base/status.h"
+#include "data/value.h"
+
+namespace omqe {
+
+class Vocabulary {
+ public:
+  /// Returns the id of relation `name`, registering it with `arity` if new.
+  /// Aborts if the relation exists with a different arity (schema bug).
+  RelId RelationId(std::string_view name, uint32_t arity);
+
+  /// Returns the id of relation `name`, or UINT32_MAX when unknown.
+  RelId FindRelation(std::string_view name) const {
+    return relations_.Lookup(name);
+  }
+
+  /// Like RelationId, but returns UINT32_MAX instead of aborting when the
+  /// relation exists with a different arity (for parsers).
+  RelId TryRelationId(std::string_view name, uint32_t arity) {
+    RelId existing = relations_.Lookup(name);
+    if (existing != UINT32_MAX && Arity(existing) != arity) return UINT32_MAX;
+    return RelationId(name, arity);
+  }
+
+  /// Registers a fresh relation with a name derived from `base` that does not
+  /// clash with existing names (used by normalization and reductions).
+  RelId FreshRelation(std::string_view base, uint32_t arity);
+
+  uint32_t NumRelations() const { return relations_.size(); }
+  uint32_t Arity(RelId r) const { return arities_[r]; }
+  const std::string& RelationName(RelId r) const { return relations_.Name(r); }
+
+  /// Interns a constant name; the result is a Value with the constant tag.
+  Value ConstantId(std::string_view name) {
+    Value v = constants_.Intern(name);
+    OMQE_CHECK(IsConstant(v));
+    return v;
+  }
+  Value FindConstant(std::string_view name) const { return constants_.Lookup(name); }
+  uint32_t NumConstants() const { return constants_.size(); }
+
+  /// Renders any value: constant name, null "_:n<i>", or wildcard "*"/"*_j".
+  std::string ValueName(Value v) const;
+
+ private:
+  Interner relations_;
+  std::vector<uint32_t> arities_;
+  Interner constants_;
+};
+
+/// A finite set of relation symbols; the data schema S of an OMQ.
+class SchemaSet {
+ public:
+  SchemaSet() = default;
+
+  void Add(RelId r) {
+    if (r >= member_.size()) member_.resize(r + 1, false);
+    if (!member_[r]) {
+      member_[r] = true;
+      rels_.push_back(r);
+    }
+  }
+  bool Contains(RelId r) const { return r < member_.size() && member_[r]; }
+  const std::vector<RelId>& Relations() const { return rels_; }
+  bool empty() const { return rels_.empty(); }
+
+ private:
+  std::vector<bool> member_;
+  std::vector<RelId> rels_;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_DATA_SCHEMA_H_

@@ -1,0 +1,44 @@
+// Values are 32-bit tagged ids:
+//   bit 31 = 0                  -> database constant (id into Vocabulary)
+//   bit 31 = 1, bit 30 = 0      -> labeled null (chase-invented)
+//   bit 31 = 1, bit 30 = 1      -> wildcard symbol (only in answer tuples):
+//                                  index 0 is the single wildcard '*',
+//                                  index j >= 1 is the multi-wildcard '*_j'.
+// Wildcards never occur in databases; they appear in (minimal) partial
+// answers (paper Section 2, "Partial Answers").
+#ifndef OMQE_DATA_VALUE_H_
+#define OMQE_DATA_VALUE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/small_vec.h"
+
+namespace omqe {
+
+using Value = uint32_t;
+using RelId = uint32_t;
+
+constexpr Value kNullTag = 0x80000000u;
+constexpr Value kWildcardTag = 0xC0000000u;
+constexpr Value kValueTagMask = 0xC0000000u;
+
+constexpr bool IsConstant(Value v) { return (v & kNullTag) == 0; }
+constexpr bool IsNull(Value v) { return (v & kValueTagMask) == kNullTag; }
+constexpr bool IsWildcard(Value v) { return (v & kValueTagMask) == kWildcardTag; }
+
+constexpr Value MakeNull(uint32_t index) { return kNullTag | index; }
+constexpr uint32_t NullIndex(Value v) { return v & ~kValueTagMask; }
+
+/// The single wildcard '*'.
+constexpr Value kStar = kWildcardTag;
+/// The multi-wildcard '*_j', j >= 1.
+constexpr Value MakeWildcard(uint32_t j) { return kWildcardTag | j; }
+constexpr uint32_t WildcardIndex(Value v) { return v & ~kValueTagMask; }
+
+/// A tuple of values (an answer, a fact payload, a lookup key).
+using ValueTuple = SmallVec<Value, 4>;
+
+}  // namespace omqe
+
+#endif  // OMQE_DATA_VALUE_H_

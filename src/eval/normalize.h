@@ -1,0 +1,68 @@
+// The (q0, D0) -> (q1, D1) normalization of paper Section 5 (conditions
+// (i)-(iv)), following the construction of [Berkholz-Gerhardt-Schweikardt
+// 2020] that the paper references:
+//
+//   * per variable-connected component of q0, build a join tree of
+//     atoms(q0) + G(x̄) via GYO rooted at the guard G;
+//   * materialize per-atom relations; run a bottom-up then top-down
+//     semijoin pass (full reduction); Boolean components are checked and
+//     dropped; purely-quantified subtrees are absorbed into their parents;
+//   * project the nodes containing answer variables onto their answer
+//     variables, build a join tree of the projected node sets (q1's tree),
+//     and fully reduce again, which establishes the progress condition (iv).
+//
+// The result is a forest of full (quantifier-free), acyclic, self-join-free
+// query trees over pairwise disjoint answer variables with
+// q1(D1) = q0(D0) — including null values, so the same structure feeds the
+// Section 5/6 partial-answer machinery (condition (ii)).
+#ifndef OMQE_EVAL_NORMALIZE_H_
+#define OMQE_EVAL_NORMALIZE_H_
+
+#include <vector>
+
+#include "base/status.h"
+#include "cq/cq.h"
+#include "data/database.h"
+#include "eval/varrel.h"
+
+namespace omqe {
+
+struct NormNode {
+  /// The node's variables P(v) (answer variables of q0), ascending.
+  std::vector<uint32_t> vars;
+  /// Reduced relation over `vars` (values may be nulls).
+  VarRelation rel;
+  int parent = -1;
+  std::vector<int> children;
+  /// Variables shared with the parent (the predecessor variables of §5).
+  std::vector<uint32_t> pred_vars;
+  /// Index of `rel` keyed by `pred_vars` (all rows for the root).
+  VarRelationIndex index;
+};
+
+/// One connected q1 join tree.
+struct NormTree {
+  std::vector<NormNode> nodes;
+  int root = 0;
+  std::vector<int> preorder;
+  VarSet vars = 0;
+};
+
+struct Normalized {
+  /// True when q0(D0) is empty (some Boolean component failed or a relation
+  /// drained during reduction).
+  bool empty = false;
+  /// Pairwise variable-disjoint trees covering all answer variables.
+  std::vector<NormTree> trees;
+};
+
+/// Builds the normalization. Requires q0 acyclic and free-connex acyclic
+/// (InvalidArgument otherwise). When `answers_constants_only` is set, rows
+/// assigning a null to an answer variable are dropped up front (the paper's
+/// P_db trick for complete answers, Theorem 4.1).
+Status Normalize(const CQ& q0, const Database& d0, bool answers_constants_only,
+                 Normalized* out);
+
+}  // namespace omqe
+
+#endif  // OMQE_EVAL_NORMALIZE_H_

@@ -1,0 +1,131 @@
+#include "eval/simulation.h"
+
+#include <algorithm>
+
+namespace omqe {
+
+namespace {
+
+struct InstanceGraph {
+  std::vector<Value> values;                        // dense id -> value
+  FlatMap<uint32_t, uint32_t> ids;                  // value -> dense id
+  std::vector<std::vector<uint32_t>> unary;         // per node: sorted RelIds
+  // per node: list of (relation, neighbour id), separately for out and in.
+  std::vector<std::vector<std::pair<RelId, uint32_t>>> out, in;
+
+  uint32_t IdOf(Value v) {
+    uint32_t fresh = static_cast<uint32_t>(values.size());
+    uint32_t& id = ids.InsertOrGet(v, fresh);
+    if (id == fresh) {
+      values.push_back(v);
+      unary.emplace_back();
+      out.emplace_back();
+      in.emplace_back();
+    }
+    return id;
+  }
+
+  Status Load(const Database& db) {
+    for (RelId r = 0; r < db.NumRelationSlots(); ++r) {
+      uint32_t arity = db.Arity(r);
+      if (db.NumRows(r) > 0 && arity > 2) {
+        return Status::InvalidArgument(
+            "simulations are defined for unary/binary schemas only");
+      }
+      for (uint32_t row = 0; row < db.NumRows(r); ++row) {
+        const Value* t = db.Row(r, row);
+        if (arity == 1) {
+          unary[IdOf(t[0])].push_back(r);
+        } else if (arity == 2) {
+          uint32_t a = IdOf(t[0]);
+          uint32_t b = IdOf(t[1]);
+          out[a].push_back({r, b});
+          in[b].push_back({r, a});
+        }
+      }
+    }
+    for (auto& u : unary) std::sort(u.begin(), u.end());
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SimulationChecker>> SimulationChecker::Create(
+    const Database& from, const Database& to) {
+  InstanceGraph f, g;
+  OMQE_RETURN_IF_ERROR(f.Load(from));
+  OMQE_RETURN_IF_ERROR(g.Load(to));
+
+  auto checker = std::unique_ptr<SimulationChecker>(new SimulationChecker());
+  const size_t nf = f.values.size();
+  const size_t ng = g.values.size();
+  checker->to_count_ = ng;
+  std::vector<bool> sim(nf * ng, false);
+
+  // Initialize: labels(c) ⊆ labels(d).
+  for (size_t c = 0; c < nf; ++c) {
+    for (size_t d = 0; d < ng; ++d) {
+      sim[c * ng + d] = std::includes(g.unary[d].begin(), g.unary[d].end(),
+                                      f.unary[c].begin(), f.unary[c].end());
+    }
+  }
+  // Refine to the greatest fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t c = 0; c < nf; ++c) {
+      for (size_t d = 0; d < ng; ++d) {
+        if (!sim[c * ng + d]) continue;
+        bool ok = true;
+        for (const auto& [rel, c2] : f.out[c]) {
+          bool matched = false;
+          for (const auto& [rel2, d2] : g.out[d]) {
+            if (rel2 == rel && sim[c2 * ng + d2]) {
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            ok = false;
+            break;
+          }
+        }
+        for (const auto& [rel, c2] : f.in[c]) {
+          if (!ok) break;
+          bool matched = false;
+          for (const auto& [rel2, d2] : g.in[d]) {
+            if (rel2 == rel && sim[c2 * ng + d2]) {
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) ok = false;
+        }
+        if (!ok) {
+          sim[c * ng + d] = false;
+          changed = true;
+        }
+      }
+    }
+  }
+  checker->sim_ = std::move(sim);
+  checker->from_ids_ = std::move(f.ids);
+  checker->to_ids_ = std::move(g.ids);
+  return checker;
+}
+
+bool SimulationChecker::Simulates(Value c, Value d) const {
+  const uint32_t* cid = from_ids_.Find(c);
+  const uint32_t* did = to_ids_.Find(d);
+  if (cid == nullptr || did == nullptr) return false;
+  return sim_[static_cast<size_t>(*cid) * to_count_ + *did];
+}
+
+bool Simulates(const Database& from, Value c, const Database& to, Value d) {
+  auto checker = SimulationChecker::Create(from, to);
+  OMQE_CHECK(checker.ok());
+  return (*checker)->Simulates(c, d);
+}
+
+}  // namespace omqe

@@ -1,0 +1,45 @@
+// Simulations between instances over unary/binary schemas (paper
+// Appendix A.3). A simulation S from I to J relates c to c' only if every
+// unary fact of c holds for c' and every binary step from c can be matched
+// from c'. (I,c) ⪯ (J,c') — Lemma A.4: ELIQ answers are preserved along
+// simulations; Lemma A.3 lifts this to (ELI, ELIQ) OMQs. Used by the
+// lower-bound machinery (the completeness property of gadget databases) and
+// exposed as a library utility for ELI reasoning.
+#ifndef OMQE_EVAL_SIMULATION_H_
+#define OMQE_EVAL_SIMULATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/flat_hash.h"
+#include "base/status.h"
+#include "data/database.h"
+
+namespace omqe {
+
+/// Computes the greatest simulation between two instances over a schema
+/// with only unary and binary relations (InvalidArgument otherwise).
+/// Both instances may contain nulls.
+class SimulationChecker {
+ public:
+  static StatusOr<std::unique_ptr<SimulationChecker>> Create(const Database& from,
+                                                             const Database& to);
+
+  /// True iff (from, c) ⪯ (to, d): c is simulated by d.
+  bool Simulates(Value c, Value d) const;
+
+ private:
+  SimulationChecker() = default;
+
+  FlatMap<uint32_t, uint32_t> from_ids_, to_ids_;  // value -> dense id
+  std::vector<bool> sim_;                          // |from| x |to|, row-major
+  size_t to_count_ = 0;
+};
+
+/// Convenience wrapper: greatest simulation membership for a single pair.
+bool Simulates(const Database& from, Value c, const Database& to, Value d);
+
+}  // namespace omqe
+
+#endif  // OMQE_EVAL_SIMULATION_H_

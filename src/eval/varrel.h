@@ -1,0 +1,123 @@
+// VarRelation: a materialized relation whose columns are query variables.
+// The Yannakakis passes, the (q1, D1) normalization and the enumerators all
+// manipulate these: semijoin reduction, projection, and hash indexes keyed
+// by column subsets.
+#ifndef OMQE_EVAL_VARREL_H_
+#define OMQE_EVAL_VARREL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/flat_hash.h"
+#include "data/value.h"
+
+namespace omqe {
+
+class VarRelation {
+ public:
+  VarRelation() = default;
+  explicit VarRelation(std::vector<uint32_t> vars) : vars_(std::move(vars)) {}
+
+  const std::vector<uint32_t>& vars() const { return vars_; }
+  uint32_t width() const { return static_cast<uint32_t>(vars_.size()); }
+  uint32_t NumRows() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+
+  const Value* Row(uint32_t r) const {
+    return data_.data() + static_cast<size_t>(r) * width();
+  }
+
+  /// Appends a row unless an identical row is present; returns true if added.
+  bool AddRow(const Value* row) {
+    if (width() == 0) {
+      if (num_rows_ > 0) return false;
+      ++num_rows_;
+      return true;
+    }
+    char& seen = dedup_.InsertOrGet(row, width(), 0);
+    if (seen) return false;
+    seen = 1;
+    data_.insert(data_.end(), row, row + width());
+    ++num_rows_;
+    return true;
+  }
+
+  bool ContainsRow(const Value* row) const {
+    if (width() == 0) return num_rows_ > 0;
+    return dedup_.Find(row, width()) != nullptr;
+  }
+
+  /// Position of variable `v` in the column list, or UINT32_MAX.
+  uint32_t ColumnOf(uint32_t v) const {
+    for (uint32_t i = 0; i < vars_.size(); ++i) {
+      if (vars_[i] == v) return i;
+    }
+    return UINT32_MAX;
+  }
+
+  /// Keeps only the rows for which `pred(row)` holds.
+  template <typename Pred>
+  void Filter(Pred&& pred) {
+    VarRelation fresh(vars_);
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      if (pred(Row(r))) fresh.AddRow(Row(r));
+    }
+    *this = std::move(fresh);
+  }
+
+  /// Projection onto a subset of this relation's variables (deduplicated).
+  VarRelation Project(const std::vector<uint32_t>& onto_vars) const {
+    VarRelation out(onto_vars);
+    std::vector<uint32_t> cols;
+    cols.reserve(onto_vars.size());
+    for (uint32_t v : onto_vars) {
+      uint32_t c = ColumnOf(v);
+      OMQE_CHECK(c != UINT32_MAX);
+      cols.push_back(c);
+    }
+    ValueTuple tmp;
+    tmp.resize(static_cast<uint32_t>(cols.size()));
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      const Value* row = Row(r);
+      for (uint32_t i = 0; i < cols.size(); ++i) tmp[i] = row[cols[i]];
+      out.AddRow(tmp.data());
+    }
+    return out;
+  }
+
+ private:
+  std::vector<uint32_t> vars_;
+  std::vector<Value> data_;
+  uint32_t num_rows_ = 0;
+  TupleMap<char> dedup_;
+};
+
+/// Shared variables of two relations, in `a`'s column order.
+std::vector<uint32_t> SharedVars(const VarRelation& a, const VarRelation& b);
+
+/// target := target semijoin source (keep target rows whose shared-variable
+/// projection occurs in source). With no shared variables this keeps target
+/// iff source is non-empty (cross-product semantics).
+void SemijoinReduce(VarRelation* target, const VarRelation& source);
+
+/// Hash index over a VarRelation keyed by a list of its variables.
+class VarRelationIndex {
+ public:
+  VarRelationIndex() = default;
+  VarRelationIndex(const VarRelation& rel, const std::vector<uint32_t>& key_vars);
+
+  /// First row whose key columns equal `key`, or UINT32_MAX.
+  uint32_t First(const Value* key) const;
+  uint32_t Next(uint32_t row) const { return next_[row]; }
+  const std::vector<uint32_t>& key_columns() const { return key_cols_; }
+
+ private:
+  std::vector<uint32_t> key_cols_;
+  TupleMap<uint32_t> heads_;
+  std::vector<uint32_t> next_;
+  uint32_t all_head_ = UINT32_MAX;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_EVAL_VARREL_H_

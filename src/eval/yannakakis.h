@@ -1,0 +1,36 @@
+// Yannakakis' algorithm for acyclic CQs: materialize per-atom relations,
+// semijoin-reduce along a join forest, and decide Boolean satisfiability in
+// time linear in ||D||. This is the engine behind linear-time single-testing
+// (Theorem 3.1).
+#ifndef OMQE_EVAL_YANNAKAKIS_H_
+#define OMQE_EVAL_YANNAKAKIS_H_
+
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/database.h"
+#include "eval/varrel.h"
+
+namespace omqe {
+
+/// Materializes the tuples of `db` matching `atom`: constants filtered,
+/// repeated variables checked, columns = distinct variables of the atom in
+/// first-occurrence order. Deduplicated.
+VarRelation MaterializeAtom(const CQ& q, const Atom& atom, const Database& db);
+
+/// Boolean evaluation of an acyclic CQ (answer variables, if any, are
+/// treated as quantified): true iff q has a homomorphism into db.
+/// Requires q acyclic — callers must check; aborts otherwise.
+bool BooleanAcyclicEval(const CQ& q, const Database& db);
+
+/// Replaces the i-th answer variable by the constant tuple[i] everywhere
+/// (the resulting query is Boolean). All tuple values must be constants.
+CQ BindAnswerVars(const CQ& q, const ValueTuple& tuple);
+
+/// Turns the listed answer variables into quantified variables, keeping the
+/// others (in order). Used for wildcard-position testing (Section 3).
+CQ QuantifyAnswerVars(const CQ& q, VarSet to_quantify);
+
+}  // namespace omqe
+
+#endif  // OMQE_EVAL_YANNAKAKIS_H_

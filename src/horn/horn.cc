@@ -1,0 +1,70 @@
+#include "horn/horn.h"
+
+#include "base/status.h"
+
+namespace omqe {
+
+uint32_t HornFormula::AddVar() {
+  watch_.emplace_back();
+  return num_vars_++;
+}
+
+void HornFormula::AddClause(const std::vector<uint32_t>& body, uint32_t head) {
+  OMQE_CHECK(head < num_vars_);
+  uint32_t clause = static_cast<uint32_t>(clause_head_.size());
+  clause_body_offset_.push_back(static_cast<uint32_t>(body_pool_.size()));
+  clause_body_len_.push_back(static_cast<uint32_t>(body.size()));
+  clause_head_.push_back(head);
+  for (uint32_t v : body) {
+    OMQE_CHECK(v < num_vars_);
+    body_pool_.push_back(v);
+    watch_[v].push_back(clause);
+  }
+}
+
+void HornFormula::AddGoal(const std::vector<uint32_t>& body) {
+  for (uint32_t v : body) OMQE_CHECK(v < num_vars_);
+  goals_.push_back(body);
+}
+
+bool HornFormula::Satisfiable() const {
+  std::vector<bool> model = MinimalModel();
+  for (const std::vector<uint32_t>& goal : goals_) {
+    bool all_true = true;
+    for (uint32_t v : goal) all_true &= model[v];
+    if (all_true) return false;
+  }
+  return true;
+}
+
+std::vector<bool> HornFormula::MinimalModel() const {
+  // Counter-based unit propagation: each clause keeps the number of body
+  // literals not yet derived; when it hits zero the head fires. Every clause
+  // body literal is decremented at most once -> linear time overall.
+  std::vector<bool> truth(num_vars_, false);
+  std::vector<uint32_t> remaining(clause_head_.size());
+  std::vector<uint32_t> queue;
+  for (size_t c = 0; c < clause_head_.size(); ++c) {
+    remaining[c] = clause_body_len_[c];
+    if (remaining[c] == 0 && !truth[clause_head_[c]]) {
+      truth[clause_head_[c]] = true;
+      queue.push_back(clause_head_[c]);
+    }
+  }
+  while (!queue.empty()) {
+    uint32_t v = queue.back();
+    queue.pop_back();
+    for (uint32_t c : watch_[v]) {
+      if (--remaining[c] == 0) {
+        uint32_t h = clause_head_[c];
+        if (!truth[h]) {
+          truth[h] = true;
+          queue.push_back(h);
+        }
+      }
+    }
+  }
+  return truth;
+}
+
+}  // namespace omqe

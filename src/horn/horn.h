@@ -1,0 +1,56 @@
+// Linear-time minimal models of propositional Horn formulas
+// (Dowling & Gallier 1984). Used by the query-directed chase construction
+// of Proposition 3.3: the chase's database part is read off the minimal
+// model of a Horn formula derived from D and Q.
+//
+// Clauses here are definite: body (possibly empty) -> single head variable.
+// The minimal model is the set of variables derivable by unit propagation.
+#ifndef OMQE_HORN_HORN_H_
+#define OMQE_HORN_HORN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace omqe {
+
+class HornFormula {
+ public:
+  /// Creates a fresh propositional variable, returns its id.
+  uint32_t AddVar();
+
+  /// Adds the definite clause  body_1 & ... & body_k -> head.
+  /// An empty body makes `head` a fact.
+  void AddClause(const std::vector<uint32_t>& body, uint32_t head);
+
+  /// Adds the goal clause  body_1 & ... & body_k -> false.
+  void AddGoal(const std::vector<uint32_t>& body);
+
+  uint32_t num_vars() const { return num_vars_; }
+  size_t num_clauses() const { return clause_head_.size(); }
+
+  /// Computes the (unique) minimal model of the definite part: out[v] ==
+  /// true iff v is true in every model. Runs in time linear in the formula
+  /// size.
+  std::vector<bool> MinimalModel() const;
+
+  /// Satisfiability including the goal clauses (Dowling-Gallier): the
+  /// formula is satisfiable iff no goal body is fully contained in the
+  /// minimal model.
+  bool Satisfiable() const;
+
+ private:
+  uint32_t num_vars_ = 0;
+  // Clause storage: flattened bodies plus per-clause head and body length.
+  std::vector<uint32_t> body_pool_;
+  std::vector<uint32_t> clause_body_offset_;
+  std::vector<uint32_t> clause_body_len_;
+  std::vector<uint32_t> clause_head_;
+  std::vector<std::vector<uint32_t>> goals_;
+  // occurrence lists: for each variable, the clauses whose body contains it.
+  std::vector<std::vector<uint32_t>> watch_;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_HORN_HORN_H_

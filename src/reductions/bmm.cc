@@ -1,0 +1,131 @@
+#include "reductions/bmm.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "base/flat_hash.h"
+#include "base/rng.h"
+#include "base/str.h"
+#include "cq/parser.h"
+#include "eval/brute.h"
+
+namespace omqe {
+
+SparseMatrix GenSparseMatrix(uint32_t n, uint32_t ones, uint64_t seed) {
+  Rng rng(seed);
+  SparseMatrix m;
+  FlatMap<uint64_t, char> seen;
+  while (m.size() < ones) {
+    uint32_t r = static_cast<uint32_t>(rng.Below(n));
+    uint32_t c = static_cast<uint32_t>(rng.Below(n));
+    char& flag = seen.InsertOrGet((static_cast<uint64_t>(r) << 32) | c, 0);
+    if (flag) continue;
+    flag = 1;
+    m.push_back({r, c});
+  }
+  return m;
+}
+
+SparseMatrix DirectSparseBmm(const SparseMatrix& m1, const SparseMatrix& m2) {
+  // Index m2 by row; join on m1's column; dedup the output.
+  FlatMap<uint32_t, std::vector<uint32_t>*> by_row;
+  std::vector<std::unique_ptr<std::vector<uint32_t>>> storage;
+  for (const auto& [r, c] : m2) {
+    std::vector<uint32_t>*& list = by_row.InsertOrGet(r, nullptr);
+    if (list == nullptr) {
+      storage.push_back(std::make_unique<std::vector<uint32_t>>());
+      list = storage.back().get();
+    }
+    list->push_back(c);
+  }
+  SparseMatrix out;
+  FlatMap<uint64_t, char> seen;
+  for (const auto& [r, c] : m1) {
+    std::vector<uint32_t>** list = by_row.Find(c);
+    if (list == nullptr) continue;
+    for (uint32_t c2 : **list) {
+      char& flag = seen.InsertOrGet((static_cast<uint64_t>(r) << 32) | c2, 0);
+      if (flag) continue;
+      flag = 1;
+      out.push_back({r, c2});
+    }
+  }
+  return out;
+}
+
+void PadMatrices(uint32_t n, SparseMatrix* m1, SparseMatrix* m2) {
+  // Shift into [2, n+2) and use rows/cols 0 and 1 as in Theorem 4.4: every
+  // productive index c gets M(c, a1) = M(a2, c) = 1 through the reserved
+  // rows/columns, without changing the product on the shifted block.
+  for (auto& [r, c] : *m1) {
+    r += 2;
+    c += 2;
+  }
+  for (auto& [r, c] : *m2) {
+    r += 2;
+    c += 2;
+  }
+  std::vector<bool> productive(n + 2, false);
+  for (const auto& [r, c] : *m1) {
+    productive[r] = productive[c] = true;
+  }
+  for (const auto& [r, c] : *m2) {
+    productive[r] = productive[c] = true;
+  }
+  m1->push_back({0, 0});
+  m1->push_back({1, 1});
+  m2->push_back({0, 0});
+  m2->push_back({1, 1});
+  for (uint32_t c = 2; c < n + 2; ++c) {
+    if (!productive[c]) continue;
+    // Outgoing and incoming ones via the reserved indices. M1(c, 0) and
+    // M1(1, c) are harmless: M2's row 0 only has entry (0,0) and column
+    // checks mirror this.
+    m1->push_back({c, 0});
+    m1->push_back({1, c});
+    m2->push_back({c, 0});
+    m2->push_back({1, c});
+  }
+}
+
+OMQ BmmOMQ(Vocabulary* vocab) {
+  Ontology empty;
+  CQ q = MustParseCQ("q(x, y) :- R0(x, z), R1(z, y)", vocab);
+  return MakeOMQ(std::move(empty), std::move(q));
+}
+
+void BuildBmmDatabase(const SparseMatrix& m1, const SparseMatrix& m2, Database* db) {
+  Vocabulary* vocab = db->vocab();
+  RelId r0 = vocab->RelationId("R0", 2);
+  RelId r1 = vocab->RelationId("R1", 2);
+  auto idx = [&](uint32_t i) { return vocab->ConstantId(StrPrintf("i%u", i)); };
+  for (const auto& [r, c] : m1) {
+    Value t[2] = {idx(r), idx(c)};
+    db->AddFact(r0, t, 2);
+  }
+  for (const auto& [r, c] : m2) {
+    Value t[2] = {idx(r), idx(c)};
+    db->AddFact(r1, t, 2);
+  }
+}
+
+SparseMatrix BmmViaOMQ(uint32_t n, const SparseMatrix& m1, const SparseMatrix& m2) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  OMQ omq = BmmOMQ(&vocab);
+  BuildBmmDatabase(m1, m2, &db);
+  SparseMatrix out;
+  // Parse back "i<row>" constants into indices.
+  std::vector<ValueTuple> answers = BruteCompleteAnswers(omq.query, db);
+  for (const ValueTuple& t : answers) {
+    uint32_t r = static_cast<uint32_t>(
+        std::strtoul(vocab.ValueName(t[0]).c_str() + 1, nullptr, 10));
+    uint32_t c = static_cast<uint32_t>(
+        std::strtoul(vocab.ValueName(t[1]).c_str() + 1, nullptr, 10));
+    if (r < n && c < n) out.push_back({r, c});
+  }
+  return out;
+}
+
+}  // namespace omqe

@@ -1,0 +1,46 @@
+// The sparse Boolean matrix multiplication reduction of Theorem 4.4 as
+// runnable code: the OMQ Q = (∅, S, q(x,y) :- R0(x,z), R1(z,y)) is acyclic,
+// self-join free, connected and NOT free-connex; enumerating its answers on
+// the database built from two matrices yields exactly the non-zeroes of
+// M1·M2 (Lemma D.4), and the number of minimal partial answers is
+// O(|M1| + |M2| + |M1M2|) (Lemma D.5).
+//
+// Matrices are sparse: lists of (row, col) pairs with a 1-entry.
+#ifndef OMQE_REDUCTIONS_BMM_H_
+#define OMQE_REDUCTIONS_BMM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/omq.h"
+#include "data/database.h"
+
+namespace omqe {
+
+using SparseMatrix = std::vector<std::pair<uint32_t, uint32_t>>;
+
+/// Random sparse n x n Boolean matrix with `ones` distinct 1-entries.
+SparseMatrix GenSparseMatrix(uint32_t n, uint32_t ones, uint64_t seed);
+
+/// Direct hash-join sparse multiplication (the comparator).
+SparseMatrix DirectSparseBmm(const SparseMatrix& m1, const SparseMatrix& m2);
+
+/// Pads both matrices so that every productive index has both an incoming
+/// and an outgoing 1 (the paper's property (*)); entries land at +2 offsets
+/// exactly as in the proof of Theorem 4.4.
+void PadMatrices(uint32_t n, SparseMatrix* m1, SparseMatrix* m2);
+
+/// The reduction OMQ and its database: R0 holds m1, R1 holds m2.
+OMQ BmmOMQ(Vocabulary* vocab);
+void BuildBmmDatabase(const SparseMatrix& m1, const SparseMatrix& m2, Database* db);
+
+/// Multiplies via the OMQ: builds the database, evaluates Q, and projects
+/// the answers back to index pairs. The engine cannot use the constant-
+/// delay enumerator here (the query is deliberately not free-connex — that
+/// is the point of Theorem 4.4); evaluation goes through the generic path.
+SparseMatrix BmmViaOMQ(uint32_t n, const SparseMatrix& m1, const SparseMatrix& m2);
+
+}  // namespace omqe
+
+#endif  // OMQE_REDUCTIONS_BMM_H_

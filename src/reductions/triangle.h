@@ -1,0 +1,40 @@
+// The triangle-detection reductions of Theorems 3.4 / 3.6 / 5.1 as runnable
+// code. Conditional lower bounds cannot be executed, but their reductions
+// can: triangle detection is solved *through* the OMQ machinery, which both
+// demonstrates the constructions and stress-tests the engine.
+//
+// Gadget (the paper's (G,CQ) construction from Theorem 5.1's proof):
+//   O = { R(x1,x2) -> ∃y1,y2,y3. R{y1,y2} ∧ R{y2,y3} ∧ R{y3,y1} }
+//   q(x,y,z) = R{x,y} ∧ R{y,z} ∧ R{z,x}      (R{a,b} = R(a,b) ∧ R(b,a))
+//   D_G = symmetric closure of G.
+// Then (*,*,*) is always a partial answer, and it is a MINIMAL partial
+// answer iff G is triangle-free; equivalently q has a complete answer iff
+// G has a triangle.
+#ifndef OMQE_REDUCTIONS_TRIANGLE_H_
+#define OMQE_REDUCTIONS_TRIANGLE_H_
+
+#include "chase/query_directed.h"
+#include "core/omq.h"
+#include "data/database.h"
+#include "workload/graphs.h"
+
+namespace omqe {
+
+/// The gadget OMQ (registers R in `vocab`).
+OMQ TriangleGadgetOMQ(Vocabulary* vocab);
+
+/// Chase options suitable for the gadget (its oblivious chase branches
+/// 6-ways per level; excursion depth 3 suffices for the 3-variable query).
+QdcOptions TriangleGadgetChaseOptions();
+
+/// Decides triangle existence by single-testing the minimality of (*,*,*)
+/// (Theorem 5.1's reduction): returns true iff `edges` has a triangle.
+bool DetectTriangleViaOMQ(const EdgeList& edges);
+
+/// Decides triangle existence by Boolean evaluation of the gadget query
+/// over the symmetric closure (Theorem 3.4's shape, no ontology needed).
+bool DetectTriangleViaBooleanCQ(const EdgeList& edges);
+
+}  // namespace omqe
+
+#endif  // OMQE_REDUCTIONS_TRIANGLE_H_

@@ -1,0 +1,178 @@
+#include "tgd/parser.h"
+
+#include <cctype>
+
+#include "base/str.h"
+
+namespace omqe {
+
+namespace {
+
+// A minimal atom-list parser over the TGD variable namespace. Kept separate
+// from the CQ parser because terms here must be variables (no constants).
+class TgdLexer {
+ public:
+  explicit TgdLexer(std::string_view text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool ConsumeWord(std::string_view w) {
+    SkipSpace();
+    if (text_.substr(pos_, w.size()) != w) return false;
+    size_t end = pos_ + w.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) || text_[end] == '_')) {
+      return false;
+    }
+    pos_ = end;
+    return true;
+  }
+  StatusOr<std::string> Ident() {
+    SkipSpace();
+    size_t start = pos_;
+    if (pos_ < text_.size() &&
+        (std::isalpha(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+      ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_')) {
+        ++pos_;
+      }
+      return std::string(text_.substr(start, pos_ - start));
+    }
+    return Status::ParseError("expected identifier in TGD");
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+Status ParseTgdAtoms(TgdLexer& lex, Vocabulary* vocab, TGD* tgd, bool body) {
+  while (true) {
+    auto rel_name = lex.Ident();
+    if (!rel_name.ok()) return rel_name.status();
+    if (!lex.Consume('(')) {
+      return Status::ParseError("expected '(' after relation " + rel_name.value());
+    }
+    Atom atom;
+    SmallVec<Term, 4> terms;
+    if (!lex.Consume(')')) {
+      while (true) {
+        auto v = lex.Ident();
+        if (!v.ok()) return Status::ParseError("TGD terms must be variables");
+        terms.push_back(MakeVarTerm(tgd->AddVar(v.value())));
+        if (lex.Consume(')')) break;
+        if (!lex.Consume(',')) return Status::ParseError("expected ',' or ')' in atom");
+      }
+    }
+    atom.rel = vocab->TryRelationId(rel_name.value(), terms.size());
+    if (atom.rel == UINT32_MAX) {
+      return Status::ParseError("arity mismatch for relation " + rel_name.value());
+    }
+    atom.terms = std::move(terms);
+    if (body) {
+      tgd->AddBodyAtom(std::move(atom));
+    } else {
+      tgd->AddHeadAtom(std::move(atom));
+    }
+    if (!lex.Consume(',')) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<TGD> ParseTGD(std::string_view line, Vocabulary* vocab) {
+  size_t arrow = line.find("->");
+  if (arrow == std::string_view::npos) {
+    return Status::ParseError("TGD is missing '->': " + std::string(line));
+  }
+  TGD tgd;
+
+  TgdLexer body_lex(line.substr(0, arrow));
+  if (!body_lex.ConsumeWord("true")) {
+    OMQE_RETURN_IF_ERROR(ParseTgdAtoms(body_lex, vocab, &tgd, /*body=*/true));
+  }
+  if (!body_lex.AtEnd()) return Status::ParseError("trailing input in TGD body");
+
+  TgdLexer head_lex(line.substr(arrow + 2));
+  std::vector<std::string> declared_exists;
+  if (head_lex.ConsumeWord("exists")) {
+    while (true) {
+      auto v = head_lex.Ident();
+      if (!v.ok()) return v.status();
+      declared_exists.push_back(v.value());
+      if (!head_lex.Consume(',')) break;
+    }
+    if (!head_lex.Consume('.')) {
+      return Status::ParseError("expected '.' after exists clause");
+    }
+  }
+  OMQE_RETURN_IF_ERROR(ParseTgdAtoms(head_lex, vocab, &tgd, /*body=*/false));
+  if (!head_lex.AtEnd()) return Status::ParseError("trailing input in TGD head");
+
+  // Validate the exists clause: declared variables must be exactly the head
+  // variables missing from the body.
+  if (!declared_exists.empty()) {
+    VarSet declared = 0;
+    for (const std::string& v : declared_exists) {
+      uint32_t id = tgd.FindVar(v);
+      if (id == UINT32_MAX) {
+        return Status::ParseError("declared existential '" + v + "' not used in head");
+      }
+      declared |= VarBit(id);
+    }
+    if (declared != tgd.ExistentialVars()) {
+      return Status::ParseError("exists clause does not match head variables: " +
+                                std::string(line));
+    }
+  }
+  if (tgd.head().empty()) return Status::ParseError("TGD head must be non-empty");
+  return tgd;
+}
+
+StatusOr<Ontology> ParseOntology(std::string_view text, Vocabulary* vocab) {
+  Ontology onto;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    std::string_view line = Trim(text.substr(start, end - start));
+    start = end + 1;
+    if (line.empty() || line[0] == '#' || line[0] == '%') {
+      if (end == text.size()) break;
+      continue;
+    }
+    auto tgd = ParseTGD(line, vocab);
+    if (!tgd.ok()) return tgd.status();
+    onto.AddTGD(std::move(tgd).value());
+    if (end == text.size()) break;
+  }
+  return onto;
+}
+
+Ontology MustParseOntology(std::string_view text, Vocabulary* vocab) {
+  auto onto = ParseOntology(text, vocab);
+  if (!onto.ok()) {
+    std::fprintf(stderr, "ParseOntology: %s\n", onto.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(onto).value();
+}
+
+}  // namespace omqe

@@ -1,0 +1,30 @@
+// Text format for ontologies, one TGD per line:
+//
+//   Researcher(x) -> exists y. HasOffice(x, y)
+//   HasOffice(x, y) -> Office(y)
+//   Prof(x), HasOffice(x, y) -> LargeOffice(y)
+//   true -> exists x. Universe(x)
+//
+// Head variables absent from the body are existential; the optional
+// "exists v1, v2." clause documents them and is validated when present.
+// '#' and '%' start comments; blank lines are skipped.
+#ifndef OMQE_TGD_PARSER_H_
+#define OMQE_TGD_PARSER_H_
+
+#include <string_view>
+
+#include "base/status.h"
+#include "data/schema.h"
+#include "tgd/tgd.h"
+
+namespace omqe {
+
+StatusOr<TGD> ParseTGD(std::string_view line, Vocabulary* vocab);
+StatusOr<Ontology> ParseOntology(std::string_view text, Vocabulary* vocab);
+
+/// Parses or aborts; for tests and examples.
+Ontology MustParseOntology(std::string_view text, Vocabulary* vocab);
+
+}  // namespace omqe
+
+#endif  // OMQE_TGD_PARSER_H_

@@ -1,0 +1,192 @@
+#include "tgd/tgd.h"
+
+#include <algorithm>
+
+#include "cq/hypergraph.h"
+
+namespace omqe {
+
+uint32_t TGD::AddVar(std::string name) {
+  for (uint32_t i = 0; i < var_names_.size(); ++i) {
+    if (var_names_[i] == name) return i;
+  }
+  OMQE_CHECK(var_names_.size() < 64);
+  var_names_.push_back(std::move(name));
+  return static_cast<uint32_t>(var_names_.size() - 1);
+}
+
+uint32_t TGD::FindVar(const std::string& name) const {
+  for (uint32_t i = 0; i < var_names_.size(); ++i) {
+    if (var_names_[i] == name) return i;
+  }
+  return UINT32_MAX;
+}
+
+VarSet TGD::BodyVars() const {
+  VarSet s = 0;
+  for (const Atom& a : body_) s |= CQ::AtomVars(a);
+  return s;
+}
+
+VarSet TGD::HeadVars() const {
+  VarSet s = 0;
+  for (const Atom& a : head_) s |= CQ::AtomVars(a);
+  return s;
+}
+
+int TGD::GuardAtom() const {
+  VarSet all = BodyVars();
+  for (size_t i = 0; i < body_.size(); ++i) {
+    if ((all & ~CQ::AtomVars(body_[i])) == 0) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool TGD::IsGuarded() const { return body_.empty() || GuardAtom() >= 0; }
+
+namespace {
+
+// No R(x,x) atoms; no two distinct binary atoms over the same variable pair.
+bool NoLoopsOrMultiEdges(const std::vector<Atom>& atoms) {
+  std::vector<VarSet> pairs;
+  for (const Atom& a : atoms) {
+    if (a.terms.size() != 2) continue;
+    Term t0 = a.terms[0], t1 = a.terms[1];
+    if (!IsVarTerm(t0) || !IsVarTerm(t1)) continue;  // TGDs have no constants
+    if (VarOf(t0) == VarOf(t1)) return false;        // reflexive loop
+    VarSet pair = VarBit(VarOf(t0)) | VarBit(VarOf(t1));
+    if (std::find(pairs.begin(), pairs.end(), pair) != pairs.end()) return false;
+    pairs.push_back(pair);
+  }
+  return true;
+}
+
+// The undirected variable graph of `atoms` is a tree/forest (acyclic) —
+// counting parallel edges and loops as cycles, which NoLoopsOrMultiEdges
+// already excludes — and connected as a set of atoms.
+bool HeadIsTreeAndConnected(const std::vector<Atom>& atoms) {
+  if (atoms.empty()) return false;
+  // Count vertices and edges of the variable graph.
+  VarSet vars = 0;
+  size_t edges = 0;
+  for (const Atom& a : atoms) {
+    vars |= CQ::AtomVars(a);
+    if (a.terms.size() == 2 && IsVarTerm(a.terms[0]) && IsVarTerm(a.terms[1]) &&
+        VarOf(a.terms[0]) != VarOf(a.terms[1])) {
+      ++edges;
+    }
+  }
+  size_t n = static_cast<size_t>(__builtin_popcountll(vars));
+  // Connectivity of atoms via shared variables (union-find over atoms).
+  std::vector<int> comp(atoms.size());
+  for (size_t i = 0; i < atoms.size(); ++i) comp[i] = static_cast<int>(i);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      for (size_t j = 0; j < atoms.size(); ++j) {
+        if (comp[i] != comp[j] && (CQ::AtomVars(atoms[i]) & CQ::AtomVars(atoms[j]))) {
+          int from = std::max(comp[i], comp[j]);
+          int to = std::min(comp[i], comp[j]);
+          for (int& c : comp) {
+            if (c == from) c = to;
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+  for (int c : comp) {
+    if (c != comp[0]) return false;
+  }
+  // Connected variable graph with n vertices is a tree iff edges == n - 1.
+  return n == 0 || edges == n - 1;
+}
+
+}  // namespace
+
+bool TGD::IsELI() const {
+  if (!IsGuarded()) return false;
+  for (const std::vector<Atom>* part : {&body_, &head_}) {
+    for (const Atom& a : *part) {
+      if (a.terms.size() > 2) return false;
+    }
+  }
+  if (__builtin_popcountll(FrontierVars()) != 1) return false;
+  if (!NoLoopsOrMultiEdges(body_) || !NoLoopsOrMultiEdges(head_)) return false;
+  if (!HeadIsTreeAndConnected(head_)) return false;
+  return true;
+}
+
+std::string TGD::ToString(const Vocabulary& vocab) const {
+  auto render = [&](const std::vector<Atom>& atoms) {
+    std::string out;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += vocab.RelationName(atoms[i].rel);
+      out += '(';
+      for (uint32_t k = 0; k < atoms[i].terms.size(); ++k) {
+        if (k > 0) out += ',';
+        Term t = atoms[i].terms[k];
+        out += IsVarTerm(t) ? var_names_[VarOf(t)] : vocab.ValueName(ConstOf(t));
+      }
+      out += ')';
+    }
+    return out;
+  };
+  std::string out = body_.empty() ? "true" : render(body_);
+  out += " -> ";
+  VarSet ex = ExistentialVars();
+  if (ex) {
+    out += "exists ";
+    bool first = true;
+    VarSet rest = ex;
+    while (rest) {
+      uint32_t v = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      if (!first) out += ',';
+      out += var_names_[v];
+      first = false;
+    }
+    out += ". ";
+  }
+  out += render(head_);
+  return out;
+}
+
+bool Ontology::IsGuarded() const {
+  return std::all_of(tgds_.begin(), tgds_.end(),
+                     [](const TGD& t) { return t.IsGuarded(); });
+}
+
+bool Ontology::IsELI() const {
+  return std::all_of(tgds_.begin(), tgds_.end(),
+                     [](const TGD& t) { return t.IsELI(); });
+}
+
+SchemaSet Ontology::Symbols() const {
+  SchemaSet s;
+  for (const TGD& t : tgds_) {
+    for (const std::vector<Atom>* part : {&t.body(), &t.head()}) {
+      for (const Atom& a : *part) s.Add(a.rel);
+    }
+  }
+  return s;
+}
+
+uint32_t Ontology::MaxTgdVars() const {
+  uint32_t m = 0;
+  for (const TGD& t : tgds_) m = std::max(m, t.num_vars());
+  return m;
+}
+
+std::string Ontology::ToString(const Vocabulary& vocab) const {
+  std::string out;
+  for (const TGD& t : tgds_) {
+    out += t.ToString(vocab);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace omqe

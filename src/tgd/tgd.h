@@ -1,0 +1,81 @@
+// Tuple-generating dependencies and ontologies (finite TGD sets).
+// A TGD  phi(x̄, ȳ) -> ∃ z̄ psi(x̄, z̄)  keeps body and head as atom lists
+// over a per-TGD variable namespace; head variables not occurring in the
+// body are existential. TGDs contain no constants (paper Section 2).
+#ifndef OMQE_TGD_TGD_H_
+#define OMQE_TGD_TGD_H_
+
+#include <string>
+#include <vector>
+
+#include "cq/cq.h"
+#include "data/schema.h"
+
+namespace omqe {
+
+class TGD {
+ public:
+  uint32_t AddVar(std::string name);
+  uint32_t FindVar(const std::string& name) const;
+
+  void AddBodyAtom(Atom a) { body_.push_back(std::move(a)); }
+  void AddHeadAtom(Atom a) { head_.push_back(std::move(a)); }
+
+  const std::vector<Atom>& body() const { return body_; }
+  const std::vector<Atom>& head() const { return head_; }
+  uint32_t num_vars() const { return static_cast<uint32_t>(var_names_.size()); }
+  const std::string& var_name(uint32_t v) const { return var_names_[v]; }
+
+  VarSet BodyVars() const;
+  VarSet HeadVars() const;
+  /// Frontier: variables shared between body and head.
+  VarSet FrontierVars() const { return BodyVars() & HeadVars(); }
+  /// Existential: head variables that are not in the body.
+  VarSet ExistentialVars() const { return HeadVars() & ~BodyVars(); }
+
+  /// Guarded: body is empty (logical truth) or some body atom contains all
+  /// body variables.
+  bool IsGuarded() const;
+  /// Index of a guard atom in the body, or -1 (body empty or unguarded).
+  int GuardAtom() const;
+
+  /// ELI TGD (paper Section 2): guarded; only unary/binary symbols; exactly
+  /// one frontier variable; no reflexive loops or multi-edges in body or
+  /// head; head acyclic (a tree over its variables) and connected.
+  bool IsELI() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::vector<Atom> body_;
+  std::vector<Atom> head_;
+  std::vector<std::string> var_names_;
+};
+
+class Ontology {
+ public:
+  void AddTGD(TGD tgd) { tgds_.push_back(std::move(tgd)); }
+
+  const std::vector<TGD>& tgds() const { return tgds_; }
+  bool empty() const { return tgds_.empty(); }
+
+  /// True when every TGD is guarded (the class G).
+  bool IsGuarded() const;
+  /// True when every TGD is an ELI TGD.
+  bool IsELI() const;
+
+  /// All relation symbols occurring in the ontology.
+  SchemaSet Symbols() const;
+
+  /// Largest number of variables in any single TGD (0 if empty).
+  uint32_t MaxTgdVars() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::vector<TGD> tgds_;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_TGD_TGD_H_

@@ -1,0 +1,61 @@
+#include "workload/chains.h"
+
+#include "base/rng.h"
+#include "base/str.h"
+#include "cq/parser.h"
+#include "tgd/parser.h"
+
+namespace omqe {
+
+void GenerateChain(const ChainParams& params, Database* db) {
+  Vocabulary* vocab = db->vocab();
+  RelId seed_rel = vocab->RelationId("Seed", 1);
+  std::vector<RelId> rels;
+  for (uint32_t i = 1; i <= params.length; ++i) {
+    rels.push_back(vocab->RelationId(StrPrintf("R%u", i), 2));
+  }
+  Rng rng(params.seed);
+  auto layer_const = [&](uint32_t layer, uint32_t i) {
+    return vocab->ConstantId(StrPrintf("l%u_%u", layer, i));
+  };
+  for (uint32_t i = 0; i < params.base_size; ++i) {
+    if (rng.Chance(params.anonymous_fraction)) {
+      Value s = layer_const(0, i);
+      db->AddFact(seed_rel, &s, 1);
+      continue;  // only the ontology gives this constant a chain
+    }
+    for (uint32_t layer = 0; layer < params.length; ++layer) {
+      for (uint32_t f = 0; f < params.fanout; ++f) {
+        Value from = layer_const(layer, i);
+        Value to = layer_const(layer + 1, static_cast<uint32_t>(
+                                              rng.Below(params.base_size)));
+        Value t[2] = {from, to};
+        db->AddFact(rels[layer], t, 2);
+      }
+    }
+  }
+}
+
+CQ ChainQuery(Vocabulary* vocab, uint32_t length) {
+  std::string text = "q(";
+  for (uint32_t i = 0; i <= length; ++i) {
+    if (i) text += ", ";
+    text += StrPrintf("x%u", i);
+  }
+  text += ") :- ";
+  for (uint32_t i = 1; i <= length; ++i) {
+    if (i > 1) text += ", ";
+    text += StrPrintf("R%u(x%u, x%u)", i, i - 1, i);
+  }
+  return MustParseCQ(text, vocab);
+}
+
+Ontology ChainOntology(Vocabulary* vocab, uint32_t length) {
+  std::string text = "Seed(x) -> exists y. R1(x, y)\n";
+  for (uint32_t i = 1; i < length; ++i) {
+    text += StrPrintf("R%u(x, y) -> exists z. R%u(y, z)\n", i, i + 1);
+  }
+  return MustParseOntology(text, vocab);
+}
+
+}  // namespace omqe

@@ -1,0 +1,36 @@
+// Chain-join workloads for the delay experiments: k relations R1..Rk over a
+// layered domain with controlled fan-out, and the full chain query
+// q(x0..xk) :- R1(x0,x1), ..., Rk(x_{k-1},x_k), which is acyclic and
+// free-connex. Fan-out controls the output size independently of ||D||.
+#ifndef OMQE_WORKLOAD_CHAINS_H_
+#define OMQE_WORKLOAD_CHAINS_H_
+
+#include <cstdint>
+
+#include "core/omq.h"
+#include "data/database.h"
+
+namespace omqe {
+
+struct ChainParams {
+  uint32_t length = 3;          // number of relations
+  uint32_t base_size = 1000;    // constants per layer
+  uint32_t fanout = 2;          // outgoing edges per constant per relation
+  /// Fraction of layer-0 constants that only appear via an ontology rule
+  /// (existential heads), producing wildcard answers downstream.
+  double anonymous_fraction = 0.0;
+  uint64_t seed = 3;
+};
+
+void GenerateChain(const ChainParams& params, Database* db);
+
+/// Full chain query of the given length (free-connex acyclic).
+CQ ChainQuery(Vocabulary* vocab, uint32_t length);
+
+/// Ontology: Seed(x) -> exists y. R1(x, y); Ri(x,y) -> exists z. R_{i+1}(y,z)
+/// so anonymous seeds generate chains of nulls.
+Ontology ChainOntology(Vocabulary* vocab, uint32_t length);
+
+}  // namespace omqe
+
+#endif  // OMQE_WORKLOAD_CHAINS_H_

@@ -1,0 +1,95 @@
+#include "workload/graphs.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "base/flat_hash.h"
+#include "base/rng.h"
+#include "base/str.h"
+
+namespace omqe {
+
+namespace {
+uint64_t EdgeKey(uint32_t u, uint32_t v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+}  // namespace
+
+EdgeList GenErdosRenyi(uint32_t n, uint32_t m, uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges;
+  FlatMap<uint64_t, char> seen;
+  while (edges.size() < m) {
+    uint32_t u = static_cast<uint32_t>(rng.Below(n));
+    uint32_t v = static_cast<uint32_t>(rng.Below(n));
+    if (u == v) continue;
+    char& flag = seen.InsertOrGet(EdgeKey(u, v), 0);
+    if (flag) continue;
+    flag = 1;
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+EdgeList GenBipartite(uint32_t left, uint32_t right, uint32_t m, uint64_t seed) {
+  Rng rng(seed);
+  EdgeList edges;
+  FlatMap<uint64_t, char> seen;
+  while (edges.size() < m) {
+    uint32_t u = static_cast<uint32_t>(rng.Below(left));
+    uint32_t v = left + static_cast<uint32_t>(rng.Below(right));
+    char& flag = seen.InsertOrGet(EdgeKey(u, v), 0);
+    if (flag) continue;
+    flag = 1;
+    edges.push_back({u, v});
+  }
+  return edges;
+}
+
+void PlantTriangle(EdgeList* edges, uint32_t n) {
+  edges->push_back({n, n + 1});
+  edges->push_back({n + 1, n + 2});
+  edges->push_back({n + 2, n});
+}
+
+void GraphToSymmetricDb(const EdgeList& edges, RelId rel, Database* db) {
+  Vocabulary* vocab = db->vocab();
+  for (const Edge& e : edges) {
+    Value u = vocab->ConstantId(StrPrintf("v%u", e.first));
+    Value v = vocab->ConstantId(StrPrintf("v%u", e.second));
+    Value t1[2] = {u, v};
+    Value t2[2] = {v, u};
+    db->AddFact(rel, t1, 2);
+    db->AddFact(rel, t2, 2);
+  }
+}
+
+bool DetectTriangleDirect(const EdgeList& edges) {
+  // Adjacency-set intersection over the smaller endpoint neighborhoods.
+  FlatMap<uint64_t, char> adj;
+  FlatMap<uint32_t, std::vector<uint32_t>*> neighbors_map;
+  std::vector<std::unique_ptr<std::vector<uint32_t>>> storage;
+  for (const Edge& e : edges) {
+    adj.InsertOrGet(EdgeKey(e.first, e.second), 0) = 1;
+    for (auto [a, b] : {e, Edge{e.second, e.first}}) {
+      std::vector<uint32_t>*& list = neighbors_map.InsertOrGet(a, nullptr);
+      if (list == nullptr) {
+        storage.push_back(std::make_unique<std::vector<uint32_t>>());
+        list = storage.back().get();
+      }
+      list->push_back(b);
+    }
+  }
+  for (const Edge& e : edges) {
+    std::vector<uint32_t>** nu = neighbors_map.Find(e.first);
+    if (nu == nullptr) continue;
+    for (uint32_t w : **nu) {
+      if (w == e.second) continue;
+      if (adj.Find(EdgeKey(w, e.second)) != nullptr) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace omqe

@@ -1,0 +1,36 @@
+// Graph generators for the fine-grained lower-bound experiments: random
+// Erdős–Rényi graphs, triangle-free bipartite graphs, planted triangles.
+#ifndef OMQE_WORKLOAD_GRAPHS_H_
+#define OMQE_WORKLOAD_GRAPHS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/database.h"
+
+namespace omqe {
+
+using Edge = std::pair<uint32_t, uint32_t>;
+using EdgeList = std::vector<Edge>;
+
+/// G(n, m): m distinct undirected edges over n vertices (no self loops).
+EdgeList GenErdosRenyi(uint32_t n, uint32_t m, uint64_t seed);
+
+/// Random bipartite graph (triangle-free by construction).
+EdgeList GenBipartite(uint32_t left, uint32_t right, uint32_t m, uint64_t seed);
+
+/// Adds one triangle over three fresh vertices.
+void PlantTriangle(EdgeList* edges, uint32_t n);
+
+/// Loads the symmetric closure { R(u,v), R(v,u) } into db. Vertex i becomes
+/// the constant "v<i>".
+void GraphToSymmetricDb(const EdgeList& edges, RelId rel, Database* db);
+
+/// Textbook hash-based triangle detection, used as the direct comparator in
+/// the reduction benchmarks.
+bool DetectTriangleDirect(const EdgeList& edges);
+
+}  // namespace omqe
+
+#endif  // OMQE_WORKLOAD_GRAPHS_H_

@@ -1,0 +1,77 @@
+#include "workload/office.h"
+
+#include "base/rng.h"
+#include "base/str.h"
+#include "cq/parser.h"
+#include "tgd/parser.h"
+
+namespace omqe {
+
+void GenerateOffice(const OfficeParams& params, Database* db) {
+  Vocabulary* vocab = db->vocab();
+  RelId researcher = vocab->RelationId("Researcher", 1);
+  RelId has_office = vocab->RelationId("HasOffice", 2);
+  RelId in_building = vocab->RelationId("InBuilding", 2);
+  RelId prof = vocab->RelationId("Prof", 1);
+  RelId office_mate = vocab->RelationId("OfficeMate", 2);
+
+  Rng rng(params.seed);
+  for (uint32_t i = 0; i < params.researchers; ++i) {
+    Value r = vocab->ConstantId(StrPrintf("researcher%u", i));
+    db->AddFact(researcher, &r, 1);
+    if (rng.Chance(params.prof_fraction)) db->AddFact(prof, &r, 1);
+    if (rng.Chance(params.office_fraction)) {
+      Value office = vocab->ConstantId(StrPrintf("office%u", i));
+      Value t[2] = {r, office};
+      db->AddFact(has_office, t, 2);
+      if (rng.Chance(params.building_fraction)) {
+        // A small pool of buildings, so buildings are shared.
+        Value building =
+            vocab->ConstantId(StrPrintf("building%u", static_cast<uint32_t>(
+                                                          rng.Below(1 + i / 50))));
+        Value b[2] = {office, building};
+        db->AddFact(in_building, b, 2);
+      }
+    }
+  }
+  for (uint32_t m = 0; m < params.officemates; ++m) {
+    Value a = vocab->ConstantId(
+        StrPrintf("researcher%u", static_cast<uint32_t>(rng.Below(params.researchers))));
+    Value b = vocab->ConstantId(
+        StrPrintf("researcher%u", static_cast<uint32_t>(rng.Below(params.researchers))));
+    Value t[2] = {a, b};
+    db->AddFact(office_mate, t, 2);
+  }
+}
+
+Ontology OfficeOntology(Vocabulary* vocab, bool with_extensions) {
+  std::string text = R"(
+    Researcher(x) -> exists y. HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Office(x) -> exists y. InBuilding(x, y)
+  )";
+  if (with_extensions) {
+    text += R"(
+      Prof(x), HasOffice(x, y) -> LargeOffice(y)
+      OfficeMate(x, y) -> exists z. HasOffice(x, z), HasOffice(y, z)
+    )";
+  }
+  return MustParseOntology(text, vocab);
+}
+
+CQ OfficeQuery(Vocabulary* vocab) {
+  return MustParseCQ("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)", vocab);
+}
+
+CQ LargeOfficeQuery(Vocabulary* vocab) {
+  return MustParseCQ(
+      "q(x1, x2, x3, x4) :- HasOffice(x1, x2), LargeOffice(x2), "
+      "HasOffice(x1, x3), InBuilding(x3, x4)",
+      vocab);
+}
+
+OMQ OfficeOMQ(Vocabulary* vocab) {
+  return MakeOMQ(OfficeOntology(vocab), OfficeQuery(vocab));
+}
+
+}  // namespace omqe

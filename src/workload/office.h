@@ -1,0 +1,46 @@
+// The paper's running example (Examples 1.1 / 2.2) scaled to arbitrary
+// size: researchers, a fraction of whom have named offices, a fraction of
+// which have named buildings; optional professors and office-mates for the
+// Example 2.2 extensions. Deterministic in the seed.
+#ifndef OMQE_WORKLOAD_OFFICE_H_
+#define OMQE_WORKLOAD_OFFICE_H_
+
+#include <cstdint>
+
+#include "core/omq.h"
+#include "data/database.h"
+
+namespace omqe {
+
+struct OfficeParams {
+  uint32_t researchers = 1000;
+  /// Fraction of researchers with a named office in the data.
+  double office_fraction = 0.6;
+  /// Fraction of named offices with a named building.
+  double building_fraction = 0.5;
+  /// Fraction of researchers marked Prof (Example 2.2's O').
+  double prof_fraction = 0.0;
+  /// Number of OfficeMate pairs (Example 2.2's O'').
+  uint32_t officemates = 0;
+  uint64_t seed = 1;
+};
+
+/// Generates the database into `db` (which must be empty).
+void GenerateOffice(const OfficeParams& params, Database* db);
+
+/// Example 1.1's ontology (extended with the Example 2.2 TGDs when
+/// `with_extensions`).
+Ontology OfficeOntology(Vocabulary* vocab, bool with_extensions = false);
+
+/// q(x1,x2,x3) :- HasOffice(x1,x2), InBuilding(x2,x3)   (Example 1.1)
+CQ OfficeQuery(Vocabulary* vocab);
+
+/// The Example 2.2 Q' query over LargeOffice.
+CQ LargeOfficeQuery(Vocabulary* vocab);
+
+/// Convenience: the Example 1.1 OMQ.
+OMQ OfficeOMQ(Vocabulary* vocab);
+
+}  // namespace omqe
+
+#endif  // OMQE_WORKLOAD_OFFICE_H_

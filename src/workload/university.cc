@@ -1,0 +1,76 @@
+#include "workload/university.h"
+
+#include "base/rng.h"
+#include "base/str.h"
+#include "cq/parser.h"
+#include "tgd/parser.h"
+
+namespace omqe {
+
+void GenerateUniversity(const UniversityParams& params, Database* db) {
+  Vocabulary* vocab = db->vocab();
+  RelId professor = vocab->RelationId("Professor", 1);
+  RelId lecturer = vocab->RelationId("Lecturer", 1);
+  RelId student = vocab->RelationId("Student", 1);
+  RelId teaches = vocab->RelationId("Teaches", 2);
+  RelId in_dept = vocab->RelationId("InDept", 2);
+  RelId enrolled = vocab->RelationId("EnrolledIn", 2);
+
+  Rng rng(params.seed);
+  std::vector<Value> named_courses;
+  for (uint32_t i = 0; i < params.faculty; ++i) {
+    Value f = vocab->ConstantId(StrPrintf("fac%u", i));
+    db->AddFact(rng.Chance(0.5) ? professor : lecturer, &f, 1);
+    if (rng.Chance(params.course_fraction)) {
+      Value c = vocab->ConstantId(StrPrintf("course%u", i));
+      named_courses.push_back(c);
+      Value t[2] = {f, c};
+      db->AddFact(teaches, t, 2);
+      if (rng.Chance(params.dept_fraction)) {
+        Value d = vocab->ConstantId(
+            StrPrintf("dept%u", static_cast<uint32_t>(rng.Below(1 + i / 40))));
+        Value dd[2] = {c, d};
+        db->AddFact(in_dept, dd, 2);
+      }
+    }
+  }
+  for (uint32_t s = 0; s < params.students; ++s) {
+    Value sv = vocab->ConstantId(StrPrintf("student%u", s));
+    db->AddFact(student, &sv, 1);
+    if (named_courses.empty()) continue;
+    int n = static_cast<int>(params.enrollments_per_student + rng.NextDouble());
+    for (int e = 0; e < n; ++e) {
+      Value c = named_courses[rng.Below(named_courses.size())];
+      Value t[2] = {sv, c};
+      db->AddFact(enrolled, t, 2);
+    }
+  }
+}
+
+Ontology UniversityOntology(Vocabulary* vocab) {
+  return MustParseOntology(R"(
+    Professor(x) -> Faculty(x)
+    Lecturer(x) -> Faculty(x)
+    Faculty(x) -> exists y. Teaches(x, y)
+    Teaches(x, y) -> Course(y)
+    Course(x) -> exists y. InDept(x, y)
+    InDept(x, y) -> Dept(y)
+    Student(x) -> exists y. EnrolledIn(x, y)
+    EnrolledIn(x, y) -> Course(y)
+  )",
+                           vocab);
+}
+
+CQ CatalogQuery(Vocabulary* vocab) {
+  return MustParseCQ("q(f, c, d) :- Teaches(f, c), InDept(c, d)", vocab);
+}
+
+CQ TeachersOfStudentsQuery(Vocabulary* vocab) {
+  return MustParseCQ("q(s, c, f) :- EnrolledIn(s, c), Teaches(f, c)", vocab);
+}
+
+OMQ CatalogOMQ(Vocabulary* vocab) {
+  return MakeOMQ(UniversityOntology(vocab), CatalogQuery(vocab));
+}
+
+}  // namespace omqe

@@ -1,0 +1,42 @@
+// A LUBM-style university workload whose ontology is pure ELI: faculty
+// teach courses (possibly anonymous), courses sit in departments, students
+// enroll. Exercises the (ELI, CQ) fragment end to end.
+#ifndef OMQE_WORKLOAD_UNIVERSITY_H_
+#define OMQE_WORKLOAD_UNIVERSITY_H_
+
+#include <cstdint>
+
+#include "core/omq.h"
+#include "data/database.h"
+
+namespace omqe {
+
+struct UniversityParams {
+  uint32_t faculty = 500;
+  uint32_t students = 2000;
+  /// Fraction of faculty with an explicitly named course.
+  double course_fraction = 0.7;
+  /// Fraction of named courses with an explicit department.
+  double dept_fraction = 0.5;
+  /// Average courses a student enrolls in (named courses only).
+  double enrollments_per_student = 2.0;
+  uint64_t seed = 7;
+};
+
+void GenerateUniversity(const UniversityParams& params, Database* db);
+
+/// The ELI ontology (all TGDs have one frontier variable, tree heads).
+Ontology UniversityOntology(Vocabulary* vocab);
+
+/// q(f, c, d) :- Teaches(f, c), InDept(c, d) — the catalog query.
+CQ CatalogQuery(Vocabulary* vocab);
+
+/// q(s, c, f) :- EnrolledIn(s, c), Teaches(f, c) — who teaches my courses.
+/// The join variable c is kept free so the query stays free-connex.
+CQ TeachersOfStudentsQuery(Vocabulary* vocab);
+
+OMQ CatalogOMQ(Vocabulary* vocab);
+
+}  // namespace omqe
+
+#endif  // OMQE_WORKLOAD_UNIVERSITY_H_

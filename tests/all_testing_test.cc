@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/all_testing.h"
+#include "core/baseline.h"
+#include "core/omq.h"
+#include "test_util.h"
+
+namespace omqe {
+namespace {
+
+using testing::World;
+
+// The tester must agree with the materialized answer set on every candidate
+// from adom^arity.
+void CheckAllCandidates(World& w, const Ontology& onto, const std::string& query) {
+  CQ q = w.Query(query);
+  OMQ omq = MakeOMQ(onto, q);
+  auto tester = AllTester::Create(omq, w.db);
+  ASSERT_TRUE(tester.ok()) << query << ": " << tester.status().ToString();
+  std::vector<ValueTuple> answers = BaselineCompleteAnswers(omq, w.db);
+  TupleMap<char> is_answer;
+  for (const auto& a : answers) is_answer.InsertOrGet(a.data(), a.size(), 1);
+
+  // Enumerate all candidate tuples over the original active domain.
+  std::vector<Value> dom;
+  for (Value v : w.db.ActiveDomain()) {
+    if (IsConstant(v)) dom.push_back(v);
+  }
+  uint32_t arity = q.arity();
+  std::vector<size_t> idx(arity, 0);
+  while (true) {
+    ValueTuple cand;
+    for (uint32_t i = 0; i < arity; ++i) cand.push_back(dom[idx[i]]);
+    bool want = is_answer.Find(cand.data(), cand.size()) != nullptr;
+    EXPECT_EQ((*tester)->Test(cand), want) << query << " on " << w.Render(cand);
+    // Advance the odometer.
+    uint32_t p = 0;
+    while (p < arity && ++idx[p] == dom.size()) idx[p++] = 0;
+    if (p == arity || arity == 0) break;
+  }
+}
+
+TEST(AllTesterTest, SimpleJoins) {
+  World w;
+  w.Load("R(a,b) R(b,c) R(c,a) S(b,d) S(c,d) T(d)");
+  Ontology empty;
+  CheckAllCandidates(w, empty, "q(x, y) :- R(x, y)");
+  CheckAllCandidates(w, empty, "q(x) :- R(x, y), S(y, z)");
+  CheckAllCandidates(w, empty, "q(x, y) :- R(x, y), S(y, z), T(z)");
+}
+
+TEST(AllTesterTest, FreeConnexButCyclicFullTriangle) {
+  // The full triangle is free-connex but not acyclic: all-testing must still
+  // work (Theorem 4.1(2) needs only free-connex).
+  World w;
+  w.Load("R(a,b) R(b,c) S(b,c) S(c,a) T(c,a) T(a,b)");
+  Ontology empty;
+  CheckAllCandidates(w, empty, "q(x, y, z) :- R(x, y), S(y, z), T(z, x)");
+}
+
+TEST(AllTesterTest, WithOntology) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    Researcher(x) -> exists y. HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+  )");
+  w.Load("Researcher(mary) HasOffice(mary, room1) HasOffice(bob, room2)");
+  CheckAllCandidates(w, onto, "q(x) :- Office(x)");
+  CheckAllCandidates(w, onto, "q(x, y) :- HasOffice(x, y), Office(y)");
+}
+
+TEST(AllTesterTest, RejectsNonFreeConnex) {
+  World w;
+  w.Load("R(a,b) S(b,c)");
+  Ontology empty;
+  CQ q = w.Query("q(x, y) :- R(x, z), S(z, y)");
+  EXPECT_FALSE(AllTester::Create(MakeOMQ(empty, q), w.db).ok());
+}
+
+TEST(AllTesterTest, RepeatedAnswerVarsAndIncoherentCandidates) {
+  World w;
+  w.Load("R(a,a) R(a,b)");
+  Ontology empty;
+  CQ q = w.Query("q(x, x) :- R(x, x)");
+  auto tester = AllTester::Create(MakeOMQ(empty, q), w.db);
+  ASSERT_TRUE(tester.ok());
+  EXPECT_TRUE((*tester)->Test(ValueTuple{w.C("a"), w.C("a")}));
+  EXPECT_FALSE((*tester)->Test(ValueTuple{w.C("a"), w.C("b")}));  // incoherent
+  EXPECT_FALSE((*tester)->Test(ValueTuple{w.C("b"), w.C("b")}));
+}
+
+TEST(AllTesterTest, BooleanComponentGatesEverything) {
+  World w;
+  w.Load("R(a,b)");
+  w.vocab.RelationId("Dead", 1);
+  Ontology empty;
+  CQ q = w.Query("q(x) :- R(x, y), Dead(z)");
+  auto tester = AllTester::Create(MakeOMQ(empty, q), w.db);
+  ASSERT_TRUE(tester.ok());
+  EXPECT_FALSE((*tester)->Test(ValueTuple{w.C("a")}));
+}
+
+}  // namespace
+}  // namespace omqe

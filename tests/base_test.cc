@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "base/flat_hash.h"
+#include "base/hash.h"
+#include "base/interner.h"
+#include "base/rng.h"
+#include "base/small_vec.h"
+#include "base/status.h"
+#include "base/str.h"
+#include "horn/horn.h"
+
+namespace omqe {
+namespace {
+
+TEST(SmallVecTest, InlineThenHeap) {
+  SmallVec<uint32_t, 4> v;
+  for (uint32_t i = 0; i < 100; ++i) v.push_back(i * 3);
+  ASSERT_EQ(v.size(), 100u);
+  for (uint32_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], i * 3);
+  SmallVec<uint32_t, 4> copy = v;
+  EXPECT_EQ(copy, v);
+  copy.push_back(1);
+  EXPECT_NE(copy, v);
+  SmallVec<uint32_t, 4> moved = std::move(copy);
+  EXPECT_EQ(moved.size(), 101u);
+}
+
+TEST(SmallVecTest, InitializerListAndCompare) {
+  SmallVec<uint32_t, 4> a{1, 2, 3};
+  SmallVec<uint32_t, 4> b{1, 2, 4};
+  EXPECT_TRUE(a < b);
+  EXPECT_FALSE(b < a);
+  EXPECT_TRUE(a.contains(2));
+  EXPECT_FALSE(a.contains(9));
+}
+
+TEST(SmallVecTest, ResizeAndClear) {
+  SmallVec<int, 2> v;
+  v.resize(10, 7);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[9], 7);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(FlatMapTest, InsertFindGrow) {
+  FlatMap<uint64_t, uint32_t> m;
+  for (uint64_t k = 1; k <= 10000; ++k) m.Put(k, static_cast<uint32_t>(k * 2));
+  EXPECT_EQ(m.size(), 10000u);
+  for (uint64_t k = 1; k <= 10000; ++k) {
+    auto* v = m.Find(k);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, k * 2);
+  }
+  EXPECT_EQ(m.Find(999999), nullptr);
+}
+
+TEST(FlatMapTest, InsertOrGetKeepsFirst) {
+  FlatMap<uint32_t, int> m;
+  m.InsertOrGet(5, 1);
+  m.InsertOrGet(5, 2);
+  EXPECT_EQ(*m.Find(5), 1);
+  m.Put(5, 3);
+  EXPECT_EQ(*m.Find(5), 3);
+}
+
+TEST(TupleMapTest, DistinctTuplesAndCollisions) {
+  TupleMap<uint32_t> m;
+  std::vector<std::vector<uint32_t>> keys;
+  for (uint32_t a = 0; a < 30; ++a) {
+    for (uint32_t b = 0; b < 30; ++b) {
+      keys.push_back({a, b, a ^ b});
+    }
+  }
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    m.InsertOrGet(keys[i].data(), 3, i);
+  }
+  EXPECT_EQ(m.size(), keys.size());
+  for (uint32_t i = 0; i < keys.size(); ++i) {
+    auto* v = m.Find(keys[i].data(), 3);
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+  }
+  uint32_t absent[3] = {99, 99, 99};
+  EXPECT_EQ(m.Find(absent, 3), nullptr);
+}
+
+TEST(TupleMapTest, VariableLengthKeysDoNotClash) {
+  TupleMap<int> m;
+  uint32_t k1[2] = {1, 2};
+  uint32_t k2[3] = {1, 2, 0};
+  m.InsertOrGet(k1, 2, 10);
+  m.InsertOrGet(k2, 3, 20);
+  EXPECT_EQ(*m.Find(k1, 2), 10);
+  EXPECT_EQ(*m.Find(k2, 3), 20);
+}
+
+TEST(InternerTest, RoundTrip) {
+  Interner in;
+  uint32_t a = in.Intern("alpha");
+  uint32_t b = in.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.Intern("alpha"), a);
+  EXPECT_EQ(in.Name(a), "alpha");
+  EXPECT_EQ(in.Lookup("beta"), b);
+  EXPECT_EQ(in.Lookup("gamma"), UINT32_MAX);
+  EXPECT_EQ(in.size(), 2u);
+}
+
+TEST(InternerTest, ManyStrings) {
+  Interner in;
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(in.Intern("s" + std::to_string(i)), static_cast<uint32_t>(i));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(in.Lookup("s" + std::to_string(i)), static_cast<uint32_t>(i));
+  }
+}
+
+TEST(RngTest, DeterministicAndRoughlyUniform) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+  Rng r(7);
+  int buckets[10] = {0};
+  for (int i = 0; i < 10000; ++i) ++buckets[r.Below(10)];
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GT(buckets[i], 800);
+    EXPECT_LT(buckets[i], 1200);
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng r(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(StrTest, TrimSplitPrintf) {
+  EXPECT_EQ(Trim("  a b \n"), "a b");
+  auto parts = SplitTrim("a, b ,,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
+}
+
+TEST(StatusTest, Basics) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  Status bad = Status::InvalidArgument("nope");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.ToString(), "INVALID_ARGUMENT: nope");
+  StatusOr<int> v = 5;
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(*v, 5);
+  StatusOr<int> e = Status::ParseError("x");
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kParseError);
+}
+
+TEST(HornTest, FactsPropagate) {
+  HornFormula h;
+  uint32_t a = h.AddVar(), b = h.AddVar(), c = h.AddVar(), d = h.AddVar();
+  h.AddClause({}, a);
+  h.AddClause({a}, b);
+  h.AddClause({a, b}, c);
+  h.AddClause({c, d}, d);  // d never derivable
+  auto model = h.MinimalModel();
+  EXPECT_TRUE(model[a]);
+  EXPECT_TRUE(model[b]);
+  EXPECT_TRUE(model[c]);
+  EXPECT_FALSE(model[d]);
+}
+
+TEST(HornTest, MinimalityNoSpuriousTruth) {
+  HornFormula h;
+  uint32_t a = h.AddVar(), b = h.AddVar();
+  h.AddClause({a}, b);
+  auto model = h.MinimalModel();
+  EXPECT_FALSE(model[a]);
+  EXPECT_FALSE(model[b]);
+}
+
+TEST(HornTest, RepeatedBodyLiteral) {
+  HornFormula h;
+  uint32_t a = h.AddVar(), b = h.AddVar();
+  h.AddClause({a, a}, b);
+  h.AddClause({}, a);
+  auto model = h.MinimalModel();
+  EXPECT_TRUE(model[b]);
+}
+
+TEST(HornTest, LargeChain) {
+  HornFormula h;
+  std::vector<uint32_t> vars;
+  for (int i = 0; i < 100000; ++i) vars.push_back(h.AddVar());
+  h.AddClause({}, vars[0]);
+  for (int i = 1; i < 100000; ++i) h.AddClause({vars[i - 1]}, vars[i]);
+  auto model = h.MinimalModel();
+  EXPECT_TRUE(model[vars.back()]);
+}
+
+TEST(HashTest, SpanHashDiscriminates) {
+  uint32_t a[3] = {1, 2, 3};
+  uint32_t b[3] = {1, 3, 2};
+  uint32_t c[2] = {1, 2};
+  EXPECT_NE(HashSpan32(a, 3), HashSpan32(b, 3));
+  EXPECT_NE(HashSpan32(a, 3), HashSpan32(c, 2));
+  EXPECT_EQ(HashSpan32(a, 3), HashSpan32(a, 3));
+}
+
+}  // namespace
+}  // namespace omqe

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "data/database.h"
+#include "data/index.h"
+#include "data/schema.h"
+#include "data/value.h"
+#include "test_util.h"
+
+namespace omqe {
+namespace {
+
+using testing::World;
+
+TEST(ValueTest, TagDiscipline) {
+  Value c = 5;
+  Value n = MakeNull(7);
+  Value w = MakeWildcard(2);
+  EXPECT_TRUE(IsConstant(c));
+  EXPECT_FALSE(IsConstant(n));
+  EXPECT_TRUE(IsNull(n));
+  EXPECT_FALSE(IsNull(w));
+  EXPECT_TRUE(IsWildcard(w));
+  EXPECT_TRUE(IsWildcard(kStar));
+  EXPECT_EQ(NullIndex(n), 7u);
+  EXPECT_EQ(WildcardIndex(w), 2u);
+  EXPECT_EQ(WildcardIndex(kStar), 0u);
+}
+
+TEST(VocabularyTest, RelationsAndConstants) {
+  Vocabulary v;
+  RelId r = v.RelationId("R", 2);
+  EXPECT_EQ(v.RelationId("R", 2), r);
+  EXPECT_EQ(v.Arity(r), 2u);
+  EXPECT_EQ(v.RelationName(r), "R");
+  EXPECT_EQ(v.TryRelationId("R", 3), UINT32_MAX);
+  RelId fresh = v.FreshRelation("R", 1);
+  EXPECT_NE(fresh, r);
+  EXPECT_NE(v.RelationName(fresh), "R");
+  Value c = v.ConstantId("mary");
+  EXPECT_EQ(v.ConstantId("mary"), c);
+  EXPECT_EQ(v.ValueName(c), "mary");
+  EXPECT_EQ(v.ValueName(MakeNull(3)), "_:n3");
+  EXPECT_EQ(v.ValueName(kStar), "*");
+  EXPECT_EQ(v.ValueName(MakeWildcard(2)), "*_2");
+}
+
+TEST(DatabaseTest, AddDedupAndSize) {
+  World w;
+  w.Load("R(a,b) R(a,b) R(b,c) A(a)");
+  EXPECT_EQ(w.db.TotalFacts(), 3u);
+  RelId r = w.vocab.FindRelation("R");
+  EXPECT_EQ(w.db.NumRows(r), 2u);
+  Value key[2] = {w.C("a"), w.C("b")};
+  EXPECT_TRUE(w.db.Contains(r, key, 2));
+  key[1] = w.C("z");
+  EXPECT_FALSE(w.db.Contains(r, key, 2));
+  // ||D|| counts facts weighted by arity + 1.
+  EXPECT_EQ(w.db.SizeBound(), 2 * 3 + 1 * 2u);
+}
+
+TEST(DatabaseTest, ActiveDomainAndNulls) {
+  World w;
+  w.Load("R(a,b)");
+  RelId r = w.vocab.FindRelation("R");
+  Value null = w.db.FreshNull();
+  Value t[2] = {w.C("a"), null};
+  w.db.AddFact(r, t, 2);
+  auto dom = w.db.ActiveDomain();
+  EXPECT_EQ(dom.size(), 3u);  // a, b, null
+  EXPECT_TRUE(w.db.HasNulls());
+  EXPECT_EQ(w.db.NullHighWater(), 1u);
+}
+
+TEST(DatabaseTest, ToStringListsFacts) {
+  World w;
+  w.Load("R(a,b)");
+  std::string s = w.db.ToString();
+  EXPECT_NE(s.find("R(a,b)"), std::string::npos);
+}
+
+TEST(PositionIndexTest, LookupByBoundPositions) {
+  World w;
+  w.Load("E(a,b) E(a,c) E(b,c) E(c,a)");
+  RelId e = w.vocab.FindRelation("E");
+  PositionIndex by_first(w.db, e, {0});
+  Value key[1] = {w.C("a")};
+  int count = 0;
+  for (auto m = by_first.Lookup(key); !m.Done(); m.Next()) ++count;
+  EXPECT_EQ(count, 2);
+  key[0] = w.C("z");
+  EXPECT_FALSE(by_first.HasMatch(key));
+  // Empty key: all rows.
+  PositionIndex all(w.db, e, {});
+  count = 0;
+  for (auto m = all.Lookup(nullptr); !m.Done(); m.Next()) ++count;
+  EXPECT_EQ(count, 4);
+  // Both positions.
+  PositionIndex by_both(w.db, e, {0, 1});
+  Value key2[2] = {w.C("b"), w.C("c")};
+  EXPECT_TRUE(by_both.HasMatch(key2));
+}
+
+TEST(PositionIndexTest, ChainsAscending) {
+  World w;
+  w.Load("E(a,b) E(a,c) E(a,d)");
+  RelId e = w.vocab.FindRelation("E");
+  PositionIndex idx(w.db, e, {0});
+  Value key[1] = {w.C("a")};
+  uint32_t prev = 0;
+  bool first = true;
+  for (auto m = idx.Lookup(key); !m.Done(); m.Next()) {
+    if (!first) EXPECT_GT(m.Row(), prev);
+    prev = m.Row();
+    first = false;
+  }
+}
+
+}  // namespace
+}  // namespace omqe

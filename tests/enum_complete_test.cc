@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "chase/query_directed.h"
+#include "core/complete_enum.h"
+#include "core/omq.h"
+#include "eval/brute.h"
+#include "test_util.h"
+
+namespace omqe {
+namespace {
+
+using testing::SameTupleSet;
+using testing::World;
+
+// Compares the enumerator against brute force over the same chase.
+void CheckAgainstBrute(World& w, const Ontology& onto, const std::string& query) {
+  CQ q = w.Query(query);
+  OMQ omq = MakeOMQ(onto, q);
+  auto e = CompleteEnumerator::Create(omq, w.db);
+  ASSERT_TRUE(e.ok()) << query << ": " << e.status().ToString();
+  std::vector<ValueTuple> got;
+  ValueTuple t;
+  while ((*e)->Next(&t)) got.push_back(t);
+  // No duplicates.
+  std::vector<ValueTuple> sorted = got;
+  SortTuples(&sorted);
+  for (size_t i = 1; i < sorted.size(); ++i) EXPECT_NE(sorted[i - 1], sorted[i]);
+  // Ground truth over the same chase instance.
+  std::vector<ValueTuple> want = BruteCompleteAnswers(q, (*e)->chase().db);
+  EXPECT_TRUE(SameTupleSet(got, want))
+      << query << ": got " << got.size() << " want " << want.size();
+}
+
+TEST(CompleteEnumTest, Example11CompleteAnswers) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    Researcher(x) -> exists y. HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Office(x) -> exists y. InBuilding(x, y)
+  )");
+  w.Load(R"(
+    Researcher(mary) Researcher(john) Researcher(mike)
+    HasOffice(mary, room1) HasOffice(john, room4)
+    InBuilding(room1, main1)
+  )");
+  CQ q = w.Query("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)");
+  OMQ omq = MakeOMQ(onto, q);
+  auto e = CompleteEnumerator::Create(omq, w.db);
+  ASSERT_TRUE(e.ok());
+  std::vector<ValueTuple> got;
+  ValueTuple t;
+  while ((*e)->Next(&t)) got.push_back(t);
+  // The only complete answer is (mary, room1, main1).
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(w.Render(got[0]), "mary,room1,main1");
+}
+
+TEST(CompleteEnumTest, OntologyDerivedAnswers) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    Prof(x) -> Employee(x)
+    Postdoc(x) -> Employee(x)
+  )");
+  w.Load("Prof(ada) Postdoc(bob) Employee(carl)");
+  CheckAgainstBrute(w, onto, "q(x) :- Employee(x)");
+}
+
+TEST(CompleteEnumTest, VariousQueriesNoOntology) {
+  World w;
+  w.Load(R"(
+    R(a,b) R(b,c) R(c,a) R(a,c)
+    S(b,u) S(c,v) T(u) T(v) A(a) A(b) B(c)
+  )");
+  Ontology empty;
+  for (const std::string& query : {
+           "q(x, y) :- R(x, y)",
+           "q(x) :- R(x, y), S(y, z), T(z)",
+           "q(x, y) :- R(x, y), S(y, z)",
+           "q(x, y) :- A(x), B(y)",         // disconnected product
+           "q(x) :- R(x, y), S(y, z)",
+           "q(x, y) :- R(x, y), A(x)",
+           "q(x) :- R(x, x)",               // no match (no loops)
+           "q() :- R(x, y), S(y, z)",       // Boolean
+           "q(x, y, z) :- R(x, y), R(y, z)",  // self-join
+       }) {
+    CheckAgainstBrute(w, empty, query);
+  }
+}
+
+TEST(CompleteEnumTest, RepeatedAnswerVariable) {
+  World w;
+  w.Load("R(a,b) R(b,b)");
+  Ontology empty;
+  CQ q = w.Query("q(x, x, y) :- R(x, y)");
+  OMQ omq = MakeOMQ(empty, q);
+  auto e = CompleteEnumerator::Create(omq, w.db);
+  ASSERT_TRUE(e.ok());
+  std::vector<ValueTuple> got;
+  ValueTuple t;
+  while ((*e)->Next(&t)) got.push_back(t);
+  ASSERT_EQ(got.size(), 2u);
+  for (const auto& ans : got) EXPECT_EQ(ans[0], ans[1]);
+}
+
+TEST(CompleteEnumTest, AnswersThroughNullsOnlyWhenQuantified) {
+  // mike's office is a null: (mike, *) is not a complete answer to
+  // q(x,y) :- HasOffice(x,y), but mike IS an answer to q(x) :- HasOffice(x,y).
+  World w;
+  Ontology onto = w.Onto("Researcher(x) -> exists y. HasOffice(x, y)");
+  w.Load("Researcher(mike)");
+  CQ q2 = w.Query("q(x, y) :- HasOffice(x, y)");
+  auto e2 = CompleteEnumerator::Create(MakeOMQ(onto, q2), w.db);
+  ASSERT_TRUE(e2.ok());
+  ValueTuple t;
+  EXPECT_FALSE((*e2)->Next(&t));
+
+  CQ q1 = w.Query("q(x) :- HasOffice(x, y)");
+  auto e1 = CompleteEnumerator::Create(MakeOMQ(onto, q1), w.db);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE((*e1)->Next(&t));
+  EXPECT_EQ(w.Render(t), "mike");
+  EXPECT_FALSE((*e1)->Next(&t));
+}
+
+TEST(CompleteEnumTest, ResetRestartsEnumeration) {
+  World w;
+  w.Load("R(a,b) R(b,c)");
+  Ontology empty;
+  CQ q = w.Query("q(x, y) :- R(x, y)");
+  auto e = CompleteEnumerator::Create(MakeOMQ(empty, q), w.db);
+  ASSERT_TRUE(e.ok());
+  ValueTuple t;
+  int first_count = 0;
+  while ((*e)->Next(&t)) ++first_count;
+  (*e)->Reset();
+  int second_count = 0;
+  while ((*e)->Next(&t)) ++second_count;
+  EXPECT_EQ(first_count, 2);
+  EXPECT_EQ(second_count, 2);
+}
+
+TEST(CompleteEnumTest, RejectsBadInputs) {
+  World w;
+  w.Load("R(a,b) S(b,c)");
+  Ontology empty;
+  // Not free-connex.
+  CQ q = w.Query("q(x, y) :- R(x, z), S(z, y)");
+  EXPECT_FALSE(CompleteEnumerator::Create(MakeOMQ(empty, q), w.db).ok());
+  // Unguarded ontology.
+  Ontology unguarded = w.Onto("R(x, y), S(y, z) -> R(x, z)");
+  CQ q2 = w.Query("q(x, y) :- R(x, y)");
+  EXPECT_FALSE(CompleteEnumerator::Create(MakeOMQ(unguarded, q2), w.db).ok());
+}
+
+TEST(CompleteEnumTest, BooleanTrueAndFalse) {
+  World w;
+  w.Load("R(a,b)");
+  Ontology empty;
+  CQ yes = w.Query("q() :- R(x, y)");
+  auto e = CompleteEnumerator::Create(MakeOMQ(empty, yes), w.db);
+  ASSERT_TRUE(e.ok());
+  ValueTuple t;
+  EXPECT_TRUE((*e)->Next(&t));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE((*e)->Next(&t));
+
+  CQ no = w.Query("q() :- R(x, x)");
+  auto e2 = CompleteEnumerator::Create(MakeOMQ(empty, no), w.db);
+  ASSERT_TRUE(e2.ok());
+  EXPECT_FALSE((*e2)->Next(&t));
+}
+
+TEST(CompleteEnumTest, EmptyDatabase) {
+  World w;
+  w.vocab.RelationId("R", 2);
+  Ontology empty;
+  CQ q = MustParseCQ("q(x, y) :- R(x, y)", &w.vocab);
+  auto e = CompleteEnumerator::Create(MakeOMQ(empty, q), w.db);
+  ASSERT_TRUE(e.ok());
+  ValueTuple t;
+  EXPECT_FALSE((*e)->Next(&t));
+}
+
+}  // namespace
+}  // namespace omqe

@@ -1,0 +1,256 @@
+// Tests for the library extensions: simulations (Appendix A.3), UCQ
+// enumeration, the fact loader, and witness explanations.
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/omq.h"
+#include "core/containment.h"
+#include "core/ucq.h"
+#include "data/loader.h"
+#include "eval/brute.h"
+#include "cq/properties.h"
+#include "eval/simulation.h"
+#include "horn/horn.h"
+#include "test_util.h"
+
+namespace omqe {
+namespace {
+
+using testing::SameTupleSet;
+using testing::World;
+
+TEST(SimulationTest, BasicShapes) {
+  World w;
+  // I: a -R-> b with A(a); J: c -R-> d with A(c), plus extra structure.
+  w.Load("R(a,b) A(a)");
+  World w2;
+  w2.Load("R(c,d) A(c) R(d,e)");
+  // Align vocabularies: use one vocabulary for both databases.
+  Vocabulary vocab;
+  Database from(&vocab), to(&vocab);
+  ASSERT_TRUE(LoadFacts("R(a,b)\nA(a)", &from).ok());
+  ASSERT_TRUE(LoadFacts("R(c,d)\nA(c)\nR(d,e)", &to).ok());
+  auto checker = SimulationChecker::Create(from, to);
+  ASSERT_TRUE(checker.ok());
+  EXPECT_TRUE((*checker)->Simulates(vocab.FindConstant("a"), vocab.FindConstant("c")));
+  EXPECT_TRUE((*checker)->Simulates(vocab.FindConstant("b"), vocab.FindConstant("d")));
+  // c requires an A-label and an outgoing R-edge: b has neither.
+  EXPECT_FALSE((*checker)->Simulates(vocab.FindConstant("a"), vocab.FindConstant("d")));
+}
+
+TEST(SimulationTest, CycleSimulatedByLoopNotConversely) {
+  Vocabulary vocab;
+  Database cycle(&vocab), path(&vocab);
+  ASSERT_TRUE(LoadFacts("R(u, v)\nR(v, u)", &cycle).ok());
+  ASSERT_TRUE(LoadFacts("R(p0, p1)\nR(p1, p2)", &path).ok());
+  // Every node of the infinite-unfolding cycle simulates into ... nothing in
+  // a finite path (the path ends), so u is NOT simulated by p0.
+  EXPECT_FALSE(Simulates(cycle, vocab.FindConstant("u"), path,
+                         vocab.FindConstant("p0")));
+  // Conversely the path maps into the cycle.
+  EXPECT_TRUE(Simulates(path, vocab.FindConstant("p0"), cycle,
+                        vocab.FindConstant("u")));
+}
+
+TEST(SimulationTest, EliqAnswerPreservation) {
+  // Lemma A.4: if (D1, c1) <= (D2, c2) and c1 answers an ELIQ, so does c2.
+  Vocabulary vocab;
+  Database d1(&vocab), d2(&vocab);
+  ASSERT_TRUE(LoadFacts("Teaches(f1, c1)\nInDept(c1, dd1)", &d1).ok());
+  ASSERT_TRUE(
+      LoadFacts("Teaches(g1, e1)\nInDept(e1, dd2)\nTeaches(g1, e2)", &d2).ok());
+  CQ eliq = MustParseCQ("q(x) :- Teaches(x, y), InDept(y, z)", &vocab);
+  Value f1 = vocab.FindConstant("f1"), g1 = vocab.FindConstant("g1");
+  ASSERT_TRUE(Simulates(d1, f1, d2, g1));
+  HomSearch s1(eliq, d1), s2(eliq, d2);
+  std::vector<Value> pre1(eliq.num_vars(), kNoValue);
+  pre1[eliq.answer_vars()[0]] = f1;
+  std::vector<Value> pre2(eliq.num_vars(), kNoValue);
+  pre2[eliq.answer_vars()[0]] = g1;
+  EXPECT_TRUE(s1.HasHom(pre1));
+  EXPECT_TRUE(s2.HasHom(pre2));
+}
+
+TEST(SimulationTest, RejectsWideSchemas) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  RelId t3 = vocab.RelationId("T3", 3);
+  Value t[3] = {vocab.ConstantId("a"), vocab.ConstantId("b"), vocab.ConstantId("c")};
+  db.AddFact(t3, t, 3);
+  EXPECT_FALSE(SimulationChecker::Create(db, db).ok());
+}
+
+TEST(UcqTest, UnionWithoutDuplicates) {
+  World w;
+  Ontology onto = w.Onto("Prof(x) -> Employee(x)");
+  w.Load("Prof(ada) Employee(bob) Visitor(carl) Employee(ada)");
+  std::vector<CQ> disjuncts;
+  disjuncts.push_back(w.Query("q(x) :- Employee(x)"));
+  disjuncts.push_back(w.Query("q(x) :- Visitor(x)"));
+  disjuncts.push_back(w.Query("q(x) :- Prof(x)"));  // subsumed by disjunct 0
+  auto e = UcqEnumerator::Create(onto, std::move(disjuncts), w.db);
+  ASSERT_TRUE(e.ok());
+  std::vector<ValueTuple> got;
+  ValueTuple t;
+  while ((*e)->Next(&t)) got.push_back(t);
+  EXPECT_EQ(w.RenderAll(got), (std::vector<std::string>{"ada", "bob", "carl"}));
+}
+
+TEST(UcqTest, MatchesBruteUnion) {
+  World w;
+  Ontology empty;
+  w.Load("R(a,b) R(b,c) S(b,c) S(c,a) S(a,b)");
+  std::vector<CQ> disjuncts;
+  disjuncts.push_back(w.Query("q(x, y) :- R(x, y)"));
+  disjuncts.push_back(w.Query("q(x, y) :- S(x, y)"));
+  auto e = UcqEnumerator::Create(empty, disjuncts, w.db);
+  ASSERT_TRUE(e.ok());
+  std::vector<ValueTuple> got;
+  ValueTuple t;
+  while ((*e)->Next(&t)) got.push_back(t);
+  // Brute union.
+  std::vector<ValueTuple> want;
+  for (const CQ& q : disjuncts) {
+    for (auto& a : BruteCompleteAnswers(q, w.db)) want.push_back(a);
+  }
+  SortTuples(&want);
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+  EXPECT_TRUE(SameTupleSet(got, want));
+}
+
+TEST(UcqTest, RejectsMismatchedArity) {
+  World w;
+  Ontology empty;
+  w.Load("R(a,b)");
+  std::vector<CQ> disjuncts;
+  disjuncts.push_back(w.Query("q(x, y) :- R(x, y)"));
+  disjuncts.push_back(w.Query("q(x) :- R(x, y)"));
+  EXPECT_FALSE(UcqEnumerator::Create(empty, std::move(disjuncts), w.db).ok());
+}
+
+TEST(LoaderTest, ParsesFactsWithCommentsAndQuotes) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  Status s = LoadFacts(R"(
+    # a comment
+    HasOffice(mary, 'room 1')
+    HasOffice(john, room4).
+    % another comment
+    Researcher(mary)
+    Zero()
+  )",
+                       &db);
+  ASSERT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(db.TotalFacts(), 4u);
+  EXPECT_NE(vocab.FindConstant("room 1"), UINT32_MAX);
+  EXPECT_EQ(vocab.Arity(vocab.FindRelation("Zero")), 0u);
+}
+
+TEST(LoaderTest, Errors) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  EXPECT_FALSE(LoadFacts("NotAFact", &db).ok());
+  EXPECT_FALSE(LoadFacts("R(a", &db).ok());
+  ASSERT_TRUE(LoadFacts("R(a, b)", &db).ok());
+  EXPECT_FALSE(LoadFacts("R(a)", &db).ok());  // arity mismatch
+  EXPECT_FALSE(LoadFactsFromFile("/nonexistent/path.txt", &db).ok());
+}
+
+TEST(WitnessTest, ExplainsAnswersAndPartialAnswers) {
+  World w;
+  w.Load("R(a,b) S(b,c)");
+  CQ q = w.Query("q(x, z) :- R(x, y), S(y, z)");
+  // Positive witness.
+  auto hom = WitnessHomomorphism(q, w.db, {w.C("a"), w.C("c")});
+  ASSERT_TRUE(hom.has_value());
+  EXPECT_EQ((*hom)[q.FindVar("x")], w.C("a"));
+  EXPECT_EQ((*hom)[q.FindVar("y")], w.C("b"));
+  EXPECT_EQ((*hom)[q.FindVar("z")], w.C("c"));
+  // Negative.
+  EXPECT_FALSE(WitnessHomomorphism(q, w.db, {w.C("b"), w.C("c")}).has_value());
+  // Wildcard candidate: the witness shows what the wildcard stands for.
+  auto part = WitnessHomomorphism(q, w.db, {w.C("a"), kStar});
+  ASSERT_TRUE(part.has_value());
+  EXPECT_EQ((*part)[q.FindVar("z")], w.C("c"));
+  // Multi-wildcard equality constraint.
+  CQ q2 = w.Query("q(u, v) :- R(u, y), R(v, y)");
+  Value w1 = MakeWildcard(1);
+  auto multi = WitnessHomomorphism(q2, w.db, {w1, w1});
+  ASSERT_TRUE(multi.has_value());
+  EXPECT_EQ((*multi)[q2.FindVar("u")], (*multi)[q2.FindVar("v")]);
+}
+
+TEST(ContainmentTest, PlainCQContainment) {
+  // Classic CQ containment: q1(x) :- R(x,y), S(y)  is contained in
+  // q2(x) :- R(x,y)  but not conversely.
+  Vocabulary vocab;
+  Ontology empty;
+  CQ q1 = MustParseCQ("q(x) :- R(x, y), S(y)", &vocab);
+  CQ q2 = MustParseCQ("q(x) :- R(x, y)", &vocab);
+  auto fwd = IsContainedIn(empty, q1, q2, &vocab);
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_TRUE(*fwd);
+  auto bwd = IsContainedIn(empty, q2, q1, &vocab);
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_FALSE(*bwd);
+}
+
+TEST(ContainmentTest, OntologyMediatedEquivalence) {
+  // Example 3.5's rewriting yields an equivalent OMQ.
+  Vocabulary vocab;
+  Ontology onto = MustParseOntology(R"(
+    R(x, y) -> R1(x, y)
+    R1(x, y) -> R(x, y)
+  )", &vocab);
+  CQ q = MustParseCQ("q(x, y) :- R(x, y)", &vocab);
+  CQ q_renamed = MustParseCQ("q(x, y) :- R1(x, y)", &vocab);
+  auto eq = AreEquivalent(onto, q, q_renamed, &vocab);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+}
+
+TEST(ContainmentTest, SubsumptionViaHierarchy) {
+  Vocabulary vocab;
+  Ontology onto = MustParseOntology("Prof(x) -> Employee(x)", &vocab);
+  CQ profs = MustParseCQ("q(x) :- Prof(x)", &vocab);
+  CQ employees = MustParseCQ("q(x) :- Employee(x)", &vocab);
+  auto fwd = IsContainedIn(onto, profs, employees, &vocab);
+  ASSERT_TRUE(fwd.ok());
+  EXPECT_TRUE(*fwd);
+  auto bwd = IsContainedIn(onto, employees, profs, &vocab);
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_FALSE(*bwd);
+}
+
+TEST(HornGoalsTest, Satisfiability) {
+  HornFormula h;
+  uint32_t a = h.AddVar(), b = h.AddVar(), c = h.AddVar();
+  h.AddClause({}, a);
+  h.AddClause({a}, b);
+  h.AddGoal({b, c});
+  EXPECT_TRUE(h.Satisfiable());  // c is not derivable
+  h.AddClause({a}, c);
+  EXPECT_FALSE(h.Satisfiable());
+  (void)b;
+}
+
+TEST(EliqTest, Recognition) {
+  Vocabulary vocab;
+  EXPECT_TRUE(IsELIQ(MustParseCQ("q(x) :- R(x, y), S(y, z), A(z)", &vocab)));
+  EXPECT_TRUE(IsELIQ(MustParseCQ("q(x) :- A(x)", &vocab)));
+  // Cycle.
+  EXPECT_FALSE(IsELIQ(MustParseCQ("q(x) :- R(x, y), S(y, z), T(z, x)", &vocab)));
+  // Multi-edge.
+  EXPECT_FALSE(IsELIQ(MustParseCQ("q(x) :- R(x, y), S(x, y)", &vocab)));
+  // Reflexive loop.
+  EXPECT_FALSE(IsELIQ(MustParseCQ("q(x) :- R(x, x)", &vocab)));
+  // Wrong arity.
+  EXPECT_FALSE(IsELIQ(MustParseCQ("q(x, y) :- R(x, y)", &vocab)));
+  // Constants.
+  EXPECT_FALSE(IsELIQ(MustParseCQ("q(x) :- R(x, 'c')", &vocab)));
+  // Disjoint union of trees is allowed (footnote 1 in the paper).
+  EXPECT_TRUE(IsELIQ(MustParseCQ("q(x) :- R(x, y), T2(u, v)", &vocab)));
+}
+
+}  // namespace
+}  // namespace omqe

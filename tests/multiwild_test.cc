@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/multiwild_enum.h"
+#include "core/omq.h"
+#include "test_util.h"
+
+namespace omqe {
+namespace {
+
+using testing::SameTupleSet;
+using testing::World;
+
+void CheckMultiAgainstBaseline(World& w, const Ontology& onto,
+                               const std::string& query) {
+  CQ q = w.Query(query);
+  OMQ omq = MakeOMQ(onto, q);
+  auto e = MultiWildcardEnumerator::Create(omq, w.db);
+  ASSERT_TRUE(e.ok()) << query << ": " << e.status().ToString();
+  std::vector<ValueTuple> got;
+  ValueTuple t;
+  while ((*e)->Next(&t)) got.push_back(t);
+  std::vector<ValueTuple> sorted = got;
+  SortTuples(&sorted);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    EXPECT_NE(sorted[i - 1], sorted[i]) << query << " duplicate " << w.Render(sorted[i]);
+  }
+  std::vector<ValueTuple> want =
+      BruteMinimalMultiWildcardAnswers(q, (*e)->chase().db);
+  EXPECT_TRUE(SameTupleSet(got, want))
+      << query << ": got " << got.size() << " want " << want.size();
+  if (::testing::Test::HasFailure()) {
+    for (auto& x : got) fprintf(stderr, "got:  %s\n", w.Render(x).c_str());
+    for (auto& x : want) fprintf(stderr, "want: %s\n", w.Render(x).c_str());
+  }
+}
+
+TEST(MultiWildcardTest, Example22BasicQuery) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    Researcher(x) -> exists y. HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Office(x) -> exists y. InBuilding(x, y)
+  )");
+  w.Load(R"(
+    Researcher(mary) Researcher(john) Researcher(mike)
+    HasOffice(mary, room1) HasOffice(john, room4)
+    InBuilding(room1, main1)
+  )");
+  CQ q = w.Query("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)");
+  auto e = MultiWildcardEnumerator::Create(MakeOMQ(onto, q), w.db);
+  ASSERT_TRUE(e.ok());
+  std::vector<ValueTuple> got;
+  ValueTuple t;
+  while ((*e)->Next(&t)) got.push_back(t);
+  // Example 2.2: (mary,room1,main1), (john,room4,*_1), (mike,*_1,*_2).
+  EXPECT_EQ(w.RenderAll(got), (std::vector<std::string>{
+                                  "john,room4,*_1",
+                                  "mary,room1,main1",
+                                  "mike,*_1,*_2",
+                              }));
+}
+
+TEST(MultiWildcardTest, Example62ConeIsNeeded) {
+  // Example 6.2: Q*(D) = {(c, c', *, *)} while
+  // Q^W(D) = {(c, c', *_1, *_2), (c, *_1, *_2, *_1)}.
+  World w;
+  Ontology onto = w.Onto(
+      "A(x) -> exists y1, y2. R(x, y1), T(x, y1), S(x, y2)");
+  w.Load("A(c) R(c, cp)");
+  CQ q = w.Query("q(x0, x1, x2, x3) :- R(x0, x1), S(x0, x2), T(x0, x3)");
+  auto e = MultiWildcardEnumerator::Create(MakeOMQ(onto, q), w.db);
+  ASSERT_TRUE(e.ok());
+  std::vector<ValueTuple> got;
+  ValueTuple t;
+  while ((*e)->Next(&t)) got.push_back(t);
+  EXPECT_EQ(w.RenderAll(got), (std::vector<std::string>{
+                                  "c,*_1,*_2,*_1",
+                                  "c,cp,*_1,*_2",
+                              }));
+}
+
+TEST(MultiWildcardTest, SharedNullsAcrossPositions) {
+  // OfficeMate: mary and mike share an anonymous office.
+  World w;
+  Ontology onto = w.Onto(
+      "OfficeMate(x, y) -> exists z. HasOffice(x, z), HasOffice(y, z)");
+  w.Load("OfficeMate(mary, mike)");
+  CheckMultiAgainstBaseline(w, onto,
+                            "q(x1, x2, x3, x4) :- HasOffice(x1, x3), HasOffice(x2, x4)");
+}
+
+TEST(MultiWildcardTest, AgainstBaselineVarious) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    A(x) -> exists y. R(x, y)
+    R(x, y) -> exists z. S(y, z)
+  )");
+  w.Load("A(a) A(b) R(a, c) S(c, d) S(c, e)");
+  for (const std::string& query : {
+           "q(x, y) :- R(x, y)",
+           "q(x, y, z) :- R(x, y), S(y, z)",
+           "q(y, z) :- R(x, y), S(y, z)",
+           "q(x) :- A(x)",
+       }) {
+    CheckMultiAgainstBaseline(w, onto, query);
+  }
+}
+
+TEST(MultiWildcardTest, DisconnectedSharedNull) {
+  // Both components can map into the SAME null: cross-component wildcard
+  // equality must be found (this is why Section 6 runs the tester on the
+  // whole query, not per component).
+  World w;
+  Ontology onto = w.Onto("A(x) -> exists y. R(x, y)");
+  w.Load("A(a) U(u)");
+  CheckMultiAgainstBaseline(w, onto, "q(y1, y2) :- R(x1, y1), R(x2, y2)");
+}
+
+TEST(MultiWildcardTest, BooleanQuery) {
+  World w;
+  Ontology onto = w.Onto("A(x) -> exists y. R(x, y)");
+  w.Load("A(a)");
+  CQ q = w.Query("q() :- R(x, y)");
+  auto e = MultiWildcardEnumerator::Create(MakeOMQ(onto, q), w.db);
+  ASSERT_TRUE(e.ok());
+  ValueTuple t;
+  EXPECT_TRUE((*e)->Next(&t));
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE((*e)->Next(&t));
+}
+
+TEST(CanonicalMultiTesterTest, ExactCanonicalSemantics) {
+  World w;
+  Ontology onto = w.Onto("A(x) -> exists y. R(x, y)");
+  w.Load("A(a) R(a, c)");
+  CQ q = w.Query("q(y1, y2) :- R(x1, y1), R(x2, y2)");
+  auto chase = QueryDirectedChase(w.db, onto, q);
+  ASSERT_TRUE(chase.ok());
+  CanonicalMultiTester tester(q, (*chase)->db);
+  Value w1 = MakeWildcard(1), w2 = MakeWildcard(2);
+  // (c, c): both from the database fact.
+  EXPECT_TRUE(tester.Test(ValueTuple{w.C("c"), w.C("c")}));
+  // (*_1, *_1): both positions the same null.
+  EXPECT_TRUE(tester.Test(ValueTuple{w1, w1}));
+  // (*_1, *_2): requires two DISTINCT nulls — only one null exists.
+  EXPECT_FALSE(tester.Test(ValueTuple{w1, w2}));
+  // (c, *_1): mixed.
+  EXPECT_TRUE(tester.Test(ValueTuple{w.C("c"), w1}));
+  // Unknown constant.
+  EXPECT_FALSE(tester.Test(ValueTuple{w.C("a"), w1}));
+}
+
+}  // namespace
+}  // namespace omqe

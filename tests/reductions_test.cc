@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/baseline.h"
+#include "reductions/bmm.h"
+#include "reductions/triangle.h"
+
+namespace omqe {
+namespace {
+
+TEST(TriangleReductionTest, AgreesWithDirectDetection) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    EdgeList bip = GenBipartite(12, 12, 40, seed);
+    EXPECT_FALSE(DetectTriangleViaOMQ(bip)) << seed;
+    EXPECT_FALSE(DetectTriangleViaBooleanCQ(bip)) << seed;
+    PlantTriangle(&bip, 24);
+    EXPECT_TRUE(DetectTriangleViaOMQ(bip)) << seed;
+    EXPECT_TRUE(DetectTriangleViaBooleanCQ(bip)) << seed;
+
+    EdgeList er = GenErdosRenyi(15, 40, seed + 100);
+    bool direct = DetectTriangleDirect(er);
+    EXPECT_EQ(DetectTriangleViaOMQ(er), direct) << seed;
+    EXPECT_EQ(DetectTriangleViaBooleanCQ(er), direct) << seed;
+  }
+}
+
+TEST(TriangleReductionTest, GadgetStructure) {
+  Vocabulary vocab;
+  OMQ omq = TriangleGadgetOMQ(&vocab);
+  EXPECT_TRUE(omq.IsGuarded());
+  EXPECT_FALSE(omq.IsAcyclic());        // the gadget query is a triangle
+  EXPECT_TRUE(omq.IsWeaklyAcyclic());   // all variables are answer variables
+  EXPECT_FALSE(omq.IsSelfJoinFree());   // R{x,y} uses R twice
+}
+
+TEST(BmmReductionTest, MatchesDirectMultiplication) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    uint32_t n = 20;
+    SparseMatrix m1 = GenSparseMatrix(n, 40, seed);
+    SparseMatrix m2 = GenSparseMatrix(n, 40, seed + 50);
+    SparseMatrix direct = DirectSparseBmm(m1, m2);
+    SparseMatrix via_omq = BmmViaOMQ(n, m1, m2);
+    std::sort(direct.begin(), direct.end());
+    std::sort(via_omq.begin(), via_omq.end());
+    EXPECT_EQ(direct, via_omq) << seed;
+  }
+}
+
+TEST(BmmReductionTest, PaddingPreservesProductAndEnsuresProperty) {
+  uint32_t n = 15;
+  SparseMatrix m1 = GenSparseMatrix(n, 30, 3);
+  SparseMatrix m2 = GenSparseMatrix(n, 30, 4);
+  SparseMatrix product = DirectSparseBmm(m1, m2);
+
+  SparseMatrix p1 = m1, p2 = m2;
+  PadMatrices(n, &p1, &p2);
+  // Property (*): every productive index has incoming and outgoing ones.
+  std::vector<bool> has_out1(n + 2, false), has_in1(n + 2, false);
+  for (auto [r, c] : p1) {
+    has_out1[r] = true;
+    has_in1[c] = true;
+  }
+  for (auto [r, c] : p1) {
+    EXPECT_TRUE(has_out1[r] && has_in1[r]) << r;
+    EXPECT_TRUE(has_out1[c] && has_in1[c]) << c;
+  }
+  // The product on the shifted block is unchanged.
+  SparseMatrix padded_product = DirectSparseBmm(p1, p2);
+  SparseMatrix block;
+  for (auto [r, c] : padded_product) {
+    if (r >= 2 && c >= 2) block.push_back({r - 2, c - 2});
+  }
+  std::sort(block.begin(), block.end());
+  std::sort(product.begin(), product.end());
+  EXPECT_EQ(block, product);
+}
+
+TEST(BmmReductionTest, MinimalPartialAnswerCountIsOutputLinear) {
+  // Lemma D.5: |Q(D)*| = O(|M1| + |M2| + |M1M2|).
+  uint32_t n = 25;
+  SparseMatrix m1 = GenSparseMatrix(n, 60, 8);
+  SparseMatrix m2 = GenSparseMatrix(n, 60, 9);
+  Vocabulary vocab;
+  Database db(&vocab);
+  OMQ omq = BmmOMQ(&vocab);
+  BuildBmmDatabase(m1, m2, &db);
+  auto partial = BaselineMinimalPartialAnswers(omq, db);
+  auto product = DirectSparseBmm(m1, m2);
+  // Empty ontology -> no nulls -> minimal partial answers == complete
+  // answers == the product.
+  EXPECT_EQ(partial.size(), product.size());
+}
+
+}  // namespace
+}  // namespace omqe

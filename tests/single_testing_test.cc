@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/omq.h"
+#include "core/single_testing.h"
+#include "core/wildcards.h"
+#include "eval/brute.h"
+#include "test_util.h"
+
+namespace omqe {
+namespace {
+
+using testing::World;
+
+TEST(SingleTesterTest, CompleteAnswersOfficeExample) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    Researcher(x) -> exists y. HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Office(x) -> exists y. InBuilding(x, y)
+  )");
+  w.Load(R"(
+    Researcher(mary) Researcher(john) Researcher(mike)
+    HasOffice(mary, room1) HasOffice(john, room4)
+    InBuilding(room1, main1)
+  )");
+  CQ q = w.Query("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)");
+  auto t = SingleTester::Create(MakeOMQ(onto, q), w.db);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE((*t)->TestComplete({w.C("mary"), w.C("room1"), w.C("main1")}));
+  EXPECT_FALSE((*t)->TestComplete({w.C("john"), w.C("room4"), w.C("main1")}));
+  EXPECT_FALSE((*t)->TestComplete({w.C("mike"), w.C("room1"), w.C("main1")}));
+}
+
+TEST(SingleTesterTest, PartialAnswersOfficeExample) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    Researcher(x) -> exists y. HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Office(x) -> exists y. InBuilding(x, y)
+  )");
+  w.Load(R"(
+    Researcher(mary) Researcher(john) Researcher(mike)
+    HasOffice(mary, room1) HasOffice(john, room4)
+    InBuilding(room1, main1)
+  )");
+  CQ q = w.Query("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)");
+  auto t = SingleTester::Create(MakeOMQ(onto, q), w.db);
+  ASSERT_TRUE(t.ok());
+  // The minimal partial answers from Example 1.1.
+  EXPECT_TRUE((*t)->TestMinimalPartial({w.C("mary"), w.C("room1"), w.C("main1")}));
+  EXPECT_TRUE((*t)->TestMinimalPartial({w.C("john"), w.C("room4"), kStar}));
+  EXPECT_TRUE((*t)->TestMinimalPartial({w.C("mike"), kStar, kStar}));
+  // Partial but NOT minimal.
+  EXPECT_TRUE((*t)->TestPartial({w.C("mary"), w.C("room1"), kStar}));
+  EXPECT_FALSE((*t)->TestMinimalPartial({w.C("mary"), w.C("room1"), kStar}));
+  EXPECT_TRUE((*t)->TestPartial({kStar, kStar, kStar}));
+  EXPECT_FALSE((*t)->TestMinimalPartial({kStar, kStar, kStar}));
+  // Not even partial.
+  EXPECT_FALSE((*t)->TestPartial({w.C("room1"), kStar, kStar}));
+}
+
+TEST(SingleTesterTest, AgreesWithBruteForceOnAllCandidates) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    A(x) -> exists y. R(x, y)
+    R(x, y) -> B(y)
+  )");
+  w.Load("A(a) A(b) R(a, c) B(d) S(c, d) S(d, d)");
+  CQ q = w.Query("q(x, y) :- R(x, z), S(z, y)");
+  // q is acyclic but NOT free-connex: single-testing still applies
+  // (Theorem 3.1 needs weak acyclicity for complete answers).
+  ASSERT_TRUE(IsWeaklyAcyclic(q));
+  OMQ omq = MakeOMQ(onto, q);
+  auto t = SingleTester::Create(omq, w.db);
+  ASSERT_TRUE(t.ok());
+  std::vector<ValueTuple> complete = BruteCompleteAnswers(q, (*t)->chase().db);
+  TupleMap<char> complete_set;
+  for (const auto& a : complete) complete_set.InsertOrGet(a.data(), a.size(), 1);
+  std::vector<ValueTuple> minimal =
+      BruteMinimalPartialAnswers(q, (*t)->chase().db);
+  TupleMap<char> minimal_set;
+  for (const auto& a : minimal) minimal_set.InsertOrGet(a.data(), a.size(), 1);
+
+  std::vector<Value> dom;
+  for (Value v : w.db.ActiveDomain()) {
+    if (IsConstant(v)) dom.push_back(v);
+  }
+  std::vector<Value> dom_star = dom;
+  dom_star.push_back(kStar);
+  for (Value v1 : dom) {
+    for (Value v2 : dom) {
+      ValueTuple cand{v1, v2};
+      bool want = complete_set.Find(cand.data(), 2) != nullptr;
+      EXPECT_EQ((*t)->TestComplete(cand), want) << w.Render(cand);
+    }
+  }
+  for (Value v1 : dom_star) {
+    for (Value v2 : dom_star) {
+      ValueTuple cand{v1, v2};
+      bool want = minimal_set.Find(cand.data(), 2) != nullptr;
+      EXPECT_EQ((*t)->TestMinimalPartial(cand), want) << w.Render(cand);
+    }
+  }
+}
+
+TEST(SingleTesterTest, MultiWildcardExample22) {
+  // Example 2.2: Q'' with OfficeMate — (mary, mike, *_1, *_1) is a minimal
+  // partial answer with multi-wildcards.
+  World w;
+  Ontology onto = w.Onto(R"(
+    Researcher(x) -> exists y. HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Office(x) -> exists y. InBuilding(x, y)
+    OfficeMate(x, y) -> exists z. HasOffice(x, z), HasOffice(y, z)
+  )");
+  w.Load(R"(
+    Researcher(mary) Researcher(john) Researcher(mike)
+    HasOffice(mary, room1) HasOffice(john, room4)
+    InBuilding(room1, main1)
+    OfficeMate(mary, mike)
+  )");
+  CQ q2 = w.Query(
+      "q(x1, x2, x3, x4) :- HasOffice(x1, x3), HasOffice(x2, x4), "
+      "InBuilding(x3, y), InBuilding(x4, y)");
+  auto t = SingleTester::Create(MakeOMQ(onto, q2), w.db);
+  ASSERT_TRUE(t.ok());
+  Value w1 = MakeWildcard(1);
+  EXPECT_TRUE((*t)->TestMultiPartial({w.C("mary"), w.C("mike"), w1, w1}));
+}
+
+TEST(SingleTesterTest, MultiWildcardMinimalityExample22Prime) {
+  // Example 2.2: Q' has (mike, *_1, *_1, *_2) as a minimal partial answer
+  // while (mike, *_1, *_2, *_3) is partial but not minimal.
+  World w;
+  Ontology onto = w.Onto(R"(
+    Researcher(x) -> exists y. HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Office(x) -> exists y. InBuilding(x, y)
+    Prof(x), HasOffice(x, y) -> LargeOffice(y)
+  )");
+  w.Load(R"(
+    Researcher(mary) Researcher(john) Researcher(mike)
+    HasOffice(mary, room1) HasOffice(john, room4)
+    InBuilding(room1, main1)
+    Prof(mike)
+  )");
+  CQ q = w.Query(
+      "q(x1, x2, x3, x4) :- HasOffice(x1, x2), LargeOffice(x2), "
+      "HasOffice(x1, x3), InBuilding(x3, x4)");
+  auto t = SingleTester::Create(MakeOMQ(onto, q), w.db);
+  ASSERT_TRUE(t.ok());
+  Value w1 = MakeWildcard(1), w2 = MakeWildcard(2), w3 = MakeWildcard(3);
+  EXPECT_TRUE((*t)->TestMultiPartial({w.C("mike"), w1, w1, w2}));
+  EXPECT_TRUE((*t)->TestMinimalMultiWildcard({w.C("mike"), w1, w1, w2}));
+  EXPECT_TRUE((*t)->TestMultiPartial({w.C("mike"), w1, w2, w3}));
+  EXPECT_FALSE((*t)->TestMinimalMultiWildcard({w.C("mike"), w1, w2, w3}));
+}
+
+TEST(SingleTesterTest, IncoherentAndMalformedCandidates) {
+  World w;
+  w.Load("R(a,b)");
+  Ontology empty;
+  CQ q = w.Query("q(x, x) :- R(x, y)");
+  auto t = SingleTester::Create(MakeOMQ(empty, q), w.db);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE((*t)->TestComplete({w.C("a"), w.C("a")}));
+  EXPECT_FALSE((*t)->TestComplete({w.C("a"), w.C("b")}));
+  // Non-canonical multi tuple is rejected.
+  EXPECT_FALSE((*t)->TestMinimalMultiWildcard({MakeWildcard(2), MakeWildcard(1)}));
+}
+
+}  // namespace
+}  // namespace omqe

@@ -1,0 +1,130 @@
+// Larger-scale determinism/invariant checks and randomized properties for
+// the composition wrappers (Prop 2.1 ordering, UCQ dedup).
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "core/complete_first.h"
+#include "core/partial_enum.h"
+#include "core/ucq.h"
+#include "eval/brute.h"
+#include "test_util.h"
+#include "workload/office.h"
+#include "workload/university.h"
+
+namespace omqe {
+namespace {
+
+using testing::SameTupleSet;
+using testing::World;
+
+TEST(StressTest, FiftyThousandResearchersEndToEnd) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  OfficeParams params;
+  params.researchers = 50000;
+  params.office_fraction = 0.6;
+  params.building_fraction = 0.5;
+  GenerateOffice(params, &db);
+  OMQ omq = OfficeOMQ(&vocab);
+  auto e = PartialEnumerator::Create(omq, db);
+  ASSERT_TRUE(e.ok());
+  size_t count = 0, wild = 0;
+  ValueTuple t;
+  while ((*e)->Next(&t)) {
+    ++count;
+    for (Value v : t) {
+      if (IsWildcard(v)) {
+        ++wild;
+        break;
+      }
+    }
+  }
+  // Exactly one minimal partial answer per researcher on this workload:
+  // researchers with building-known offices give complete rows; all others
+  // give wildcard rows; none dominates another across researchers.
+  EXPECT_EQ(count, 50000u);
+  EXPECT_GT(wild, 10000u);
+  EXPECT_LT(wild, 45000u);
+  // Deterministic across regeneration.
+  Vocabulary vocab2;
+  Database db2(&vocab2);
+  GenerateOffice(params, &db2);
+  EXPECT_EQ(db.TotalFacts(), db2.TotalFacts());
+}
+
+class WrapperPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WrapperPropertyTest, CompleteFirstIsAPermutationWithPrefixProperty) {
+  Rng rng(GetParam());
+  Vocabulary vocab;
+  Database db(&vocab);
+  OfficeParams params;
+  params.researchers = 30 + static_cast<uint32_t>(rng.Below(100));
+  params.office_fraction = rng.NextDouble();
+  params.building_fraction = rng.NextDouble();
+  params.seed = GetParam();
+  GenerateOffice(params, &db);
+  OMQ omq = OfficeOMQ(&vocab);
+
+  auto wrapped = CompleteFirstEnumerator::Create(omq, db);
+  ASSERT_TRUE(wrapped.ok());
+  std::vector<ValueTuple> got;
+  ValueTuple t;
+  bool seen_wildcard = false;
+  while ((*wrapped)->Next(&t)) {
+    bool wild = false;
+    for (Value v : t) wild |= IsWildcard(v);
+    // Prefix property: once a wildcard answer appears, no complete answer
+    // may follow.
+    EXPECT_FALSE(seen_wildcard && !wild) << "seed=" << GetParam();
+    seen_wildcard |= wild;
+    got.push_back(t);
+  }
+  // Same multiset as the plain partial enumerator.
+  std::vector<ValueTuple> plain = AllMinimalPartialAnswers(omq, db);
+  EXPECT_TRUE(SameTupleSet(got, plain)) << "seed=" << GetParam();
+}
+
+TEST_P(WrapperPropertyTest, UcqMatchesBruteUnionOnUniversity) {
+  Rng rng(GetParam() ^ 0xfeed);
+  Vocabulary vocab;
+  Database db(&vocab);
+  UniversityParams params;
+  params.faculty = 20 + static_cast<uint32_t>(rng.Below(60));
+  params.students = params.faculty;
+  params.seed = GetParam();
+  GenerateUniversity(params, &db);
+  Ontology onto = UniversityOntology(&vocab);
+  std::vector<CQ> disjuncts;
+  disjuncts.push_back(MustParseCQ("q(x) :- Teaches(x, c), Course(c)", &vocab));
+  disjuncts.push_back(MustParseCQ("q(x) :- Professor(x)", &vocab));
+  disjuncts.push_back(MustParseCQ("q(x) :- EnrolledIn(x, c)", &vocab));
+
+  auto e = UcqEnumerator::Create(onto, disjuncts, db);
+  ASSERT_TRUE(e.ok());
+  std::vector<ValueTuple> got;
+  ValueTuple t;
+  while ((*e)->Next(&t)) got.push_back(t);
+  // No duplicates.
+  std::vector<ValueTuple> sorted = got;
+  SortTuples(&sorted);
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    ASSERT_NE(sorted[i - 1], sorted[i]) << "seed=" << GetParam();
+  }
+  // Union of per-disjunct baselines over a shared chase.
+  auto chase = QueryDirectedChase(db, onto, disjuncts[0]);
+  ASSERT_TRUE(chase.ok());
+  std::vector<ValueTuple> want;
+  for (const CQ& q : disjuncts) {
+    for (auto& a : BruteCompleteAnswers(q, (*chase)->db)) want.push_back(a);
+  }
+  SortTuples(&want);
+  want.erase(std::unique(want.begin(), want.end()), want.end());
+  EXPECT_TRUE(SameTupleSet(got, want)) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WrapperPropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace omqe

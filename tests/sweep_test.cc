@@ -1,0 +1,154 @@
+// Parameterized end-to-end sweeps (TEST_P) over the workload generators:
+// every (params, mode) cell compares the constant-delay pipeline against
+// the materializing baseline on the same inputs.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/baseline.h"
+#include "core/complete_enum.h"
+#include "core/multiwild_enum.h"
+#include "core/omq.h"
+#include "core/partial_enum.h"
+#include "eval/brute.h"
+#include "test_util.h"
+#include "workload/chains.h"
+#include "workload/office.h"
+#include "workload/university.h"
+
+namespace omqe {
+namespace {
+
+using testing::SameTupleSet;
+
+// --- office sweep: (researchers, office_fraction, building_fraction) ---
+
+class OfficeSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double, double>> {};
+
+TEST_P(OfficeSweepTest, AllModesMatchBaseline) {
+  auto [n, office_fraction, building_fraction] = GetParam();
+  Vocabulary vocab;
+  Database db(&vocab);
+  OfficeParams params;
+  params.researchers = n;
+  params.office_fraction = office_fraction;
+  params.building_fraction = building_fraction;
+  GenerateOffice(params, &db);
+  OMQ omq = OfficeOMQ(&vocab);
+
+  auto complete_enum = CompleteEnumerator::Create(omq, db);
+  ASSERT_TRUE(complete_enum.ok());
+  std::vector<ValueTuple> complete;
+  ValueTuple t;
+  while ((*complete_enum)->Next(&t)) complete.push_back(t);
+  EXPECT_TRUE(SameTupleSet(
+      complete, BruteCompleteAnswers(omq.query, (*complete_enum)->chase().db)));
+
+  auto partial_enum = PartialEnumerator::Create(omq, db);
+  ASSERT_TRUE(partial_enum.ok());
+  std::vector<ValueTuple> partial;
+  while ((*partial_enum)->Next(&t)) partial.push_back(t);
+  EXPECT_TRUE(SameTupleSet(
+      partial, BruteMinimalPartialAnswers(omq.query, (*partial_enum)->chase().db)));
+  // Complete answers are a subset of the minimal partial answers.
+  TupleMap<char> partial_set;
+  for (const auto& p : partial) partial_set.InsertOrGet(p.data(), p.size(), 1);
+  for (const auto& c : complete) {
+    EXPECT_NE(partial_set.Find(c.data(), c.size()), nullptr);
+  }
+
+  auto multi_enum = MultiWildcardEnumerator::Create(omq, db);
+  ASSERT_TRUE(multi_enum.ok());
+  std::vector<ValueTuple> multi;
+  while ((*multi_enum)->Next(&t)) multi.push_back(t);
+  EXPECT_TRUE(SameTupleSet(
+      multi,
+      BruteMinimalMultiWildcardAnswers(omq.query, (*multi_enum)->chase().db)));
+  // |Q(D)| <= |Q(D)*| <= |Q(D)^W| (Claim D.2).
+  EXPECT_LE(complete.size(), partial.size());
+  EXPECT_LE(partial.size(), multi.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, OfficeSweepTest,
+    ::testing::Combine(::testing::Values(30u, 120u, 400u),
+                       ::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+// --- university sweep ---
+
+class UniversitySweepTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, double, double>> {};
+
+TEST_P(UniversitySweepTest, CatalogMatchesBaseline) {
+  auto [faculty, course_fraction, dept_fraction] = GetParam();
+  Vocabulary vocab;
+  Database db(&vocab);
+  UniversityParams params;
+  params.faculty = faculty;
+  params.students = faculty;
+  params.course_fraction = course_fraction;
+  params.dept_fraction = dept_fraction;
+  GenerateUniversity(params, &db);
+  OMQ omq = CatalogOMQ(&vocab);
+
+  auto partial_enum = PartialEnumerator::Create(omq, db);
+  ASSERT_TRUE(partial_enum.ok());
+  std::vector<ValueTuple> partial;
+  ValueTuple t;
+  while ((*partial_enum)->Next(&t)) partial.push_back(t);
+  EXPECT_TRUE(SameTupleSet(
+      partial, BruteMinimalPartialAnswers(omq.query, (*partial_enum)->chase().db)));
+  // One minimal partial answer per (faculty, course) pair at least; every
+  // faculty member appears.
+  EXPECT_GE(partial.size(), static_cast<size_t>(faculty));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, UniversitySweepTest,
+    ::testing::Combine(::testing::Values(40u, 150u),
+                       ::testing::Values(0.0, 0.6, 1.0),
+                       ::testing::Values(0.0, 0.5, 1.0)));
+
+// --- chain sweep: length x fanout, complete answers with/without ontology ---
+
+class ChainSweepTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t, double>> {};
+
+TEST_P(ChainSweepTest, CompleteAndPartialMatchBaseline) {
+  auto [length, fanout, anonymous_fraction] = GetParam();
+  Vocabulary vocab;
+  Database db(&vocab);
+  ChainParams params;
+  params.length = length;
+  params.base_size = 30;
+  params.fanout = fanout;
+  params.anonymous_fraction = anonymous_fraction;
+  GenerateChain(params, &db);
+  Ontology onto = ChainOntology(&vocab, length);
+  OMQ omq = MakeOMQ(onto, ChainQuery(&vocab, length));
+
+  auto complete_enum = CompleteEnumerator::Create(omq, db);
+  ASSERT_TRUE(complete_enum.ok());
+  std::vector<ValueTuple> complete;
+  ValueTuple t;
+  while ((*complete_enum)->Next(&t)) complete.push_back(t);
+  EXPECT_TRUE(SameTupleSet(
+      complete, BruteCompleteAnswers(omq.query, (*complete_enum)->chase().db)));
+
+  auto partial_enum = PartialEnumerator::Create(omq, db);
+  ASSERT_TRUE(partial_enum.ok());
+  std::vector<ValueTuple> partial;
+  while ((*partial_enum)->Next(&t)) partial.push_back(t);
+  EXPECT_TRUE(SameTupleSet(
+      partial, BruteMinimalPartialAnswers(omq.query, (*partial_enum)->chase().db)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ChainSweepTest,
+                         ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                                            ::testing::Values(1u, 2u),
+                                            ::testing::Values(0.0, 0.3)));
+
+}  // namespace
+}  // namespace omqe

@@ -1,0 +1,84 @@
+// Shared helpers for the omqe test suite.
+#ifndef OMQE_TESTS_TEST_UTIL_H_
+#define OMQE_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cq/parser.h"
+#include "data/database.h"
+#include "data/schema.h"
+#include "eval/brute.h"
+#include "tgd/parser.h"
+
+namespace omqe::testing {
+
+/// Fixture bits: a vocabulary plus fact-loading helpers.
+struct World {
+  Vocabulary vocab;
+  Database db{&vocab};
+
+  /// Adds facts given as "Rel(a,b)" strings separated by whitespace/newlines.
+  void Load(const std::string& text) {
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t open = text.find('(', pos);
+      if (open == std::string::npos) break;
+      size_t start = text.find_last_of(" \t\n,", open);
+      start = (start == std::string::npos) ? 0 : start + 1;
+      size_t close = text.find(')', open);
+      std::string rel = text.substr(start, open - start);
+      std::string args = text.substr(open + 1, close - open - 1);
+      std::vector<Value> vals;
+      size_t a = 0;
+      while (a <= args.size() && !args.empty()) {
+        size_t comma = args.find(',', a);
+        if (comma == std::string::npos) comma = args.size();
+        std::string arg = args.substr(a, comma - a);
+        // trim
+        while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+        while (!arg.empty() && arg.back() == ' ') arg.pop_back();
+        vals.push_back(vocab.ConstantId(arg));
+        a = comma + 1;
+        if (comma == args.size()) break;
+      }
+      RelId r = vocab.RelationId(rel, static_cast<uint32_t>(vals.size()));
+      db.AddFact(r, vals.data(), static_cast<uint32_t>(vals.size()));
+      pos = close + 1;
+    }
+  }
+
+  CQ Query(const std::string& text) { return MustParseCQ(text, &vocab); }
+  Ontology Onto(const std::string& text) { return MustParseOntology(text, &vocab); }
+
+  Value C(const std::string& name) { return vocab.ConstantId(name); }
+
+  /// Renders a tuple as "a,b,*" for readable assertions.
+  std::string Render(const ValueTuple& t) const {
+    std::string out;
+    for (uint32_t i = 0; i < t.size(); ++i) {
+      if (i) out += ',';
+      out += vocab.ValueName(t[i]);
+    }
+    return out;
+  }
+
+  std::vector<std::string> RenderAll(std::vector<ValueTuple> tuples) const {
+    std::vector<std::string> out;
+    for (const auto& t : tuples) out.push_back(Render(t));
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+/// Sorted-set equality helper for answer sets.
+inline bool SameTupleSet(std::vector<ValueTuple> a, std::vector<ValueTuple> b) {
+  SortTuples(&a);
+  SortTuples(&b);
+  return a == b;
+}
+
+}  // namespace omqe::testing
+
+#endif  // OMQE_TESTS_TEST_UTIL_H_

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "tgd/parser.h"
+#include "tgd/tgd.h"
+
+namespace omqe {
+namespace {
+
+using testing::World;
+
+TEST(TgdParserTest, Example11Ontology) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    # Example 1.1
+    Researcher(x) -> exists y. HasOffice(x, y)
+    HasOffice(x, y) -> Office(y)
+    Office(x) -> exists y. InBuilding(x, y)
+  )");
+  ASSERT_EQ(onto.tgds().size(), 3u);
+  EXPECT_TRUE(onto.IsGuarded());
+  EXPECT_TRUE(onto.IsELI());
+  EXPECT_EQ(onto.tgds()[0].ExistentialVars(), VarBit(1));
+  EXPECT_EQ(onto.tgds()[1].ExistentialVars(), 0u);
+  EXPECT_EQ(onto.MaxTgdVars(), 2u);
+}
+
+TEST(TgdParserTest, ExistsClauseValidation) {
+  World w;
+  EXPECT_TRUE(ParseTGD("R(x) -> exists y. S(x, y)", &w.vocab).ok());
+  EXPECT_FALSE(ParseTGD("R(x) -> exists z. S(x, y)", &w.vocab).ok());
+  EXPECT_FALSE(ParseTGD("R(x) -> exists x. S(x, y)", &w.vocab).ok());
+  EXPECT_FALSE(ParseTGD("R(x) S(x)", &w.vocab).ok());  // missing arrow
+  EXPECT_FALSE(ParseTGD("R(x) -> ", &w.vocab).ok());   // empty head
+}
+
+TEST(TgdParserTest, TrueBody) {
+  World w;
+  auto tgd = ParseTGD("true -> exists x, y. R(x, y)", &w.vocab);
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_TRUE(tgd->body().empty());
+  EXPECT_TRUE(tgd->IsGuarded());
+  EXPECT_EQ(__builtin_popcountll(tgd->ExistentialVars()), 2);
+}
+
+TEST(TgdTest, Guardedness) {
+  World w;
+  // Guarded: T(x,y,z) covers all body variables.
+  auto g = ParseTGD("T(x, y, z), R(x, y) -> S(z)", &w.vocab);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->IsGuarded());
+  EXPECT_EQ(g->GuardAtom(), 0);
+  // Unguarded: no atom covers {x, y, z}.
+  auto u = ParseTGD("R(x, y), R2(y, z) -> S2(x, z)", &w.vocab);
+  ASSERT_TRUE(u.ok());
+  EXPECT_FALSE(u->IsGuarded());
+}
+
+TEST(TgdTest, EliRecognition) {
+  World w;
+  // Ternary symbol: not ELI.
+  EXPECT_FALSE(ParseTGD("T3(x, y, z) -> S(x)", &w.vocab)->IsELI());
+  // Two frontier variables: not ELI.
+  EXPECT_FALSE(ParseTGD("R(x, y) -> S2(x, y)", &w.vocab)->IsELI());
+  // Reflexive loop in head: not ELI.
+  EXPECT_FALSE(ParseTGD("A(x) -> R(x, x)", &w.vocab)->IsELI());
+  // Multi-edge in head: not ELI.
+  EXPECT_FALSE(ParseTGD("A(x) -> exists y. R(x, y), R2(x, y)", &w.vocab)->IsELI());
+  // Disconnected head: not ELI.
+  EXPECT_FALSE(ParseTGD("A(x) -> exists y, z. R(x, y), B(z)", &w.vocab)->IsELI());
+  // Head with a variable cycle: not ELI.
+  EXPECT_FALSE(
+      ParseTGD("A(x) -> exists y, z. R(x, y), R2(y, z), R3(z, x)", &w.vocab)->IsELI());
+  // Proper ELI TGD with a tree head.
+  EXPECT_TRUE(
+      ParseTGD("R2(x, y) -> exists u, v. S2(x, u), T(u, v), B2(u)", &w.vocab)->IsELI());
+}
+
+TEST(TgdTest, EliExample22OfficeMate) {
+  World w;
+  // From Example 2.2: OfficeMate TGD has two frontier variables -> not ELI,
+  // but guarded.
+  auto tgd =
+      ParseTGD("OfficeMate(x, y) -> exists z. HasOffice(x, z), HasOffice(y, z)",
+               &w.vocab);
+  ASSERT_TRUE(tgd.ok());
+  EXPECT_TRUE(tgd->IsGuarded());
+  EXPECT_FALSE(tgd->IsELI());
+}
+
+TEST(TgdTest, ToStringRoundTrip) {
+  World w;
+  auto tgd = ParseTGD("R(x, y) -> exists z. S(y, z)", &w.vocab);
+  ASSERT_TRUE(tgd.ok());
+  auto again = ParseTGD(tgd->ToString(w.vocab), &w.vocab);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->body().size(), 1u);
+  EXPECT_EQ(again->head().size(), 1u);
+  EXPECT_EQ(__builtin_popcountll(again->ExistentialVars()), 1);
+}
+
+TEST(OntologyTest, SymbolsAndComments) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    % comment
+    A(x) -> B(x)
+
+    # another comment
+    B(x) -> exists y. R(x, y)
+  )");
+  EXPECT_EQ(onto.tgds().size(), 2u);
+  EXPECT_EQ(onto.Symbols().Relations().size(), 3u);
+}
+
+}  // namespace
+}  // namespace omqe

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/wildcards.h"
+#include "test_util.h"
+
+namespace omqe {
+namespace {
+
+TEST(WildcardsTest, SingleOrderExamples) {
+  // From the paper: (a,b) < (a,*) and (a,*) < (*,*).
+  ValueTuple ab{1, 2};
+  ValueTuple a_star{1, kStar};
+  ValueTuple star_star{kStar, kStar};
+  EXPECT_TRUE(PrecedesStrictSingle(ab, a_star));
+  EXPECT_TRUE(PrecedesStrictSingle(a_star, star_star));
+  EXPECT_TRUE(PrecedesStrictSingle(ab, star_star));
+  EXPECT_FALSE(PrecedesStrictSingle(a_star, ab));
+  EXPECT_FALSE(PrecedesEqSingle(ValueTuple{1, 2}, ValueTuple{1, 3}));
+  EXPECT_TRUE(PrecedesEqSingle(ab, ab));
+}
+
+TEST(WildcardsTest, MultiOrderExamples) {
+  // From the paper: (*_1, a) < (*_1, *_2) and
+  // (a, *_1, *_2, *_1) < (a, *_1, *_2, *_3).
+  Value w1 = MakeWildcard(1), w2 = MakeWildcard(2), w3 = MakeWildcard(3);
+  EXPECT_TRUE(PrecedesStrictMulti(ValueTuple{w1, 5}, ValueTuple{w1, w2}));
+  EXPECT_TRUE(PrecedesStrictMulti(ValueTuple{5, w1, w2, w1}, ValueTuple{5, w1, w2, w3}));
+  // Condition (2): equal wildcards upstream force equality downstream.
+  EXPECT_FALSE(PrecedesEqMulti(ValueTuple{5, 6}, ValueTuple{w1, w1}));
+  EXPECT_TRUE(PrecedesEqMulti(ValueTuple{5, 5}, ValueTuple{w1, w1}));
+}
+
+TEST(WildcardsTest, CanonicalNumbering) {
+  Value w1 = MakeWildcard(1), w2 = MakeWildcard(2);
+  EXPECT_TRUE(IsCanonicalMultiTuple(ValueTuple{w1, w2}));
+  EXPECT_TRUE(IsCanonicalMultiTuple(ValueTuple{5, w1, 6, w1, w2}));
+  EXPECT_FALSE(IsCanonicalMultiTuple(ValueTuple{w2, w1}));
+  EXPECT_FALSE(IsCanonicalMultiTuple(ValueTuple{kStar}));  // *_0 not allowed
+  ValueTuple fixed = CanonicalizeMultiTuple(ValueTuple{w2, w1});
+  EXPECT_TRUE(IsCanonicalMultiTuple(fixed));
+  EXPECT_EQ(fixed[0], w1);
+  EXPECT_EQ(fixed[1], w2);
+}
+
+TEST(WildcardsTest, NullMapping) {
+  Value n0 = MakeNull(0), n1 = MakeNull(1);
+  ValueTuple answer{7, n0, n1, n0};
+  ValueTuple star = NullsToStar(answer);
+  EXPECT_EQ(star, (ValueTuple{7, kStar, kStar, kStar}));
+  ValueTuple multi = NullsToMultiWildcards(answer);
+  EXPECT_EQ(multi, (ValueTuple{7, MakeWildcard(1), MakeWildcard(2), MakeWildcard(1)}));
+  EXPECT_EQ(CollapseToSingle(multi), star);
+}
+
+TEST(WildcardsTest, BallSizesAreBellNumbers) {
+  // k star positions -> Bell(k) canonical multi-wildcard tuples.
+  EXPECT_EQ(MultiWildcardBall(ValueTuple{1, 2}).size(), 1u);
+  EXPECT_EQ(MultiWildcardBall(ValueTuple{kStar}).size(), 1u);
+  EXPECT_EQ(MultiWildcardBall(ValueTuple{kStar, kStar}).size(), 2u);
+  EXPECT_EQ(MultiWildcardBall(ValueTuple{kStar, kStar, kStar}).size(), 5u);
+  EXPECT_EQ(MultiWildcardBall(ValueTuple{kStar, 9, kStar, kStar, kStar}).size(), 15u);
+}
+
+TEST(WildcardsTest, BallMembersCollapseBack) {
+  ValueTuple base{kStar, 4, kStar};
+  for (const ValueTuple& t : MultiWildcardBall(base)) {
+    EXPECT_TRUE(IsCanonicalMultiTuple(t));
+    EXPECT_EQ(CollapseToSingle(t), base);
+  }
+}
+
+TEST(WildcardsTest, ConeContainsBallAndWidenings) {
+  // Example 6.2: (c, *_1, *_2, *_1) is not in Ball(c, c', *, *) but is in
+  // Cone(c, c', *, *).
+  Value c = 1, cp = 2;
+  Value w1 = MakeWildcard(1), w2 = MakeWildcard(2);
+  ValueTuple base{c, cp, kStar, kStar};
+  ValueTuple target{c, w1, w2, w1};
+  auto ball = MultiWildcardBall(base);
+  auto cone = MultiWildcardCone(base);
+  auto contains = [](const std::vector<ValueTuple>& set, const ValueTuple& t) {
+    for (const auto& x : set) {
+      if (x == t) return true;
+    }
+    return false;
+  };
+  EXPECT_FALSE(contains(ball, target));
+  EXPECT_TRUE(contains(cone, target));
+  // Ball is a subset of cone.
+  for (const auto& t : ball) EXPECT_TRUE(contains(cone, t));
+}
+
+TEST(WildcardsTest, MinimizeTuples) {
+  ValueTuple ab{1, 2}, a_star{1, kStar}, star_star{kStar, kStar}, cb{3, 2};
+  auto minimal =
+      MinimizeTuples({ab, a_star, star_star, cb}, /*multi=*/false);
+  // (a,b) and (c,b) are minimal; (a,*) and (*,*) are dominated.
+  EXPECT_EQ(minimal.size(), 2u);
+}
+
+}  // namespace
+}  // namespace omqe

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "core/complete_enum.h"
+#include "core/partial_enum.h"
+#include "cq/properties.h"
+#include "workload/chains.h"
+#include "workload/graphs.h"
+#include "workload/office.h"
+#include "workload/university.h"
+
+namespace omqe {
+namespace {
+
+TEST(OfficeWorkloadTest, DeterministicAndWellFormed) {
+  Vocabulary v1, v2;
+  Database d1(&v1), d2(&v2);
+  OfficeParams params;
+  params.researchers = 200;
+  GenerateOffice(params, &d1);
+  GenerateOffice(params, &d2);
+  EXPECT_EQ(d1.TotalFacts(), d2.TotalFacts());
+  EXPECT_GE(d1.TotalFacts(), params.researchers);
+  Ontology onto = OfficeOntology(&v1);
+  EXPECT_TRUE(onto.IsGuarded());
+  EXPECT_TRUE(onto.IsELI());
+  CQ q = OfficeQuery(&v1);
+  EXPECT_TRUE(IsAcyclic(q));
+  EXPECT_TRUE(IsFreeConnexAcyclic(q));
+}
+
+TEST(OfficeWorkloadTest, PartialAnswersCoverEveryResearcher) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  OfficeParams params;
+  params.researchers = 120;
+  params.office_fraction = 0.5;
+  params.building_fraction = 0.5;
+  GenerateOffice(params, &db);
+  OMQ omq = OfficeOMQ(&vocab);
+  auto answers = AllMinimalPartialAnswers(omq, db);
+  // Every researcher appears in at least one minimal partial answer (thanks
+  // to the Researcher->HasOffice TGD).
+  TupleMap<char> firsts;
+  for (const auto& t : answers) firsts.InsertOrGet(t.data(), 1, 1);
+  EXPECT_GE(firsts.size(), params.researchers);
+}
+
+TEST(OfficeWorkloadTest, ExtensionsAreGuardedNotEli) {
+  Vocabulary vocab;
+  Ontology onto = OfficeOntology(&vocab, /*with_extensions=*/true);
+  EXPECT_TRUE(onto.IsGuarded());
+  EXPECT_FALSE(onto.IsELI());  // OfficeMate TGD has two frontier variables
+  CQ q = LargeOfficeQuery(&vocab);
+  EXPECT_TRUE(IsAcyclic(q));
+  EXPECT_TRUE(IsFreeConnexAcyclic(q));
+}
+
+TEST(UniversityWorkloadTest, EliOntologyAndQueries) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  UniversityParams params;
+  params.faculty = 80;
+  params.students = 150;
+  GenerateUniversity(params, &db);
+  Ontology onto = UniversityOntology(&vocab);
+  EXPECT_TRUE(onto.IsELI());
+  CQ catalog = CatalogQuery(&vocab);
+  EXPECT_TRUE(IsAcyclic(catalog));
+  EXPECT_TRUE(IsFreeConnexAcyclic(catalog));
+  CQ teachers = TeachersOfStudentsQuery(&vocab);
+  EXPECT_TRUE(IsAcyclic(teachers));
+  EXPECT_TRUE(IsFreeConnexAcyclic(teachers));
+  // Every faculty member teaches (possibly anonymously): the catalog's
+  // partial answers include every faculty member.
+  OMQ omq = CatalogOMQ(&vocab);
+  auto answers = AllMinimalPartialAnswers(omq, db);
+  EXPECT_GE(answers.size(), params.faculty);
+}
+
+TEST(ChainWorkloadTest, SizesAndProperties) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  ChainParams params;
+  params.length = 3;
+  params.base_size = 50;
+  params.fanout = 2;
+  GenerateChain(params, &db);
+  CQ q = ChainQuery(&vocab, 3);
+  EXPECT_TRUE(IsAcyclic(q));
+  EXPECT_TRUE(IsFreeConnexAcyclic(q));
+  Ontology onto = ChainOntology(&vocab, 3);
+  EXPECT_TRUE(onto.IsELI());
+  OMQ omq = MakeOMQ(Ontology(), q);
+  auto e = CompleteEnumerator::Create(omq, db);
+  ASSERT_TRUE(e.ok());
+  size_t count = 0;
+  ValueTuple t;
+  while ((*e)->Next(&t)) ++count;
+  EXPECT_GT(count, 0u);
+}
+
+TEST(GraphWorkloadTest, GeneratorsAndDirectDetection) {
+  EdgeList er = GenErdosRenyi(100, 300, 5);
+  EXPECT_EQ(er.size(), 300u);
+  for (auto [u, v] : er) {
+    EXPECT_NE(u, v);
+    EXPECT_LT(u, 100u);
+  }
+  // Bipartite graphs are triangle-free.
+  EdgeList bip = GenBipartite(50, 50, 400, 9);
+  EXPECT_FALSE(DetectTriangleDirect(bip));
+  PlantTriangle(&bip, 100);
+  EXPECT_TRUE(DetectTriangleDirect(bip));
+  // Dense ER graphs essentially always contain triangles.
+  EdgeList dense = GenErdosRenyi(30, 200, 11);
+  EXPECT_TRUE(DetectTriangleDirect(dense));
+}
+
+}  // namespace
+}  // namespace omqe
