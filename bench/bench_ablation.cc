@@ -16,15 +16,17 @@
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
+  const uint32_t university_scale = smoke ? 500 : 20000;
   bench::PrintHeader("E13a: chase depth ablation (university, 20k faculty)",
                      "null_depth   chase_ms   facts   db_part   truncated");
   {
     Vocabulary vocab;
     Database db(&vocab);
     UniversityParams params;
-    params.faculty = 20000;
-    params.students = 20000;
+    params.faculty = university_scale;
+    params.students = university_scale;
     GenerateUniversity(params, &db);
     Ontology onto = UniversityOntology(&vocab);
     for (uint32_t depth : {1u, 2u, 4u, 8u, 12u}) {
@@ -47,8 +49,8 @@ int main() {
     Vocabulary vocab;
     Database db(&vocab);
     UniversityParams params;
-    params.faculty = 20000;
-    params.students = 20000;
+    params.faculty = university_scale;
+    params.students = university_scale;
     GenerateUniversity(params, &db);
     Ontology onto = UniversityOntology(&vocab);
     for (ChaseMode mode : {ChaseMode::kOblivious, ChaseMode::kRestricted}) {
@@ -70,7 +72,7 @@ int main() {
       "E13b: Horn datalog saturation vs. generic chase (derived hierarchy)",
       "facts_in   horn_ms   chase_ms   facts_out_equal");
   {
-    for (uint32_t n : {20000u, 40000u, 80000u}) {
+    for (uint32_t n : bench::Sweep(smoke, {20000u, 40000u, 80000u}, 500u)) {
       Vocabulary vocab;
       Database db(&vocab);
       OfficeParams params;

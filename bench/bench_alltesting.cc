@@ -12,10 +12,12 @@
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
   bench::PrintHeader("E6: all-testing (university catalog)",
                      "faculty   ||D||   prep_ms   tests   ns/test   positives");
-  for (uint32_t n : {2000u, 4000u, 8000u, 16000u, 32000u}) {
+  for (uint32_t n : bench::Sweep(smoke, {2000u, 4000u, 8000u, 16000u, 32000u},
+                                 200u)) {
     Vocabulary vocab;
     Database db(&vocab);
     UniversityParams params;
@@ -30,7 +32,7 @@ int main() {
     if (!tester.ok()) return 1;
 
     Rng rng(23);
-    const size_t kTests = 200000;
+    const size_t kTests = smoke ? 1000 : 200000;
     size_t positives = 0;
     Stopwatch probes;
     for (size_t i = 0; i < kTests; ++i) {

@@ -12,12 +12,13 @@
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
   bench::PrintHeader(
       "E12: time-to-first / time-to-K answers, enumeration vs materialization",
       "base_size   answers_total   enum_first_ms   enum_1k_ms   "
       "materialize_all_ms");
-  for (uint32_t base : {2000u, 8000u, 32000u}) {
+  for (uint32_t base : bench::Sweep(smoke, {2000u, 8000u, 32000u}, 200u)) {
     Vocabulary vocab;
     Database db(&vocab);
     ChainParams params;

@@ -13,11 +13,12 @@
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
   bench::PrintHeader("E11: sparse Boolean matrix multiplication via the OMQ",
                      "n      |M1|=|M2|   |M1M2|   direct_ms   via_omq_ms   "
                      "match   minimal_partial   bound(|M1|+|M2|+|M1M2|)");
-  for (uint32_t n : {100u, 200u, 400u, 800u}) {
+  for (uint32_t n : bench::Sweep(smoke, {100u, 200u, 400u, 800u}, 40u)) {
     uint32_t ones = n * 4;
     SparseMatrix m1 = GenSparseMatrix(n, ones, 1);
     SparseMatrix m2 = GenSparseMatrix(n, ones, 2);

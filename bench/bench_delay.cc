@@ -10,11 +10,13 @@
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
   bench::PrintHeader("E5: constant-delay complete enumeration (chain workload)",
                      "base_size   ||D||(facts)   answers   prep_ms   mean_ns   "
                      "p95_ns   max_ns");
-  for (uint32_t base : {2000u, 4000u, 8000u, 16000u, 32000u}) {
+  for (uint32_t base : bench::Sweep(
+           smoke, {2000u, 4000u, 8000u, 16000u, 32000u}, 200u)) {
     Vocabulary vocab;
     Database db(&vocab);
     ChainParams params;

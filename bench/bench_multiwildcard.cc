@@ -10,11 +10,13 @@
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
   bench::PrintHeader(
       "E8: minimal partial answers with multi-wildcards (university)",
       "faculty   ||D||   prep_ms   answers   multi_wild   mean_ns   p95_ns");
-  for (uint32_t n : {2000u, 4000u, 8000u, 16000u}) {
+  for (uint32_t n :
+       bench::Sweep(smoke, {2000u, 4000u, 8000u, 16000u}, 200u)) {
     Vocabulary vocab;
     Database db(&vocab);
     UniversityParams params;

@@ -11,12 +11,14 @@
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
   bench::PrintHeader(
       "E7: minimal partial answers, single wildcard (office workload)",
       "researchers   ||D||   prog_trees   prep_ms   answers   mean_ns   "
       "p95_ns   max_ns");
-  for (uint32_t n : {5000u, 10000u, 20000u, 40000u, 80000u}) {
+  for (uint32_t n : bench::Sweep(
+           smoke, {5000u, 10000u, 20000u, 40000u, 80000u}, 200u)) {
     Vocabulary vocab;
     Database db(&vocab);
     OfficeParams params;
@@ -41,7 +43,7 @@ int main() {
   bench::PrintHeader("E9: complete answers first (Proposition 2.1)",
                      "researchers   answers   mean_ns   p95_ns   "
                      "first_wildcard_rank");
-  for (uint32_t n : {10000u, 40000u}) {
+  for (uint32_t n : bench::Sweep(smoke, {10000u, 40000u}, 200u)) {
     Vocabulary vocab;
     Database db(&vocab);
     OfficeParams params;

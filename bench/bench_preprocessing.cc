@@ -11,11 +11,13 @@
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
   bench::PrintHeader("E2: preprocessing linearity (office workload)",
                      "researchers   ||D||(facts)   chase_ms   chase_ns/fact   "
                      "full_prep_ms   prep_ns/fact");
-  for (uint32_t n : {10000u, 20000u, 40000u, 80000u, 160000u}) {
+  for (uint32_t n : bench::Sweep(
+           smoke, {10000u, 20000u, 40000u, 80000u, 160000u}, 500u)) {
     Vocabulary vocab;
     Database db(&vocab);
     OfficeParams params;

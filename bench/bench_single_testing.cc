@@ -13,12 +13,14 @@
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
   bench::PrintHeader(
       "E3/E4: single-testing (office workload, per-test microseconds)",
       "researchers   ||D||   prep_ms   complete_us   partial_us   multi_us   "
       "baseline_ms");
-  for (uint32_t n : {5000u, 10000u, 20000u, 40000u}) {
+  for (uint32_t n :
+       bench::Sweep(smoke, {5000u, 10000u, 20000u, 40000u}, 200u)) {
     Vocabulary vocab;
     Database db(&vocab);
     OfficeParams params;

@@ -11,11 +11,13 @@
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
   bench::PrintHeader("E10: triangle detection through the OMQ engine",
                      "vertices   edges   planted   direct_ms   boolean_cq_ms   "
                      "omq_minimality_ms   agree");
-  for (uint32_t n : {1000u, 2000u, 4000u, 8000u}) {
+  for (uint32_t n :
+       bench::Sweep(smoke, {1000u, 2000u, 4000u, 8000u}, 100u)) {
     for (bool planted : {false, true}) {
       EdgeList edges = GenBipartite(n / 2, n / 2, n * 3, 99);
       if (planted) PlantTriangle(&edges, n);

@@ -6,12 +6,29 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <initializer_list>
+#include <string_view>
 #include <vector>
 
 #include "base/timer.h"
 #include "data/value.h"
 
 namespace omqe::bench {
+
+/// True when the harness was invoked with --smoke: sweeps shrink to a single
+/// tiny size so ctest exercises every code path in well under a second.
+inline bool SmokeMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::string_view(argv[i]) == "--smoke") return true;
+  return false;
+}
+
+/// The sweep for one experiment: the full series normally, just `tiny` in
+/// smoke mode.
+template <typename T>
+std::vector<T> Sweep(bool smoke, std::initializer_list<T> full, T tiny) {
+  return smoke ? std::vector<T>{tiny} : std::vector<T>(full);
+}
 
 struct DelayStats {
   size_t answers = 0;

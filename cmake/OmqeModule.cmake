@@ -1,0 +1,40 @@
+# omqe_add_module(<name> SOURCES <src...> [DEPS <modules...>])
+#
+# Declares the static library `omqe_<name>` (alias `omqe::<name>`) rooted at
+# src/<name>/. Every module shares the repo-root include path (headers are
+# included as "module/header.h"), the warning set, and the sanitizer config.
+#
+# omqe_add_binary(<target> SOURCES <src...> [DEPS <modules...>])
+#
+# Declares an executable linked against the named modules with the same
+# shared settings. Used by tests/, bench/, and examples/.
+
+set(OMQE_WARNINGS -Wall -Wextra)
+if(OMQE_WERROR)
+  list(APPEND OMQE_WARNINGS -Werror)
+endif()
+
+function(_omqe_common_setup target)
+  target_include_directories(${target} PUBLIC "${PROJECT_SOURCE_DIR}/src")
+  target_compile_options(${target} PRIVATE ${OMQE_WARNINGS})
+  target_link_libraries(${target} PUBLIC omqe::sanitizers)
+endfunction()
+
+function(omqe_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_library(omqe_${name} STATIC ${ARG_SOURCES})
+  add_library(omqe::${name} ALIAS omqe_${name})
+  _omqe_common_setup(omqe_${name})
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(omqe_${name} PUBLIC omqe::${dep})
+  endforeach()
+endfunction()
+
+function(omqe_add_binary target)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_executable(${target} ${ARG_SOURCES})
+  _omqe_common_setup(${target})
+  foreach(dep IN LISTS ARG_DEPS)
+    target_link_libraries(${target} PUBLIC omqe::${dep})
+  endforeach()
+endfunction()

@@ -1,0 +1,25 @@
+# Opt-in sanitizer instrumentation, applied to every omqe module and binary.
+#
+#   -DOMQE_SANITIZE=address;undefined   (the `asan` preset)
+#   -DOMQE_SANITIZE=thread
+#
+# Flags go on an interface target so the whole dependency closure is built
+# with the same instrumentation — mixing sanitized and unsanitized static
+# libraries produces false positives.
+
+set(OMQE_SANITIZE "" CACHE STRING
+  "Semicolon-separated sanitizers to enable (address, undefined, thread, leak)")
+
+add_library(omqe_sanitizers INTERFACE)
+add_library(omqe::sanitizers ALIAS omqe_sanitizers)
+
+if(OMQE_SANITIZE)
+  foreach(san IN LISTS OMQE_SANITIZE)
+    target_compile_options(omqe_sanitizers INTERFACE -fsanitize=${san})
+    target_link_options(omqe_sanitizers INTERFACE -fsanitize=${san})
+  endforeach()
+  # Keep stacks readable in sanitizer reports.
+  target_compile_options(omqe_sanitizers INTERFACE
+    -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  target_link_options(omqe_sanitizers INTERFACE -fno-sanitize-recover=all)
+endif()

@@ -2,7 +2,7 @@
 // ontology and a database from files (or use the built-in demo), then run a
 // query in one of the paper's evaluation modes.
 //
-//   $ ./omqe_shell --mode=partial --query='q(x,y) :- HasOffice(x,y)' \
+//   $ ./omqe_shell --mode=partial --query='q(x,y) :- HasOffice(x,y)'
 //                  [--ontology=onto.txt] [--data=facts.txt] [--limit=N]
 //
 // Modes: complete | partial | multi | complete-first | test (reads candidate

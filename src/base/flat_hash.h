@@ -8,6 +8,7 @@
 #ifndef OMQE_BASE_FLAT_HASH_H_
 #define OMQE_BASE_FLAT_HASH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <vector>
@@ -16,6 +17,20 @@
 #include "base/status.h"
 
 namespace omqe {
+
+/// Occupancy and probe-length statistics for the open-addressing containers.
+/// Cheap to compute (one scan), used by tests to pin down the invariants the
+/// hot paths rely on: load factor below 3/4 and short probe sequences.
+struct HashStats {
+  size_t size = 0;
+  size_t capacity = 0;
+  size_t max_probe = 0;     ///< longest displacement from the home slot
+  double mean_probe = 0.0;  ///< mean displacement over stored entries
+
+  double LoadFactor() const {
+    return capacity == 0 ? 0.0 : static_cast<double>(size) / static_cast<double>(capacity);
+  }
+};
 
 template <typename K, typename V>
 class FlatMap {
@@ -64,6 +79,25 @@ class FlatMap {
     for (size_t i = 0; i < keys_.size(); ++i) {
       if (keys_[i] != kEmpty) fn(keys_[i], vals_[i]);
     }
+  }
+
+  HashStats Stats() const {
+    HashStats stats;
+    stats.capacity = keys_.size();
+    size_t mask = keys_.size() - 1;
+    size_t total_probe = 0;
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] == kEmpty) continue;
+      size_t home = Mix64(static_cast<uint64_t>(keys_[i])) & mask;
+      size_t probe = (i - home) & mask;
+      total_probe += probe;
+      stats.max_probe = std::max(stats.max_probe, probe);
+      ++stats.size;
+    }
+    if (stats.size > 0) {
+      stats.mean_probe = static_cast<double>(total_probe) / static_cast<double>(stats.size);
+    }
+    return stats;
   }
 
  private:
@@ -145,6 +179,25 @@ class TupleMap {
     }
   }
 
+  HashStats Stats() const {
+    HashStats stats;
+    stats.capacity = slots_.size();
+    size_t mask = slots_.size() - 1;
+    size_t total_probe = 0;
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].len == 0xffffffffu) continue;
+      size_t home = HashSpan32(arena_.data() + slots_[i].offset, slots_[i].len) & mask;
+      size_t probe = (i - home) & mask;
+      total_probe += probe;
+      stats.max_probe = std::max(stats.max_probe, probe);
+      ++stats.size;
+    }
+    if (stats.size > 0) {
+      stats.mean_probe = static_cast<double>(total_probe) / static_cast<double>(stats.size);
+    }
+    return stats;
+  }
+
  private:
   static size_t RoundUp(size_t n) {
     size_t c = 16;
@@ -152,8 +205,11 @@ class TupleMap {
     return c;
   }
   bool KeyEquals(const Slot& s, const uint32_t* key, uint32_t len) const {
-    return s.len == len &&
-           std::memcmp(arena_.data() + s.offset, key, len * sizeof(uint32_t)) == 0;
+    if (s.len != len) return false;
+    // Zero-length keys (boolean queries, zero-ary facts) may probe before the
+    // arena has allocated; memcmp forbids null pointers even for n == 0.
+    if (len == 0) return true;
+    return std::memcmp(arena_.data() + s.offset, key, len * sizeof(uint32_t)) == 0;
   }
   size_t Probe(const uint32_t* key, uint32_t len) const {
     size_t mask = slots_.size() - 1;

@@ -354,7 +354,8 @@ class ChaseEngine {
     return static_cast<uint32_t>(blocks_.size() - 1);
   }
 
-  Status AddFact(RelId rel, const Value* tuple, uint32_t arity, uint32_t block) {
+  Status AddFact(RelId rel, const Value* tuple, uint32_t arity,
+                 uint32_t /*block*/) {
     if (!result_->db.AddFact(rel, tuple, arity)) return Status::OK();
     if (result_->db.TotalFacts() > options_.max_facts) {
       return Status::ResourceExhausted("chase exceeded the fact budget");

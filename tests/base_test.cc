@@ -12,6 +12,7 @@
 #include "base/status.h"
 #include "base/str.h"
 #include "horn/horn.h"
+#include "test_util.h"
 
 namespace omqe {
 namespace {
@@ -220,6 +221,104 @@ TEST(HashTest, SpanHashDiscriminates) {
   EXPECT_NE(HashSpan32(a, 3), HashSpan32(b, 3));
   EXPECT_NE(HashSpan32(a, 3), HashSpan32(c, 2));
   EXPECT_EQ(HashSpan32(a, 3), HashSpan32(a, 3));
+}
+
+TEST(FlatHashTest, TupleMapZeroLengthKeys) {
+  // Boolean queries and zero-ary facts probe with len == 0 before the arena
+  // has allocated; this used to feed memcmp a null pointer (UB).
+  TupleMap<int> m;
+  EXPECT_EQ(m.Find(nullptr, 0), nullptr);
+  m.InsertOrGet(nullptr, 0, 7);
+  ASSERT_NE(m.Find(nullptr, 0), nullptr);
+  EXPECT_EQ(*m.Find(nullptr, 0), 7);
+  uint32_t k[2] = {1, 2};
+  m.InsertOrGet(k, 2, 9);
+  EXPECT_EQ(*m.Find(nullptr, 0), 7);
+  EXPECT_EQ(*m.Find(k, 2), 9);
+}
+
+TEST(FlatHashTest, StatsStayWithinOpenAddressingInvariants) {
+  FlatMap<uint32_t, uint32_t> m;
+  for (uint32_t i = 0; i < 10000; ++i) m.InsertOrGet(i * 2654435761u, i);
+  HashStats stats = m.Stats();
+  EXPECT_EQ(stats.size, 10000u);
+  EXPECT_LT(stats.LoadFactor(), 0.75);
+  // With a 64-bit mixed hash and <3/4 load, probe sequences stay short;
+  // generous bounds so the test pins the invariant, not the constant.
+  EXPECT_LT(stats.mean_probe, 4.0);
+  EXPECT_LT(stats.max_probe, 128u);
+
+  TupleMap<uint32_t> t;
+  for (uint32_t i = 0; i < 10000; ++i) {
+    uint32_t key[3] = {i, i ^ 0x9e3779b9u, i * 7u};
+    t.InsertOrGet(key, 3, i);
+  }
+  HashStats tstats = t.Stats();
+  EXPECT_EQ(tstats.size, 10000u);
+  EXPECT_LT(tstats.LoadFactor(), 0.75);
+  EXPECT_LT(tstats.mean_probe, 4.0);
+  EXPECT_LT(tstats.max_probe, 128u);
+}
+
+TEST(WorldLoadTest, ZeroAryFact) {
+  testing::World w;
+  w.Load("Flag()");
+  RelId r = w.vocab.TryRelationId("Flag", 0);
+  ASSERT_NE(r, UINT32_MAX);
+  EXPECT_EQ(w.db.NumRows(r), 1u);
+  EXPECT_EQ(w.db.TotalFacts(), 1u);
+}
+
+TEST(WorldLoadTest, WhitespaceOnlyArgListIsZeroAry) {
+  testing::World w;
+  w.Load("Flag(   )");
+  EXPECT_NE(w.vocab.TryRelationId("Flag", 0), UINT32_MAX);
+  EXPECT_EQ(w.vocab.TryRelationId("Flag", 1), UINT32_MAX);
+  EXPECT_EQ(w.db.TotalFacts(), 1u);
+}
+
+TEST(WorldLoadTest, TrailingCommaDoesNotAddPhantomArg) {
+  testing::World w;
+  w.Load("R(a,)");
+  RelId r = w.vocab.TryRelationId("R", 1);
+  ASSERT_NE(r, UINT32_MAX);
+  ASSERT_EQ(w.db.NumRows(r), 1u);
+  EXPECT_EQ(w.vocab.ValueName(w.db.Row(r, 0)[0]), "a");
+}
+
+TEST(WorldLoadTest, MultiSpaceSeparatorsAreTrimmed) {
+  testing::World w;
+  w.Load("R(  a  ,\t b ,c   )");
+  RelId r = w.vocab.TryRelationId("R", 3);
+  ASSERT_NE(r, UINT32_MAX);
+  ASSERT_EQ(w.db.NumRows(r), 1u);
+  const Value* row = w.db.Row(r, 0);
+  EXPECT_EQ(w.vocab.ValueName(row[0]), "a");
+  EXPECT_EQ(w.vocab.ValueName(row[1]), "b");
+  EXPECT_EQ(w.vocab.ValueName(row[2]), "c");
+}
+
+TEST(WorldLoadTest, UnclosedParenStopsCleanly) {
+  testing::World w;
+  w.Load("R(a, b) S(c");  // must not hang or add the malformed fact
+  RelId r = w.vocab.TryRelationId("R", 2);
+  ASSERT_NE(r, UINT32_MAX);
+  EXPECT_EQ(w.db.TotalFacts(), 1u);
+}
+
+TEST(WorldLoadTest, MultipleFactsAcrossWhitespaceAndNewlines) {
+  testing::World w;
+  w.Load("R(a, b)\n  S(b)\tR(c,d)  Flag()");
+  RelId r = w.vocab.TryRelationId("R", 2);
+  RelId s = w.vocab.TryRelationId("S", 1);
+  RelId f = w.vocab.TryRelationId("Flag", 0);
+  ASSERT_NE(r, UINT32_MAX);
+  ASSERT_NE(s, UINT32_MAX);
+  ASSERT_NE(f, UINT32_MAX);
+  EXPECT_EQ(w.db.NumRows(r), 2u);
+  EXPECT_EQ(w.db.NumRows(s), 1u);
+  EXPECT_EQ(w.db.NumRows(f), 1u);
+  EXPECT_EQ(w.db.TotalFacts(), 4u);
 }
 
 }  // namespace

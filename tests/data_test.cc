@@ -109,7 +109,9 @@ TEST(PositionIndexTest, ChainsAscending) {
   uint32_t prev = 0;
   bool first = true;
   for (auto m = idx.Lookup(key); !m.Done(); m.Next()) {
-    if (!first) EXPECT_GT(m.Row(), prev);
+    if (!first) {
+      EXPECT_GT(m.Row(), prev);
+    }
     prev = m.Row();
     first = false;
   }

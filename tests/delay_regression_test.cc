@@ -1,0 +1,108 @@
+// Regression guard for the paper's constant-delay claim (Theorem 4.1(1)):
+// on a chain instance large enough that preprocessing costs milliseconds,
+// no single enumeration step may cost anywhere near the preprocessing phase.
+// The thresholds are deliberately generous — a true delay regression (delay
+// scaling with ||D||, e.g. a rescan per answer) blows past them by orders of
+// magnitude, while scheduler noise does not get close.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "base/timer.h"
+#include "core/complete_enum.h"
+#include "core/omq.h"
+#include "core/partial_enum.h"
+#include "workload/chains.h"
+
+namespace omqe {
+namespace {
+
+struct DelayProfile {
+  int64_t prep_ns = 0;
+  std::vector<int64_t> delays_ns;
+
+  int64_t p95() const {
+    std::vector<int64_t> sorted = delays_ns;
+    std::sort(sorted.begin(), sorted.end());
+    return sorted[sorted.size() * 95 / 100];
+  }
+};
+
+template <typename Enumerator>
+DelayProfile Profile(const OMQ& omq, const Database& db) {
+  DelayProfile profile;
+  Stopwatch prep;
+  auto e = Enumerator::Create(omq, db);
+  profile.prep_ns = prep.ElapsedNanos();
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  if (!e.ok()) return profile;
+  ValueTuple t;
+  int64_t last = NowNanos();
+  while ((*e)->Next(&t)) {
+    int64_t now = NowNanos();
+    profile.delays_ns.push_back(now - last);
+    last = now;
+  }
+  return profile;
+}
+
+TEST(DelayRegressionTest, CompleteEnumDelayBoundedByPreprocessing) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  ChainParams params;
+  params.length = 3;
+  params.base_size = 8000;
+  params.fanout = 2;
+  GenerateChain(params, &db);
+  OMQ omq = MakeOMQ(Ontology(), ChainQuery(&vocab, params.length));
+
+  DelayProfile profile = Profile<CompleteEnumerator>(omq, db);
+  ASSERT_GT(profile.delays_ns.size(), 1000u) << "workload produced too few answers";
+  ASSERT_GT(profile.prep_ns, 0);
+
+  // Typical p95 delay is ~100ns against ~10ms preprocessing (factor ~1e5);
+  // requiring a factor of 100 leaves three orders of magnitude of headroom.
+  // p95 is the primary guard — a real delay regression (per-answer work
+  // scaling with ||D||) inflates nearly every sample, not just one.
+  EXPECT_LT(profile.p95() * 100, profile.prep_ns)
+      << "p95 per-answer delay " << profile.p95() << "ns vs preprocessing "
+      << profile.prep_ns << "ns";
+  // The max check only guards against catastrophic single-step blowups; the
+  // 10x slack absorbs one OS preemption on a loaded CI runner.
+  int64_t max_delay = *std::max_element(profile.delays_ns.begin(),
+                                        profile.delays_ns.end());
+  EXPECT_LT(max_delay, profile.prep_ns * 10)
+      << "max per-answer delay " << max_delay << "ns vs preprocessing "
+      << profile.prep_ns << "ns";
+}
+
+TEST(DelayRegressionTest, PartialEnumDelayBoundedByPreprocessing) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  ChainParams params;
+  params.length = 3;
+  params.base_size = 8000;
+  params.fanout = 2;
+  params.anonymous_fraction = 0.2;
+  GenerateChain(params, &db);
+  OMQ omq = MakeOMQ(ChainOntology(&vocab, params.length),
+                    ChainQuery(&vocab, params.length));
+
+  DelayProfile profile = Profile<PartialEnumerator>(omq, db);
+  ASSERT_GT(profile.delays_ns.size(), 1000u) << "workload produced too few answers";
+  ASSERT_GT(profile.prep_ns, 0);
+
+  EXPECT_LT(profile.p95() * 100, profile.prep_ns)
+      << "p95 per-answer delay " << profile.p95() << "ns vs preprocessing "
+      << profile.prep_ns << "ns";
+  int64_t max_delay = *std::max_element(profile.delays_ns.begin(),
+                                        profile.delays_ns.end());
+  EXPECT_LT(max_delay, profile.prep_ns * 10)
+      << "max per-answer delay " << max_delay << "ns vs preprocessing "
+      << profile.prep_ns << "ns";
+}
+
+}  // namespace
+}  // namespace omqe

@@ -72,7 +72,7 @@ TEST(CompleteEnumTest, VariousQueriesNoOntology) {
     S(b,u) S(c,v) T(u) T(v) A(a) A(b) B(c)
   )");
   Ontology empty;
-  for (const std::string& query : {
+  for (const char* query : {
            "q(x, y) :- R(x, y)",
            "q(x) :- R(x, y), S(y, z), T(z)",
            "q(x, y) :- R(x, y), S(y, z)",

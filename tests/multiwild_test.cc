@@ -97,7 +97,7 @@ TEST(MultiWildcardTest, AgainstBaselineVarious) {
     R(x, y) -> exists z. S(y, z)
   )");
   w.Load("A(a) A(b) R(a, c) S(c, d) S(c, e)");
-  for (const std::string& query : {
+  for (const char* query : {
            "q(x, y) :- R(x, y)",
            "q(x, y, z) :- R(x, y), S(y, z)",
            "q(y, z) :- R(x, y), S(y, z)",

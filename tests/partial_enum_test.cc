@@ -72,7 +72,7 @@ TEST(PartialEnumTest, AgainstBaselineVariousQueries) {
     B(x) -> exists y. S(x, y)
   )");
   w.Load("A(a1) A(a2) R(a1, c) S(c, d) B(d) T(d, e)");
-  for (const std::string& query : {
+  for (const char* query : {
            "q(x) :- A(x)",
            "q(x, y) :- R(x, y)",
            "q(x, y) :- R(x, y), B(y)",

@@ -28,20 +28,26 @@ struct World {
       size_t start = text.find_last_of(" \t\n,", open);
       start = (start == std::string::npos) ? 0 : start + 1;
       size_t close = text.find(')', open);
+      if (close == std::string::npos) break;  // unclosed paren: stop, don't spin
       std::string rel = text.substr(start, open - start);
       std::string args = text.substr(open + 1, close - open - 1);
       std::vector<Value> vals;
+      // Split on commas, trimming whitespace around each argument. Empty
+      // pieces are skipped so zero-ary facts "R()", whitespace-only lists
+      // "R(  )", and trailing commas "R(a,)" don't produce phantom
+      // empty-named constants.
       size_t a = 0;
-      while (a <= args.size() && !args.empty()) {
+      while (a < args.size()) {
         size_t comma = args.find(',', a);
         if (comma == std::string::npos) comma = args.size();
         std::string arg = args.substr(a, comma - a);
-        // trim
-        while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
-        while (!arg.empty() && arg.back() == ' ') arg.pop_back();
-        vals.push_back(vocab.ConstantId(arg));
+        const char* kSpace = " \t\n\r";
+        size_t first = arg.find_first_not_of(kSpace);
+        size_t last = arg.find_last_not_of(kSpace);
+        if (first != std::string::npos) {
+          vals.push_back(vocab.ConstantId(arg.substr(first, last - first + 1)));
+        }
         a = comma + 1;
-        if (comma == args.size()) break;
       }
       RelId r = vocab.RelationId(rel, static_cast<uint32_t>(vals.size()));
       db.AddFact(r, vals.data(), static_cast<uint32_t>(vals.size()));
