@@ -18,6 +18,7 @@ using namespace omqe;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("ablation", argc, argv);
   const uint32_t university_scale = smoke ? 500 : 20000;
   bench::PrintHeader("E13a: chase depth ablation (university, 20k faculty)",
                      "null_depth   chase_ms   facts   db_part   truncated");
@@ -35,9 +36,16 @@ int main(int argc, char** argv) {
       Stopwatch watch;
       auto result = RunChase(db, onto, options);
       if (!result.ok()) return 1;
-      std::printf("%10u   %8.1f   %5zu   %7zu   %s\n", depth,
-                  watch.ElapsedSeconds() * 1e3, (*result)->db.TotalFacts(),
-                  (*result)->db_part_facts, (*result)->truncated ? "yes" : "no");
+      double chase_ms = watch.ElapsedSeconds() * 1e3;
+      std::printf("%10u   %8.1f   %5zu   %7zu   %s\n", depth, chase_ms,
+                  (*result)->db.TotalFacts(), (*result)->db_part_facts,
+                  (*result)->truncated ? "yes" : "no");
+      json.AddRow("E13a")
+          .Set("null_depth", depth)
+          .Set("chase_ms", chase_ms)
+          .Set("facts", (*result)->db.TotalFacts())
+          .Set("db_part_facts", (*result)->db_part_facts)
+          .Set("truncated", (*result)->truncated);
     }
     std::printf("(db_part stabilizes immediately: extra depth only grows the "
                 "null part linearly.)\n");
@@ -60,9 +68,15 @@ int main(int argc, char** argv) {
       Stopwatch watch;
       auto result = RunChase(db, onto, options);
       if (!result.ok()) return 1;
-      std::printf("%-10s   %8.1f   %5zu\n",
-                  mode == ChaseMode::kOblivious ? "oblivious" : "restricted",
-                  watch.ElapsedSeconds() * 1e3, (*result)->db.TotalFacts());
+      double chase_ms = watch.ElapsedSeconds() * 1e3;
+      const char* mode_name =
+          mode == ChaseMode::kOblivious ? "oblivious" : "restricted";
+      std::printf("%-10s   %8.1f   %5zu\n", mode_name, chase_ms,
+                  (*result)->db.TotalFacts());
+      json.AddRow("E13c")
+          .Set("mode", mode_name)
+          .Set("chase_ms", chase_ms)
+          .Set("facts", (*result)->db.TotalFacts());
     }
     std::printf("(the restricted chase skips satisfied heads: a strictly "
                 "smaller universal model.)\n");
@@ -96,9 +110,14 @@ int main(int argc, char** argv) {
       double chase_ms = chase_watch.ElapsedSeconds() * 1e3;
       if (!chase.ok()) return 1;
 
+      bool equal = horn->TotalFacts() == (*chase)->db.TotalFacts();
       std::printf("%8zu   %7.1f   %8.1f   %s\n", db.TotalFacts(), horn_ms,
-                  chase_ms,
-                  horn->TotalFacts() == (*chase)->db.TotalFacts() ? "yes" : "NO!");
+                  chase_ms, equal ? "yes" : "NO!");
+      json.AddRow("E13b")
+          .Set("facts_in", db.TotalFacts())
+          .Set("horn_ms", horn_ms)
+          .Set("chase_ms", chase_ms)
+          .Set("facts_out_equal", equal);
     }
   }
   return 0;

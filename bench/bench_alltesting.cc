@@ -14,6 +14,7 @@ using namespace omqe;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("alltesting", argc, argv);
   bench::PrintHeader("E6: all-testing (university catalog)",
                      "faculty   ||D||   prep_ms   tests   ns/test   positives");
   for (uint32_t n : bench::Sweep(smoke, {2000u, 4000u, 8000u, 16000u, 32000u},
@@ -45,6 +46,13 @@ int main(int argc, char** argv) {
     double ns_per_test = probes.ElapsedSeconds() * 1e9 / static_cast<double>(kTests);
     std::printf("%7u   %5zu   %7.1f   %5zu   %7.0f   %9zu\n", n, db.TotalFacts(),
                 prep_ms, kTests, ns_per_test, positives);
+    json.AddRow("E6")
+        .Set("faculty", n)
+        .Set("facts", db.TotalFacts())
+        .Set("preprocessing_ms", prep_ms)
+        .Set("tests", kTests)
+        .Set("ns_per_test", ns_per_test)
+        .Set("positives", positives);
   }
   std::printf("\nExpected shape: ns/test flat while ||D|| grows 16x; prep_ms "
               "linear in ||D||.\n");

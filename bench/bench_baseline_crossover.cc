@@ -14,6 +14,7 @@ using namespace omqe;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("baseline_crossover", argc, argv);
   bench::PrintHeader(
       "E12: time-to-first / time-to-K answers, enumeration vs materialization",
       "base_size   answers_total   enum_first_ms   enum_1k_ms   "
@@ -46,6 +47,12 @@ int main(int argc, char** argv) {
 
     std::printf("%9u   %13zu   %13.1f   %10.1f   %18.1f\n", base, total,
                 first_ms, k_ms, mat_ms);
+    json.AddRow("E12")
+        .Set("base_size", base)
+        .Set("answers_total", total)
+        .Set("enum_first_ms", first_ms)
+        .Set("enum_1k_ms", k_ms)
+        .Set("materialize_all_ms", mat_ms);
   }
   std::printf("\nExpected shape: enum_first tracks ||D|| (preprocessing only) "
               "and stays well below\nmaterialize_all, which scales with "

@@ -15,6 +15,7 @@ using namespace omqe;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("bmm_reduction", argc, argv);
   bench::PrintHeader("E11: sparse Boolean matrix multiplication via the OMQ",
                      "n      |M1|=|M2|   |M1M2|   direct_ms   via_omq_ms   "
                      "match   minimal_partial   bound(|M1|+|M2|+|M1M2|)");
@@ -48,6 +49,15 @@ int main(int argc, char** argv) {
     std::printf("%4u   %9zu   %6zu   %9.2f   %10.2f   %5s   %15zu   %12zu\n", n,
                 m1.size(), direct.size(), direct_ms, omq_ms,
                 match ? "yes" : "NO!", minimal, bound);
+    json.AddRow("E11")
+        .Set("n", n)
+        .Set("nonzeros", m1.size())
+        .Set("product_size", direct.size())
+        .Set("direct_ms", direct_ms)
+        .Set("via_omq_ms", omq_ms)
+        .Set("match", match)
+        .Set("minimal_partial", minimal)
+        .Set("bound", bound);
   }
   std::printf("\nExpected shape: via_omq tracks direct up to a constant "
               "factor, and the number of\nminimal partial answers never "

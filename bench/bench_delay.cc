@@ -12,6 +12,7 @@ using namespace omqe;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("delay", argc, argv);
   bench::PrintHeader("E5: constant-delay complete enumeration (chain workload)",
                      "base_size   ||D||(facts)   answers   prep_ms   mean_ns   "
                      "p95_ns   max_ns");
@@ -36,6 +37,11 @@ int main(int argc, char** argv) {
     std::printf("%9u   %12zu   %7zu   %7.1f   %7.0f   %6.0f   %6.0f\n", base,
                 db.TotalFacts(), stats.answers, prep_ms, stats.mean_ns,
                 stats.p95_ns, stats.max_ns);
+    json.AddRow("E5")
+        .Set("base_size", base)
+        .Set("facts", db.TotalFacts())
+        .Set("preprocessing_ms", prep_ms)
+        .Set("", stats);
   }
   std::printf("\nExpected shape: answers grow with ||D|| but mean/p95 delay "
               "stays flat (constant delay);\nmax delay is a single outlier "

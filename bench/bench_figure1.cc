@@ -7,13 +7,15 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "cq/parser.h"
 #include "cq/properties.h"
 #include "data/schema.h"
 
 using namespace omqe;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonEmitter json("figure1", argc, argv);
   Vocabulary vocab;
   struct Row {
     const char* label;
@@ -37,6 +39,12 @@ int main() {
     std::printf("%-30s %-4s %-4s %-4s %s\n", row.label,
                 IsAcyclic(q) ? "yes" : "no", IsFreeConnexAcyclic(q) ? "yes" : "no",
                 IsWeaklyAcyclic(q) ? "yes" : "no", HasBadPath(q) ? "yes" : "no");
+    json.AddRow("E1")
+        .Set("query", row.label)
+        .Set("acyclic", IsAcyclic(q))
+        .Set("free_connex", IsFreeConnexAcyclic(q))
+        .Set("weakly_acyclic", IsWeaklyAcyclic(q))
+        .Set("bad_path", HasBadPath(q));
   }
   return 0;
 }

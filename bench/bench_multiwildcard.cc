@@ -12,6 +12,7 @@ using namespace omqe;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("multiwildcard", argc, argv);
   bench::PrintHeader(
       "E8: minimal partial answers with multi-wildcards (university)",
       "faculty   ||D||   prep_ms   answers   multi_wild   mean_ns   p95_ns");
@@ -44,6 +45,12 @@ int main(int argc, char** argv) {
     std::printf("%7u   %5zu   %7.1f   %7zu   %10zu   %7.0f   %6.0f\n", n,
                 db.TotalFacts(), prep_ms, stats.answers, multi, stats.mean_ns,
                 stats.p95_ns);
+    json.AddRow("E8")
+        .Set("faculty", n)
+        .Set("facts", db.TotalFacts())
+        .Set("preprocessing_ms", prep_ms)
+        .Set("multi_wildcard_answers", multi)
+        .Set("", stats);
   }
   std::printf("\nExpected shape: answer count scales with data, delays stay "
               "flat; a constant fraction\nof answers carries >= 2 wildcards "

@@ -13,6 +13,7 @@ using namespace omqe;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("partial_enum", argc, argv);
   bench::PrintHeader(
       "E7: minimal partial answers, single wildcard (office workload)",
       "researchers   ||D||   prog_trees   prep_ms   answers   mean_ns   "
@@ -38,6 +39,12 @@ int main(int argc, char** argv) {
     std::printf("%11u   %5zu   %10zu   %7.1f   %7zu   %7.0f   %6.0f   %6.0f\n",
                 n, db.TotalFacts(), (*e)->num_progress_trees(), prep_ms,
                 stats.answers, stats.mean_ns, stats.p95_ns, stats.max_ns);
+    json.AddRow("E7")
+        .Set("researchers", n)
+        .Set("facts", db.TotalFacts())
+        .Set("progress_trees", (*e)->num_progress_trees())
+        .Set("preprocessing_ms", prep_ms)
+        .Set("", stats);
   }
 
   bench::PrintHeader("E9: complete answers first (Proposition 2.1)",
@@ -69,6 +76,10 @@ int main(int argc, char** argv) {
     });
     std::printf("%11u   %7zu   %7.0f   %6.0f   %19zu\n", n, stats.answers,
                 stats.mean_ns, stats.p95_ns, first_wild);
+    json.AddRow("E9")
+        .Set("researchers", n)
+        .Set("first_wildcard_rank", first_wild)
+        .Set("", stats);
   }
   std::printf("\nExpected shape: delays flat across a 16x data sweep; with the "
               "Prop 2.1 wrapper the\nfirst wildcard answer appears only after "

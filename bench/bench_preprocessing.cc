@@ -13,6 +13,7 @@ using namespace omqe;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("preprocessing", argc, argv);
   bench::PrintHeader("E2: preprocessing linearity (office workload)",
                      "researchers   ||D||(facts)   chase_ms   chase_ns/fact   "
                      "full_prep_ms   prep_ns/fact");
@@ -39,6 +40,13 @@ int main(int argc, char** argv) {
     std::printf("%11u   %12zu   %8.1f   %13.1f   %12.1f   %12.1f\n", n, facts,
                 chase_ms, chase_ms * 1e6 / static_cast<double>(facts), prep_ms,
                 prep_ms * 1e6 / static_cast<double>(facts));
+    json.AddRow("E2")
+        .Set("researchers", n)
+        .Set("facts", facts)
+        .Set("chase_ms", chase_ms)
+        .Set("chase_ns_per_fact", chase_ms * 1e6 / static_cast<double>(facts))
+        .Set("preprocessing_ms", prep_ms)
+        .Set("prep_ns_per_fact", prep_ms * 1e6 / static_cast<double>(facts));
   }
   std::printf("\nExpected shape: both ns/fact columns stay flat as ||D|| "
               "doubles (linear preprocessing).\n");

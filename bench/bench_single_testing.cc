@@ -15,6 +15,7 @@ using namespace omqe;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("single_testing", argc, argv);
   bench::PrintHeader(
       "E3/E4: single-testing (office workload, per-test microseconds)",
       "researchers   ||D||   prep_ms   complete_us   partial_us   multi_us   "
@@ -68,6 +69,14 @@ int main(int argc, char** argv) {
     std::printf("%11u   %5zu   %7.1f   %11.1f   %10.1f   %8.1f   %11.1f\n", n,
                 db.TotalFacts(), prep_ms, complete_us, partial_us, multi_us,
                 baseline_ms);
+    json.AddRow("E3/E4")
+        .Set("researchers", n)
+        .Set("facts", db.TotalFacts())
+        .Set("preprocessing_ms", prep_ms)
+        .Set("complete_us", complete_us)
+        .Set("partial_us", partial_us)
+        .Set("multi_us", multi_us)
+        .Set("baseline_ms", baseline_ms);
   }
   std::printf("\nExpected shape: per-test microseconds grow (at most) linearly "
               "with ||D|| and sit far\nbelow the baseline, which re-materializes "

@@ -13,6 +13,7 @@ using namespace omqe;
 
 int main(int argc, char** argv) {
   const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("triangle_reduction", argc, argv);
   bench::PrintHeader("E10: triangle detection through the OMQ engine",
                      "vertices   edges   planted   direct_ms   boolean_cq_ms   "
                      "omq_minimality_ms   agree");
@@ -34,9 +35,18 @@ int main(int argc, char** argv) {
       bool via_omq = DetectTriangleViaOMQ(edges);
       double omq_ms = omq_watch.ElapsedSeconds() * 1e3;
 
+      bool agree = direct == via_cq && direct == via_omq;
       std::printf("%8u   %5zu   %7d   %9.2f   %13.2f   %17.2f   %s\n", n,
                   edges.size(), planted, direct_ms, cq_ms, omq_ms,
-                  (direct == via_cq && direct == via_omq) ? "yes" : "NO!");
+                  agree ? "yes" : "NO!");
+      json.AddRow("E10")
+          .Set("vertices", n)
+          .Set("edges", edges.size())
+          .Set("planted", planted)
+          .Set("direct_ms", direct_ms)
+          .Set("boolean_cq_ms", cq_ms)
+          .Set("omq_minimality_ms", omq_ms)
+          .Set("agree", agree);
     }
   }
   std::printf("\nExpected shape: all three columns grow roughly linearly in "

@@ -5,6 +5,10 @@
 // Neither supports erase; algorithms that conceptually remove entries store a
 // sentinel value instead (matching how the paper re-uses zero-initialized
 // memory).
+//
+// Bulk loads should call Reserve(n) up front: a reserved container performs
+// the single sizing there and never rehashes during the load, which is what
+// keeps preprocessing at one pass over the data instead of O(log n) passes.
 #ifndef OMQE_BASE_FLAT_HASH_H_
 #define OMQE_BASE_FLAT_HASH_H_
 
@@ -20,12 +24,14 @@ namespace omqe {
 
 /// Occupancy and probe-length statistics for the open-addressing containers.
 /// Cheap to compute (one scan), used by tests to pin down the invariants the
-/// hot paths rely on: load factor below 3/4 and short probe sequences.
+/// hot paths rely on: load factor below 3/4, short probe sequences, and —
+/// after a Reserve'd bulk load — zero intermediate rehashes.
 struct HashStats {
   size_t size = 0;
   size_t capacity = 0;
   size_t max_probe = 0;     ///< longest displacement from the home slot
   double mean_probe = 0.0;  ///< mean displacement over stored entries
+  size_t rehashes = 0;      ///< growth events that re-probed existing entries
 
   double LoadFactor() const {
     return capacity == 0 ? 0.0 : static_cast<double>(size) / static_cast<double>(capacity);
@@ -45,6 +51,13 @@ class FlatMap {
   void clear() {
     std::fill(keys_.begin(), keys_.end(), kEmpty);
     size_ = 0;
+  }
+
+  /// Sizes the table so that `entries` total entries fit under 3/4 load:
+  /// inserts up to that count perform no rehash. Never shrinks.
+  void Reserve(size_t entries) {
+    size_t cap = RoundUp(entries + entries / 3 + 1);
+    if (cap > keys_.size()) Rehash(cap);
   }
 
   /// Returns a pointer to the value for `k`, or nullptr when absent.
@@ -71,8 +84,17 @@ class FlatMap {
 
   V& operator[](K k) { return InsertOrGet(k, V()); }
 
-  /// Overwrites the value for `k` (inserting if needed).
-  void Put(K k, const V& v) { InsertOrGet(k, v) = v; }
+  /// Overwrites the value for `k` (inserting if needed). Single probe,
+  /// single value write.
+  void Put(K k, const V& v) {
+    MaybeGrow();
+    size_t i = Probe(k);
+    if (keys_[i] == kEmpty) {
+      keys_[i] = k;
+      ++size_;
+    }
+    vals_[i] = v;
+  }
 
   template <typename Fn>
   void ForEach(Fn&& fn) const {
@@ -84,6 +106,7 @@ class FlatMap {
   HashStats Stats() const {
     HashStats stats;
     stats.capacity = keys_.size();
+    stats.rehashes = rehashes_;
     size_t mask = keys_.size() - 1;
     size_t total_probe = 0;
     for (size_t i = 0; i < keys_.size(); ++i) {
@@ -118,6 +141,7 @@ class FlatMap {
     Rehash(keys_.size() * 2);
   }
   void Rehash(size_t cap) {
+    if (size_ > 0) ++rehashes_;
     std::vector<K> old_keys = std::move(keys_);
     std::vector<V> old_vals = std::move(vals_);
     keys_.assign(cap, kEmpty);
@@ -131,10 +155,11 @@ class FlatMap {
   std::vector<K> keys_;
   std::vector<V> vals_;
   size_t size_ = 0;
+  size_t rehashes_ = 0;
 };
 
-/// Map keyed by short tuples of uint32_t. Keys are copied into an arena;
-/// lookups never allocate.
+/// Map keyed by short tuples of uint32_t. Keys are copied into a single
+/// arena (one allocation stream for all keys); lookups never allocate.
 template <typename V>
 class TupleMap {
   struct Slot {
@@ -149,6 +174,23 @@ class TupleMap {
   }
 
   size_t size() const { return size_; }
+
+  /// Drops all entries but keeps the slot and arena capacity, so a cleared
+  /// map can be re-loaded without reallocating.
+  void clear() {
+    std::fill(slots_.begin(), slots_.end(), Slot());
+    arena_.clear();
+    size_ = 0;
+  }
+
+  /// Sizes the table for `entries` total entries (no rehash up to that
+  /// count) and the arena for `key_words` total words of key storage, so a
+  /// bulk load of known size does all its sizing up front. Never shrinks.
+  void Reserve(size_t entries, size_t key_words = 0) {
+    size_t cap = RoundUp(entries + entries / 3 + 1);
+    if (cap > slots_.size()) Grow(cap);
+    if (key_words > arena_.capacity()) arena_.reserve(key_words);
+  }
 
   V* Find(const uint32_t* key, uint32_t len) {
     size_t i = Probe(key, len);
@@ -172,6 +214,20 @@ class TupleMap {
     return slots_[i].value;
   }
 
+  /// Overwrites the value for `key` (inserting if needed). Single probe,
+  /// single value write.
+  void Put(const uint32_t* key, uint32_t len, const V& v) {
+    MaybeGrow();
+    size_t i = Probe(key, len);
+    if (slots_[i].len == 0xffffffffu) {
+      slots_[i].offset = static_cast<uint32_t>(arena_.size());
+      slots_[i].len = len;
+      arena_.insert(arena_.end(), key, key + len);
+      ++size_;
+    }
+    slots_[i].value = v;
+  }
+
   template <typename Fn>
   void ForEach(Fn&& fn) const {
     for (const Slot& s : slots_) {
@@ -182,6 +238,7 @@ class TupleMap {
   HashStats Stats() const {
     HashStats stats;
     stats.capacity = slots_.size();
+    stats.rehashes = rehashes_;
     size_t mask = slots_.size() - 1;
     size_t total_probe = 0;
     for (size_t i = 0; i < slots_.size(); ++i) {
@@ -221,8 +278,12 @@ class TupleMap {
   }
   void MaybeGrow() {
     if (size_ * 4 < slots_.size() * 3) return;
+    Grow(slots_.size() * 2);
+  }
+  void Grow(size_t cap) {
+    if (size_ > 0) ++rehashes_;
     std::vector<Slot> old = std::move(slots_);
-    slots_.assign(old.size() * 2, Slot());
+    slots_.assign(cap, Slot());
     size_ = 0;
     for (const Slot& s : old) {
       if (s.len == 0xffffffffu) continue;
@@ -236,6 +297,7 @@ class TupleMap {
   std::vector<Slot> slots_;
   std::vector<uint32_t> arena_;
   size_t size_ = 0;
+  size_t rehashes_ = 0;
 };
 
 }  // namespace omqe

@@ -15,6 +15,14 @@ namespace omqe {
 
 class Interner {
  public:
+  /// Pre-sizes for `n` total strings so a bulk intern of known size does all
+  /// its hash and vector sizing up front (no intermediate rehash).
+  void Reserve(uint32_t n) {
+    map_.Reserve(n);
+    strings_.reserve(n);
+    next_.reserve(n);
+  }
+
   /// Returns the id for `s`, creating one if needed.
   uint32_t Intern(std::string_view s) {
     uint64_t h = HashString(s);
@@ -50,6 +58,10 @@ class Interner {
 
   const std::string& Name(uint32_t id) const { return strings_[id]; }
   uint32_t size() const { return static_cast<uint32_t>(strings_.size()); }
+
+  /// Statistics of the underlying hash map (tests assert a reserved bulk
+  /// intern performs no intermediate rehash).
+  HashStats Stats() const { return map_.Stats(); }
 
  private:
   static constexpr uint32_t kNoNext = UINT32_MAX;

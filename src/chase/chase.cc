@@ -21,6 +21,16 @@ class DynIndex {
   RelId rel() const { return rel_; }
   const std::vector<uint32_t>& key_positions() const { return key_positions_; }
 
+  /// Pre-sizes for `rows` total rows: one sizing of the head map (slots and
+  /// key arena) and chain array, so a bulk build performs no intermediate
+  /// rehash. The bulk path of chase preprocessing.
+  void Reserve(uint32_t rows) {
+    next_.reserve(rows);
+    if (!key_positions_.empty()) {
+      heads_.Reserve(rows, static_cast<size_t>(rows) * key_positions_.size());
+    }
+  }
+
   void Add(const Database& db, uint32_t row) {
     OMQE_CHECK(row == next_.size());
     next_.push_back(UINT32_MAX);
@@ -31,9 +41,9 @@ class DynIndex {
       all_head_ = row;
       return;
     }
-    ValueTuple key;
-    for (uint32_t p : key_positions_) key.push_back(t[p]);
-    uint32_t& head = heads_.InsertOrGet(key.data(), key.size(), UINT32_MAX);
+    key_.clear();
+    for (uint32_t p : key_positions_) key_.push_back(t[p]);
+    uint32_t& head = heads_.InsertOrGet(key_.data(), key_.size(), UINT32_MAX);
     next_[row] = head;
     head = row;
   }
@@ -49,6 +59,7 @@ class DynIndex {
  private:
   RelId rel_;
   std::vector<uint32_t> key_positions_;
+  ValueTuple key_;  // scratch, reused across Add calls (no per-tuple alloc)
   TupleMap<uint32_t> heads_;
   std::vector<uint32_t> next_;
   uint32_t all_head_ = UINT32_MAX;
@@ -83,18 +94,13 @@ class ChaseEngine {
     null_depth_.assign(input_.NullHighWater(), 0);
     null_block_.assign(input_.NullHighWater(), UINT32_MAX);
 
-    // Copy the input facts; they form the initial delta.
-    for (RelId r = 0; r < input_.NumRelationSlots(); ++r) {
-      uint32_t arity = input_.Arity(r);
-      for (uint32_t row = 0; row < input_.NumRows(r); ++row) {
-        OMQE_RETURN_IF_ERROR(AddFact(r, input_.Row(r, row), arity, UINT32_MAX));
-      }
-    }
+    // Seed all input facts through the bulk path before the delta loop.
+    OMQE_RETURN_IF_ERROR(SeedInputFacts());
     // Fire TGDs with empty bodies once.
     for (uint32_t t = 0; t < onto_.tgds().size(); ++t) {
       if (onto_.tgds()[t].body().empty()) {
-        std::vector<Value> assign(onto_.tgds()[t].num_vars(), kUnbound);
-        OMQE_RETURN_IF_ERROR(Apply(t, assign));
+        assign_.assign(onto_.tgds()[t].num_vars(), kUnbound);
+        OMQE_RETURN_IF_ERROR(Apply(t, assign_));
       }
     }
 
@@ -102,16 +108,17 @@ class ChaseEngine {
       std::vector<FactRef> delta = std::move(delta_);
       delta_.clear();
       for (const FactRef& f : delta) {
-        for (const MatchPlan& plan : plans_) {
+        if (f.rel >= plans_by_rel_.size()) continue;
+        for (uint32_t plan_id : plans_by_rel_[f.rel]) {
+          const MatchPlan& plan = plans_[plan_id];
           const TGD& tgd = onto_.tgds()[plan.tgd];
-          if (tgd.body()[plan.delta_atom].rel != f.rel) continue;
-          std::vector<Value> assign(tgd.num_vars(), kUnbound);
+          assign_.assign(tgd.num_vars(), kUnbound);
           SmallVec<uint32_t, 8> bound;
-          if (!UnifyAtom(tgd.body()[plan.delta_atom], result_->db.Row(f), &assign,
-                         &bound)) {
+          if (!UnifyAtom(tgd.body()[plan.delta_atom], result_->db.Row(f),
+                         &assign_, &bound)) {
             continue;
           }
-          OMQE_RETURN_IF_ERROR(Backtrack(plan, 0, &assign));
+          OMQE_RETURN_IF_ERROR(Backtrack(plan, 0, &assign_));
         }
       }
     }
@@ -132,6 +139,39 @@ class ChaseEngine {
   }
 
  private:
+  /// Bulk-seeds the result database with the input facts: one up-front
+  /// sizing per relation (dedup table, tuple storage) and per dynamic index,
+  /// then a single pass each — zero intermediate rehashes, no per-fact index
+  /// maintenance. The seeded facts form the initial delta.
+  Status SeedInputFacts() {
+    size_t total = std::min(input_.TotalFacts(), options_.max_facts);
+    applied_.Reserve(total);
+    delta_.reserve(total);
+    size_t seeded = 0;
+    for (RelId r = 0; r < input_.NumRelationSlots(); ++r) {
+      uint32_t rows = input_.NumRows(r);
+      if (rows == 0) continue;
+      result_->db.ReserveFacts(
+          r, static_cast<uint32_t>(std::min<size_t>(rows, total - seeded)));
+      uint32_t arity = input_.Arity(r);
+      for (uint32_t row = 0; row < rows; ++row) {
+        if (!result_->db.AddFact(r, input_.Row(r, row), arity)) continue;
+        // Input nulls have no block yet, so block recording is a no-op here.
+        delta_.push_back(FactRef{r, result_->db.NumRows(r) - 1});
+        if (++seeded > options_.max_facts) {
+          return Status::ResourceExhausted("chase exceeded the fact budget");
+        }
+      }
+    }
+    // Batched index construction over the seeded rows.
+    for (DynIndex& idx : indexes_) {
+      uint32_t rows = result_->db.NumRows(idx.rel());
+      idx.Reserve(rows);
+      for (uint32_t row = 0; row < rows; ++row) idx.Add(result_->db, row);
+    }
+    return Status::OK();
+  }
+
   void BuildPlans() {
     head_plans_.resize(onto_.tgds().size());
     for (uint32_t t = 0; t < onto_.tgds().size(); ++t) {
@@ -196,6 +236,13 @@ class ChaseEngine {
         }
         plans_.push_back(std::move(plan));
       }
+    }
+    // Bucket the plans by delta-atom relation, so the delta loop only visits
+    // plans that can match the fact at hand.
+    for (uint32_t p = 0; p < plans_.size(); ++p) {
+      RelId rel = onto_.tgds()[plans_[p].tgd].body()[plans_[p].delta_atom].rel;
+      if (rel >= plans_by_rel_.size()) plans_by_rel_.resize(rel + 1);
+      plans_by_rel_[rel].push_back(p);
     }
   }
 
@@ -268,7 +315,10 @@ class ChaseEngine {
   Status Apply(uint32_t t, std::vector<Value>& assign) {
     const TGD& tgd = onto_.tgds()[t];
     // Dedup key: TGD id followed by the values of its body variables.
-    ValueTuple key;
+    // (Scratch member: Apply fires once per body match, the hottest path of
+    // the delta loop, and the key regularly outgrows SmallVec inline space.)
+    ValueTuple& key = apply_key_;
+    key.clear();
     key.push_back(t);
     VarSet body_vars = tgd.BodyVars();
     VarSet rest = body_vars;
@@ -385,6 +435,7 @@ class ChaseEngine {
   std::unique_ptr<ChaseResult> result_;
 
   std::vector<MatchPlan> plans_;
+  std::vector<std::vector<uint32_t>> plans_by_rel_;  // delta-atom rel -> plan ids
   std::vector<std::vector<PlanStep>> head_plans_;
   std::vector<DynIndex> indexes_;
   std::vector<std::vector<uint32_t>> rel_indexes_;
@@ -393,6 +444,9 @@ class ChaseEngine {
   std::vector<uint32_t> null_block_;
   std::vector<ChaseBlock> blocks_;
   std::vector<FactRef> delta_;
+  // Scratch buffers reused across the delta loop (no per-fact allocation).
+  std::vector<Value> assign_;
+  ValueTuple apply_key_;
 };
 
 }  // namespace
@@ -413,6 +467,10 @@ std::unique_ptr<Database> HornDatalogSaturation(const Database& input,
   TupleMap<uint32_t> fact_var;           // (rel, tuple) -> horn variable
   std::vector<ValueTuple> var_fact;      // horn variable -> (rel, tuple)
   std::vector<uint32_t> worklist;
+  const size_t seed_facts = input.TotalFacts();
+  fact_var.Reserve(seed_facts);
+  var_fact.reserve(seed_facts);
+  worklist.reserve(seed_facts);
 
   auto intern_fact = [&](const Value* tuple, uint32_t arity, RelId rel) {
     ValueTuple key;

@@ -109,31 +109,44 @@ void PartialEnumerator::BuildSubtrees() {
 void PartialEnumerator::AddProgressTree(uint32_t subtree,
                                         const std::vector<Value>& hom) {
   const Subtree& st = subtrees_[subtree];
-  ValueTuple g;
+  ValueTuple& g = scratch_g_;
+  g.clear();
   for (uint32_t v : st.vars) {
     Value val = hom[v];
     g.push_back(IsNull(val) ? kStar : val);
   }
   // Condition (1): the root's predecessor variables must be constants.
+  ValueTuple& pred = scratch_pred_;
+  pred.clear();
   for (uint32_t pv : slots_[st.root_slot].pred_vars) {
     Value val = hom[pv];
     if (IsNull(val)) return;
+    pred.push_back(val);
   }
+  CommitTree(subtree, st.root_slot, g.data(), g.size(), pred.data(),
+             pred.size());
+}
+
+void PartialEnumerator::CommitTree(uint32_t subtree, int root_slot,
+                                   const Value* g, uint32_t g_len,
+                                   const Value* pred_vals, uint32_t pred_len) {
   // Dedup via the location table.
-  ValueTuple loc_key;
+  ValueTuple& loc_key = scratch_loc_key_;
+  loc_key.clear();
   loc_key.push_back(subtree);
-  for (Value v : g) loc_key.push_back(v);
+  for (uint32_t i = 0; i < g_len; ++i) loc_key.push_back(g[i]);
   uint32_t fresh = static_cast<uint32_t>(pool_.size());
   uint32_t& id = location_.InsertOrGet(loc_key.data(), loc_key.size(), fresh);
   if (id != fresh) return;
 
   PTree tree;
   tree.subtree = subtree;
-  tree.g = std::move(g);
+  tree.g = ValueTuple(g, g + g_len);
   // The owning list: trees(root, h restricted to the root's pred vars).
-  ValueTuple list_key;
-  list_key.push_back(static_cast<uint32_t>(st.root_slot));
-  for (uint32_t pv : slots_[st.root_slot].pred_vars) list_key.push_back(hom[pv]);
+  ValueTuple& list_key = scratch_list_key_;
+  list_key.clear();
+  list_key.push_back(static_cast<uint32_t>(root_slot));
+  for (uint32_t i = 0; i < pred_len; ++i) list_key.push_back(pred_vals[i]);
   uint32_t fresh_list = static_cast<uint32_t>(list_head_by_id_.size());
   uint32_t& list_id =
       list_ids_.InsertOrGet(list_key.data(), list_key.size(), fresh_list);
@@ -233,27 +246,50 @@ void PartialEnumerator::CollectFromRow(int slot, uint32_t row) {
 }
 
 void PartialEnumerator::CollectProgressTrees() {
-  std::vector<Value> hom(num_vars_, kNoValue);
+  // Pre-size the side tables from the total row count: every database row
+  // contributes at most one single-atom progress tree and the location/list
+  // keys carry the row values, so one up-front sizing covers the bulk of the
+  // inserts (null excursions add a small remainder that grows normally).
+  size_t total_rows = 0;
+  size_t total_key_words = 0;
+  for (const Slot& slot : slots_) {
+    const NormNode& node = norm_.trees[slot.tree].nodes[slot.node];
+    total_rows += node.rel.NumRows();
+    total_key_words +=
+        static_cast<size_t>(node.rel.NumRows()) * (1 + node.rel.width());
+  }
+  location_.Reserve(total_rows, total_key_words);
+  list_ids_.Reserve(total_rows, total_key_words);
+  pool_.reserve(total_rows);
+  list_head_by_id_.reserve(total_rows);
+
   for (int s = 0; s < static_cast<int>(slots_.size()); ++s) {
     const Slot& slot = slots_[s];
     const NormNode& node = norm_.trees[slot.tree].nodes[slot.node];
+    const uint32_t width = node.rel.width();
+    // Hoisted per-slot state: the single-atom subtree id (one map probe per
+    // slot instead of one per row) and the predecessor-variable columns.
+    const uint32_t single_subtree = SubtreeIdFor(uint64_t{1} << s, s);
+    SmallVec<uint32_t, 8> pred_cols;
+    for (uint32_t pv : slot.pred_vars) pred_cols.push_back(node.rel.ColumnOf(pv));
     for (uint32_t r = 0; r < node.rel.NumRows(); ++r) {
       const Value* tuple = node.rel.Row(r);
       bool has_null = false;
-      for (uint32_t i = 0; i < node.rel.width(); ++i) has_null |= IsNull(tuple[i]);
+      for (uint32_t i = 0; i < width; ++i) has_null |= IsNull(tuple[i]);
       if (!has_null) {
-        // Single-atom database progress tree.
-        for (size_t i = 0; i < slot.vars.size(); ++i) hom[slot.vars[i]] = tuple[i];
-        AddProgressTree(SubtreeIdFor(uint64_t{1} << s, s), hom);
-        for (uint32_t v : slot.vars) hom[v] = kNoValue;
+        // Single-atom database progress tree. The node's columns are its
+        // variables in ascending order, which is exactly the subtree's
+        // variable order, so the row itself is the binding g; condition (1)
+        // holds trivially (no nulls anywhere in the row).
+        ValueTuple& pred = scratch_pred_;
+        pred.clear();
+        for (uint32_t c : pred_cols) pred.push_back(tuple[c]);
+        CommitTree(single_subtree, s, tuple, width, pred.data(), pred.size());
       } else {
         // Root of a null excursion — unless a predecessor variable is null
         // (then this row only appears deeper inside other excursions).
         bool pred_null = false;
-        for (uint32_t pv : slot.pred_vars) {
-          uint32_t col = node.rel.ColumnOf(pv);
-          pred_null |= IsNull(tuple[col]);
-        }
+        for (uint32_t c : pred_cols) pred_null |= IsNull(tuple[c]);
         if (!pred_null) CollectFromRow(s, r);
       }
     }

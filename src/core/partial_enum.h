@@ -83,6 +83,11 @@ class PartialEnumerator {
   void LinkLists();
   uint32_t SubtreeIdFor(uint64_t mask, int root_slot);
   void AddProgressTree(uint32_t subtree, const std::vector<Value>& hom);
+  /// Shared tail of progress-tree registration: location-table dedup, pool
+  /// append, and list assignment. `g` is the (star-mapped) binding over the
+  /// subtree's variables; `pred_vals` the root's predecessor binding.
+  void CommitTree(uint32_t subtree, int root_slot, const Value* g,
+                  uint32_t g_len, const Value* pred_vals, uint32_t pred_len);
   int NextAtom(int after) const;
   void BindTree(Frame* frame, const PTree& tree);
   void UnbindTree(Frame* frame);
@@ -104,6 +109,12 @@ class PartialEnumerator {
   TupleMap<uint32_t> location_;   // [subtree, g...] -> pool id
   TupleMap<uint32_t> list_ids_;   // [root_slot, h|pred...] -> list id
   std::vector<uint32_t> list_head_by_id_;
+  // Scratch buffers reused across progress-tree collection (no per-row
+  // allocation).
+  ValueTuple scratch_g_;
+  ValueTuple scratch_pred_;
+  ValueTuple scratch_loc_key_;
+  ValueTuple scratch_list_key_;
 
   // Enumeration state.
   std::vector<Value> h_;

@@ -6,6 +6,15 @@
 
 namespace omqe {
 
+void Database::ReserveFacts(RelId rel, uint32_t additional_rows) {
+  if (rel >= rels_.size()) rels_.resize(rel + 1);
+  RelData& rd = rels_[rel];
+  size_t arity = vocab_->Arity(rel);
+  size_t total = rd.rows + additional_rows;
+  rd.tuples.reserve(total * arity);
+  rd.dedup.Reserve(total, total * arity);
+}
+
 bool Database::AddFact(RelId rel, const Value* args, uint32_t arity) {
   OMQE_CHECK(arity == vocab_->Arity(rel));
   if (rel >= rels_.size()) rels_.resize(rel + 1);

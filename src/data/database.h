@@ -34,6 +34,11 @@ class Database {
 
   Vocabulary* vocab() const { return vocab_; }
 
+  /// Pre-sizes relation `rel` for `additional_rows` more facts: one up-front
+  /// sizing of the dedup table and tuple storage, so a bulk load performs no
+  /// intermediate rehash. Safe to call on an unseen relation id.
+  void ReserveFacts(RelId rel, uint32_t additional_rows);
+
   /// Adds a fact; returns false when it was already present.
   bool AddFact(RelId rel, const Value* args, uint32_t arity);
   bool AddFact(RelId rel, const ValueTuple& args) {
@@ -74,6 +79,12 @@ class Database {
 
   /// Pretty-prints up to `limit` facts (for examples and debugging).
   std::string ToString(size_t limit = 50) const;
+
+  /// Dedup-table statistics for one relation (tests use this to assert that
+  /// reserved bulk loads do not rehash).
+  HashStats DedupStats(RelId rel) const {
+    return rel < rels_.size() ? rels_[rel].dedup.Stats() : HashStats();
+  }
 
  private:
   struct RelData {

@@ -7,6 +7,12 @@ PositionIndex::PositionIndex(const Database& db, RelId rel,
     : key_positions_(std::move(key_positions)) {
   uint32_t rows = db.NumRows(rel);
   next_.assign(rows, UINT32_MAX);
+  // Batch-first: one up-front sizing of the head map (slots and key arena)
+  // from the row count, then a single pass that reuses one scratch key
+  // buffer — no intermediate rehash, no per-tuple allocation.
+  if (!key_positions_.empty()) {
+    heads_.Reserve(rows, static_cast<size_t>(rows) * key_positions_.size());
+  }
   ValueTuple key;
   key.resize(static_cast<uint32_t>(key_positions_.size()));
   // Insert in reverse row order and prepend, so that chain traversal visits

@@ -42,6 +42,10 @@ class PositionIndex {
 
   const std::vector<uint32_t>& key_positions() const { return key_positions_; }
 
+  /// Statistics of the head map (tests assert the batched build performs no
+  /// intermediate rehash and stays under 3/4 load).
+  HashStats HeadStats() const { return heads_.Stats(); }
+
  private:
   std::vector<uint32_t> key_positions_;
   TupleMap<uint32_t> heads_;          // key tuple -> first row in chain

@@ -43,6 +43,10 @@ class Vocabulary {
   uint32_t Arity(RelId r) const { return arities_[r]; }
   const std::string& RelationName(RelId r) const { return relations_.Name(r); }
 
+  /// Pre-sizes the constant interner for `n` total constants; workload
+  /// generators and loaders call this so bulk interning never rehashes.
+  void ReserveConstants(uint32_t n) { constants_.Reserve(n); }
+
   /// Interns a constant name; the result is a Value with the constant tag.
   Value ConstantId(std::string_view name) {
     Value v = constants_.Intern(name);

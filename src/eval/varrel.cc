@@ -23,6 +23,8 @@ void SemijoinReduce(VarRelation* target, const VarRelation& source) {
     tgt_cols.push_back(target->ColumnOf(v));
   }
   TupleMap<char> keys;
+  keys.Reserve(source.NumRows(),
+               static_cast<size_t>(source.NumRows()) * shared.size());
   ValueTuple tmp;
   tmp.resize(static_cast<uint32_t>(shared.size()));
   for (uint32_t r = 0; r < source.NumRows(); ++r) {
@@ -44,6 +46,12 @@ VarRelationIndex::VarRelationIndex(const VarRelation& rel,
     key_cols_.push_back(c);
   }
   next_.assign(rel.NumRows(), UINT32_MAX);
+  // Batch-first: size the head map once from the row count so the build pass
+  // never rehashes.
+  if (!key_cols_.empty()) {
+    heads_.Reserve(rel.NumRows(),
+                   static_cast<size_t>(rel.NumRows()) * key_cols_.size());
+  }
   ValueTuple key;
   key.resize(static_cast<uint32_t>(key_cols_.size()));
   for (uint32_t r = rel.NumRows(); r-- > 0;) {

@@ -27,6 +27,14 @@ class VarRelation {
     return data_.data() + static_cast<size_t>(r) * width();
   }
 
+  /// Pre-sizes storage and the dedup table for `rows` total rows: one
+  /// up-front sizing, so a bulk AddRow load performs no intermediate rehash.
+  void Reserve(uint32_t rows) {
+    if (width() == 0) return;
+    data_.reserve(static_cast<size_t>(rows) * width());
+    dedup_.Reserve(rows, static_cast<size_t>(rows) * width());
+  }
+
   /// Appends a row unless an identical row is present; returns true if added.
   bool AddRow(const Value* row) {
     if (width() == 0) {
@@ -59,6 +67,7 @@ class VarRelation {
   template <typename Pred>
   void Filter(Pred&& pred) {
     VarRelation fresh(vars_);
+    fresh.Reserve(num_rows_);
     for (uint32_t r = 0; r < num_rows_; ++r) {
       if (pred(Row(r))) fresh.AddRow(Row(r));
     }
@@ -68,6 +77,7 @@ class VarRelation {
   /// Projection onto a subset of this relation's variables (deduplicated).
   VarRelation Project(const std::vector<uint32_t>& onto_vars) const {
     VarRelation out(onto_vars);
+    out.Reserve(num_rows_);
     std::vector<uint32_t> cols;
     cols.reserve(onto_vars.size());
     for (uint32_t v : onto_vars) {

@@ -15,6 +15,7 @@ VarRelation MaterializeAtom(const CQ& q, const Atom& atom, const Database& db) {
     if (std::find(vars.begin(), vars.end(), v) == vars.end()) vars.push_back(v);
   }
   VarRelation out(vars);
+  out.Reserve(db.NumRows(atom.rel));
   ValueTuple row_vals;
   row_vals.resize(static_cast<uint32_t>(vars.size()));
   uint32_t arity = db.Arity(atom.rel);

@@ -14,6 +14,12 @@ void GenerateChain(const ChainParams& params, Database* db) {
   for (uint32_t i = 1; i <= params.length; ++i) {
     rels.push_back(vocab->RelationId(StrPrintf("R%u", i), 2));
   }
+  // One up-front sizing for the bulk load (constants per layer, facts per
+  // relation), so generation performs no intermediate rehash.
+  vocab->ReserveConstants((params.length + 1) * params.base_size);
+  db->ReserveFacts(seed_rel, params.base_size);
+  for (RelId rel : rels) db->ReserveFacts(rel, params.base_size * params.fanout);
+
   Rng rng(params.seed);
   auto layer_const = [&](uint32_t layer, uint32_t i) {
     return vocab->ConstantId(StrPrintf("l%u_%u", layer, i));

@@ -15,6 +15,15 @@ void GenerateOffice(const OfficeParams& params, Database* db) {
   RelId prof = vocab->RelationId("Prof", 1);
   RelId office_mate = vocab->RelationId("OfficeMate", 2);
 
+  // One up-front sizing for the bulk load: constants (researcher + office
+  // names dominate; the building pool is small) and per-relation fact
+  // capacity, so generation performs no intermediate rehash.
+  vocab->ReserveConstants(2 * params.researchers + 128);
+  db->ReserveFacts(researcher, params.researchers);
+  db->ReserveFacts(has_office, params.researchers);
+  db->ReserveFacts(in_building, params.researchers);
+  db->ReserveFacts(office_mate, params.officemates);
+
   Rng rng(params.seed);
   for (uint32_t i = 0; i < params.researchers; ++i) {
     Value r = vocab->ConstantId(StrPrintf("researcher%u", i));

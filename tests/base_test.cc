@@ -260,6 +260,114 @@ TEST(FlatHashTest, StatsStayWithinOpenAddressingInvariants) {
   EXPECT_LT(tstats.max_probe, 128u);
 }
 
+TEST(FlatHashTest, ReservedFlatMapBulkLoadNeverRehashes) {
+  FlatMap<uint64_t, uint32_t> m;
+  const size_t n = 50000;
+  m.Reserve(n);
+  size_t reserved_capacity = m.Stats().capacity;
+  for (uint64_t k = 1; k <= n; ++k) m.InsertOrGet(k * 0x9e3779b97f4a7c15ull, 1);
+  HashStats stats = m.Stats();
+  EXPECT_EQ(stats.size, n);
+  // Exactly the one up-front sizing: capacity unchanged, zero rehashes that
+  // re-probed existing entries, and the load invariant still holds.
+  EXPECT_EQ(stats.capacity, reserved_capacity);
+  EXPECT_EQ(stats.rehashes, 0u);
+  EXPECT_LT(stats.LoadFactor(), 0.75);
+}
+
+TEST(FlatHashTest, UnreservedFlatMapCountsItsRehashes) {
+  FlatMap<uint64_t, uint32_t> m;
+  for (uint64_t k = 1; k <= 50000; ++k) m.InsertOrGet(k, 1);
+  // Growing 16 -> 128k doubling steps, each re-probing the live entries.
+  EXPECT_GT(m.Stats().rehashes, 8u);
+}
+
+TEST(FlatHashTest, ReservedTupleMapBulkLoadNeverRehashes) {
+  TupleMap<uint32_t> m;
+  const uint32_t n = 50000;
+  m.Reserve(n, static_cast<size_t>(n) * 3);
+  size_t reserved_capacity = m.Stats().capacity;
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t key[3] = {i, i ^ 0x85ebca6bu, i * 11u};
+    m.InsertOrGet(key, 3, i);
+  }
+  HashStats stats = m.Stats();
+  EXPECT_EQ(stats.size, n);
+  EXPECT_EQ(stats.capacity, reserved_capacity);
+  EXPECT_EQ(stats.rehashes, 0u);
+  EXPECT_LT(stats.LoadFactor(), 0.75);
+}
+
+TEST(FlatHashTest, TupleMapClearKeepsCapacityAndForgetsEntries) {
+  TupleMap<int> m;
+  m.Reserve(1000, 2000);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    uint32_t key[2] = {i, i + 1};
+    m.InsertOrGet(key, 2, static_cast<int>(i));
+  }
+  size_t capacity = m.Stats().capacity;
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Stats().capacity, capacity);
+  uint32_t probe[2] = {5, 6};
+  EXPECT_EQ(m.Find(probe, 2), nullptr);
+  // Reusable after clear.
+  m.InsertOrGet(probe, 2, 42);
+  EXPECT_EQ(*m.Find(probe, 2), 42);
+}
+
+TEST(FlatHashTest, TupleMapPutOverwrites) {
+  TupleMap<int> m;
+  uint32_t key[2] = {3, 4};
+  m.Put(key, 2, 1);
+  EXPECT_EQ(*m.Find(key, 2), 1);
+  m.Put(key, 2, 2);
+  EXPECT_EQ(*m.Find(key, 2), 2);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+// Value type that counts copy assignments, to pin down that Put writes the
+// stored value exactly once per call (the old implementation wrote twice on
+// insert: once in InsertOrGet, once through the returned reference).
+struct AssignCounted {
+  int value = 0;
+  static int assignments;
+  AssignCounted() = default;
+  explicit AssignCounted(int v) : value(v) {}
+  AssignCounted(const AssignCounted&) = default;
+  AssignCounted& operator=(const AssignCounted& other) {
+    value = other.value;
+    ++assignments;
+    return *this;
+  }
+};
+int AssignCounted::assignments = 0;
+
+TEST(FlatHashTest, PutWritesValueExactlyOnce) {
+  FlatMap<uint32_t, AssignCounted> m;
+  AssignCounted::assignments = 0;
+  m.Put(7, AssignCounted(1));
+  EXPECT_EQ(AssignCounted::assignments, 1);
+  m.Put(7, AssignCounted(2));
+  EXPECT_EQ(AssignCounted::assignments, 2);
+  EXPECT_EQ(m.Find(7)->value, 2);
+}
+
+TEST(InternerTest, ReservedBulkInternNeverRehashes) {
+  Interner in;
+  in.Reserve(20000);
+  size_t reserved_capacity = in.Stats().capacity;
+  for (int i = 0; i < 20000; ++i) in.Intern("c" + std::to_string(i));
+  EXPECT_EQ(in.size(), 20000u);
+  HashStats stats = in.Stats();
+  EXPECT_EQ(stats.capacity, reserved_capacity);
+  EXPECT_EQ(stats.rehashes, 0u);
+  EXPECT_LT(stats.LoadFactor(), 0.75);
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_EQ(in.Lookup("c" + std::to_string(i)), static_cast<uint32_t>(i));
+  }
+}
+
 TEST(WorldLoadTest, ZeroAryFact) {
   testing::World w;
   w.Load("Flag()");

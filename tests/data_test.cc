@@ -100,6 +100,45 @@ TEST(PositionIndexTest, LookupByBoundPositions) {
   EXPECT_TRUE(by_both.HasMatch(key2));
 }
 
+TEST(DatabaseTest, ReservedBulkLoadNeverRehashes) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  RelId e = vocab.RelationId("E", 2);
+  const uint32_t n = 20000;
+  db.ReserveFacts(e, n);
+  size_t reserved_capacity = db.DedupStats(e).capacity;
+  for (uint32_t i = 0; i < n; ++i) {
+    Value t[2] = {i, i + 1};
+    db.AddFact(e, t, 2);
+  }
+  HashStats stats = db.DedupStats(e);
+  EXPECT_EQ(db.NumRows(e), n);
+  // One up-front sizing, zero intermediate rehashes, load invariant intact.
+  EXPECT_EQ(stats.capacity, reserved_capacity);
+  EXPECT_EQ(stats.rehashes, 0u);
+  EXPECT_LT(stats.LoadFactor(), 0.75);
+}
+
+TEST(PositionIndexTest, BatchedBuildNeverRehashes) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  RelId e = vocab.RelationId("E", 2);
+  const uint32_t n = 20000;
+  db.ReserveFacts(e, n);
+  for (uint32_t i = 0; i < n; ++i) {
+    Value t[2] = {i % 997, i};
+    db.AddFact(e, t, 2);
+  }
+  PositionIndex idx(db, e, {0, 1});
+  HashStats stats = idx.HeadStats();
+  EXPECT_EQ(stats.size, n);  // all keys distinct -> one head per row
+  EXPECT_EQ(stats.rehashes, 0u);
+  EXPECT_LT(stats.LoadFactor(), 0.75);
+  // The index still answers lookups.
+  Value key[2] = {5, 5};
+  EXPECT_TRUE(idx.HasMatch(key));
+}
+
 TEST(PositionIndexTest, ChainsAscending) {
   World w;
   w.Load("E(a,b) E(a,c) E(a,d)");

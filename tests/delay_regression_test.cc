@@ -8,9 +8,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <vector>
 
 #include "base/timer.h"
+#include "bench_util.h"
 #include "core/complete_enum.h"
 #include "core/omq.h"
 #include "core/partial_enum.h"
@@ -62,11 +65,12 @@ TEST(DelayRegressionTest, CompleteEnumDelayBoundedByPreprocessing) {
   ASSERT_GT(profile.delays_ns.size(), 1000u) << "workload produced too few answers";
   ASSERT_GT(profile.prep_ns, 0);
 
-  // Typical p95 delay is ~100ns against ~10ms preprocessing (factor ~1e5);
-  // requiring a factor of 100 leaves three orders of magnitude of headroom.
+  // Typical p95 delay is ~100ns against several ms of preprocessing (factor
+  // >= 1e4 even after the reserve-aware preprocessing speedups); requiring a
+  // factor of 200 still leaves about two orders of magnitude of headroom.
   // p95 is the primary guard — a real delay regression (per-answer work
   // scaling with ||D||) inflates nearly every sample, not just one.
-  EXPECT_LT(profile.p95() * 100, profile.prep_ns)
+  EXPECT_LT(profile.p95() * 200, profile.prep_ns)
       << "p95 per-answer delay " << profile.p95() << "ns vs preprocessing "
       << profile.prep_ns << "ns";
   // The max check only guards against catastrophic single-step blowups; the
@@ -94,7 +98,7 @@ TEST(DelayRegressionTest, PartialEnumDelayBoundedByPreprocessing) {
   ASSERT_GT(profile.delays_ns.size(), 1000u) << "workload produced too few answers";
   ASSERT_GT(profile.prep_ns, 0);
 
-  EXPECT_LT(profile.p95() * 100, profile.prep_ns)
+  EXPECT_LT(profile.p95() * 200, profile.prep_ns)
       << "p95 per-answer delay " << profile.p95() << "ns vs preprocessing "
       << profile.prep_ns << "ns";
   int64_t max_delay = *std::max_element(profile.delays_ns.begin(),
@@ -102,6 +106,62 @@ TEST(DelayRegressionTest, PartialEnumDelayBoundedByPreprocessing) {
   EXPECT_LT(max_delay, profile.prep_ns * 10)
       << "max per-answer delay " << max_delay << "ns vs preprocessing "
       << profile.prep_ns << "ns";
+}
+
+// The JSON baseline emitter must report exactly the statistics this test
+// measures: same sample count, same order statistics (the shared
+// ComputeDelayStats is what every bench harness records).
+TEST(DelayRegressionTest, JsonEmitterAgreesWithOwnMeasurements) {
+  Vocabulary vocab;
+  Database db(&vocab);
+  ChainParams params;
+  params.length = 3;
+  params.base_size = 2000;
+  params.fanout = 2;
+  GenerateChain(params, &db);
+  OMQ omq = MakeOMQ(Ontology(), ChainQuery(&vocab, params.length));
+
+  DelayProfile profile = Profile<CompleteEnumerator>(omq, db);
+  ASSERT_GT(profile.delays_ns.size(), 100u);
+
+  bench::DelayStats stats = bench::ComputeDelayStats(profile.delays_ns);
+  EXPECT_EQ(stats.answers, profile.delays_ns.size());
+  EXPECT_EQ(static_cast<int64_t>(stats.p95_ns), profile.p95());
+  EXPECT_EQ(static_cast<int64_t>(stats.max_ns),
+            *std::max_element(profile.delays_ns.begin(), profile.delays_ns.end()));
+  double sum = 0;
+  for (int64_t d : profile.delays_ns) sum += static_cast<double>(d);
+  EXPECT_DOUBLE_EQ(stats.mean_ns, sum / static_cast<double>(profile.delays_ns.size()));
+  EXPECT_LE(stats.p50_ns, stats.p95_ns);
+  EXPECT_LE(stats.p95_ns, stats.max_ns);
+
+  // Round-trip through the file format: the emitted JSON carries the very
+  // same numbers (rendered by the shared JsonNumber formatter).
+  const char* path = "BENCH_delay_regression_selftest.json";
+  {
+    char* argv0 = const_cast<char*>("delay_regression_test");
+    bench::JsonEmitter json("delay_regression_selftest", 1, &argv0);
+    json.AddRow("selftest").Set("", stats);
+    ASSERT_TRUE(json.WriteFile());
+  }
+  std::FILE* f = std::fopen(path, "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buffer[1 << 12];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) text.append(buffer, got);
+  std::fclose(f);
+  std::remove(path);
+  EXPECT_NE(text.find("\"series\": \"selftest\""), std::string::npos);
+  EXPECT_NE(text.find("\"delay_p95_ns\": " + bench::JsonNumber(stats.p95_ns)),
+            std::string::npos);
+  EXPECT_NE(text.find("\"delay_p50_ns\": " + bench::JsonNumber(stats.p50_ns)),
+            std::string::npos);
+  EXPECT_NE(text.find("\"delay_max_ns\": " + bench::JsonNumber(stats.max_ns)),
+            std::string::npos);
+  EXPECT_NE(text.find("\"answers\": " + bench::JsonNumber(
+                          static_cast<double>(stats.answers))),
+            std::string::npos);
 }
 
 }  // namespace
