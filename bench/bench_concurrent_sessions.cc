@@ -1,0 +1,163 @@
+// Concurrent enumeration sessions over one prepared query (the prepared-
+// query engine of core/prepared.h).
+//
+//   S1 (interleaved): N EnumerationSessions driven round-robin on one
+//      thread over a single PreparedOMQ, vs the naive N x (prepare + drain)
+//      pipeline — the amortization of one preprocessing run.
+//   S2 (threads): N OS threads each draining a private session over the
+//      same shared (frozen) PreparedOMQ — wall-clock scaling and the
+//      sanitizer payload (the tsan CI job runs the same shape via
+//      session_test).
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "base/timer.h"
+#include "bench_util.h"
+#include "core/prepared.h"
+#include "workload/office.h"
+
+using namespace omqe;
+
+namespace {
+
+size_t DrainSession(EnumerationSession* s) {
+  ValueTuple t;
+  size_t n = 0;
+  while (s->Next(&t)) ++n;
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::SmokeMode(argc, argv);
+  bench::JsonEmitter json("concurrent_sessions", argc, argv);
+
+  bench::PrintHeader(
+      "S1: N interleaved sessions amortizing one prepare (office workload)",
+      "researchers   sessions   prep_ms   drain_ms   naive_ms   speedup   "
+      "answers");
+  for (uint32_t n : bench::Sweep(smoke, {20000u, 40000u}, 200u)) {
+    Vocabulary vocab;
+    Database db(&vocab);
+    OfficeParams params;
+    params.researchers = n;
+    params.office_fraction = 0.6;
+    params.building_fraction = 0.5;
+    GenerateOffice(params, &db);
+    OMQ omq = OfficeOMQ(&vocab);
+
+    PrepareOptions options;
+    options.for_complete = false;
+    Stopwatch prep;
+    auto prepared = PreparedOMQ::Prepare(omq, db, options);
+    double prep_ms = prep.ElapsedSeconds() * 1e3;
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      return 1;
+    }
+    vocab.Freeze();
+
+    // Reference: one session drained to exhaustion.
+    Stopwatch single;
+    EnumerationSession ref(*prepared);
+    size_t answers = DrainSession(&ref);
+    double single_ms = single.ElapsedSeconds() * 1e3;
+
+    for (uint32_t sessions : bench::Sweep(smoke, {1u, 2u, 4u, 8u}, 2u)) {
+      Stopwatch drain;
+      std::vector<EnumerationSession> live;
+      live.reserve(sessions);
+      for (uint32_t i = 0; i < sessions; ++i) live.emplace_back(*prepared);
+      std::vector<size_t> counts(sessions, 0);
+      ValueTuple t;
+      bool any = true;
+      while (any) {
+        any = false;
+        for (uint32_t i = 0; i < sessions; ++i) {
+          if (live[i].Next(&t)) {
+            ++counts[i];
+            any = true;
+          }
+        }
+      }
+      double drain_ms = drain.ElapsedSeconds() * 1e3;
+      for (size_t c : counts) {
+        if (c != answers) {
+          std::fprintf(stderr, "session answer mismatch: %zu vs %zu\n", c, answers);
+          return 1;
+        }
+      }
+      // Naive pipeline: every session pays its own preprocessing.
+      double naive_ms = static_cast<double>(sessions) * (prep_ms + single_ms);
+      double total_ms = prep_ms + drain_ms;
+      double speedup = total_ms > 0 ? naive_ms / total_ms : 0;
+      std::printf("%11u   %8u   %7.1f   %8.1f   %8.1f   %6.2fx   %7zu\n", n,
+                  sessions, prep_ms, drain_ms, naive_ms, speedup, answers);
+      json.AddRow("S1")
+          .Set("researchers", n)
+          .Set("sessions", sessions)
+          .Set("facts", db.TotalFacts())
+          .Set("progress_trees", (*prepared)->num_progress_trees())
+          .Set("preprocessing_ms", prep_ms)
+          .Set("drain_ms", drain_ms)
+          .Set("naive_ms", naive_ms)
+          .Set("speedup", speedup)
+          .Set("answers_per_session", answers);
+    }
+  }
+
+  bench::PrintHeader(
+      "S2: N threads, one shared prepare, one private session each",
+      "researchers   threads   wall_ms   answers/thread");
+  for (uint32_t n : bench::Sweep(smoke, {20000u}, 200u)) {
+    Vocabulary vocab;
+    Database db(&vocab);
+    OfficeParams params;
+    params.researchers = n;
+    GenerateOffice(params, &db);
+    OMQ omq = OfficeOMQ(&vocab);
+    PrepareOptions options;
+    options.for_complete = false;
+    auto prepared = PreparedOMQ::Prepare(omq, db, options);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      return 1;
+    }
+    vocab.Freeze();
+    for (uint32_t nthreads : bench::Sweep(smoke, {1u, 2u, 4u, 8u}, 2u)) {
+      std::vector<size_t> counts(nthreads, 0);
+      Stopwatch wall;
+      std::vector<std::thread> threads;
+      threads.reserve(nthreads);
+      for (uint32_t i = 0; i < nthreads; ++i) {
+        threads.emplace_back([&, i] {
+          EnumerationSession s(*prepared);
+          counts[i] = DrainSession(&s);
+        });
+      }
+      for (std::thread& th : threads) th.join();
+      double wall_ms = wall.ElapsedSeconds() * 1e3;
+      for (size_t c : counts) {
+        if (c != counts[0]) {
+          std::fprintf(stderr, "thread answer mismatch\n");
+          return 1;
+        }
+      }
+      std::printf("%11u   %7u   %7.1f   %14zu\n", n, nthreads, wall_ms,
+                  counts[0]);
+      json.AddRow("S2")
+          .Set("researchers", n)
+          .Set("threads", nthreads)
+          .Set("wall_ms", wall_ms)
+          .Set("answers_per_thread", counts[0]);
+    }
+  }
+
+  std::printf("\nExpected shape: S1 speedup approaches (prep+drain)/drain as "
+              "sessions grow — the\nprepare is paid once; S2 wall time stays "
+              "near the single-thread drain (sessions\nshare the immutable "
+              "artifact, no locks on the enumeration path).\n");
+  return 0;
+}

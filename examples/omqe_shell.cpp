@@ -4,19 +4,27 @@
 //
 //   $ ./omqe_shell --mode=partial --query='q(x,y) :- HasOffice(x,y)'
 //                  [--ontology=onto.txt] [--data=facts.txt] [--limit=N]
+//                  [--repeat=N]
 //
 // Modes: complete | partial | multi | complete-first | test (reads candidate
 // tuples from stdin, one per line, e.g. "mary, room1, *").
+//
+// The enumeration modes run through the prepared-query engine: the query is
+// prepared ONCE (chase + normalization + progress trees) and every --repeat
+// run is a fresh session over the shared artifact, so repeated runs pay
+// only the enumeration phase.
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "base/str.h"
+#include "base/timer.h"
 #include "core/complete_first.h"
 #include "core/complete_enum.h"
 #include "core/multiwild_enum.h"
 #include "core/omq.h"
 #include "core/partial_enum.h"
+#include "core/prepared.h"
 #include "core/single_testing.h"
 #include "cq/parser.h"
 #include "data/loader.h"
@@ -78,6 +86,7 @@ int main(int argc, char** argv) {
   const char* ontology_path = nullptr;
   const char* data_path = nullptr;
   size_t limit = 1000;
+  size_t repeat = 1;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     auto value = [&](std::string_view prefix) -> const char* {
@@ -88,7 +97,9 @@ int main(int argc, char** argv) {
     if (const char* v = value("--ontology=")) ontology_path = v;
     if (const char* v = value("--data=")) data_path = v;
     if (const char* v = value("--limit=")) limit = std::strtoul(v, nullptr, 10);
+    if (const char* v = value("--repeat=")) repeat = std::strtoul(v, nullptr, 10);
   }
+  if (repeat == 0) repeat = 1;
 
   Vocabulary vocab;
   auto onto = ParseOntology(ReadFileOr(ontology_path, kDemoOntology), &vocab);
@@ -122,22 +133,43 @@ int main(int argc, char** argv) {
   OMQ omq = MakeOMQ(std::move(onto).value(), std::move(query).value());
   std::printf("# %zu facts, mode=%s\n", db.TotalFacts(), mode);
 
-  if (std::strcmp(mode, "complete") == 0) {
-    auto e = CompleteEnumerator::Create(omq, db);
-    if (!e.ok()) { std::fprintf(stderr, "%s\n", e.status().ToString().c_str()); return 1; }
-    RunEnumeration(*e, vocab, limit);
-  } else if (std::strcmp(mode, "partial") == 0) {
-    auto e = PartialEnumerator::Create(omq, db);
-    if (!e.ok()) { std::fprintf(stderr, "%s\n", e.status().ToString().c_str()); return 1; }
-    RunEnumeration(*e, vocab, limit);
-  } else if (std::strcmp(mode, "multi") == 0) {
-    auto e = MultiWildcardEnumerator::Create(omq, db);
-    if (!e.ok()) { std::fprintf(stderr, "%s\n", e.status().ToString().c_str()); return 1; }
-    RunEnumeration(*e, vocab, limit);
-  } else if (std::strcmp(mode, "complete-first") == 0) {
-    auto e = CompleteFirstEnumerator::Create(omq, db);
-    if (!e.ok()) { std::fprintf(stderr, "%s\n", e.status().ToString().c_str()); return 1; }
-    RunEnumeration(*e, vocab, limit);
+  const bool is_complete = std::strcmp(mode, "complete") == 0;
+  const bool is_partial = std::strcmp(mode, "partial") == 0;
+  const bool is_multi = std::strcmp(mode, "multi") == 0;
+  const bool is_complete_first = std::strcmp(mode, "complete-first") == 0;
+  if (is_complete || is_partial || is_multi || is_complete_first) {
+    // Prepare once; every repeat is a fresh session over the shared artifact.
+    PrepareOptions options;
+    options.for_complete = is_complete || is_complete_first;
+    options.for_partial = !is_complete;
+    Stopwatch prep;
+    auto prepared = PreparedOMQ::Prepare(omq, db, options);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "%s\n", prepared.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("# prepared in %.1f ms (%zu chase facts)\n",
+                prep.ElapsedSeconds() * 1e3, (*prepared)->chase().db.TotalFacts());
+    for (size_t run = 0; run < repeat; ++run) {
+      if (repeat > 1) std::printf("# run %zu/%zu\n", run + 1, repeat);
+      Stopwatch timer;
+      if (is_complete) {
+        auto e = CompleteEnumerator::FromPrepared(*prepared);
+        RunEnumeration(e, vocab, limit);
+      } else if (is_partial) {
+        auto e = PartialEnumerator::FromPrepared(*prepared);
+        RunEnumeration(e, vocab, limit);
+      } else if (is_multi) {
+        auto e = MultiWildcardEnumerator::FromPrepared(*prepared);
+        RunEnumeration(e, vocab, limit);
+      } else {
+        auto e = CompleteFirstEnumerator::FromPrepared(*prepared);
+        RunEnumeration(e, vocab, limit);
+      }
+      if (repeat > 1) {
+        std::printf("# enumeration phase: %.1f ms\n", timer.ElapsedSeconds() * 1e3);
+      }
+    }
   } else if (std::strcmp(mode, "test") == 0) {
     auto tester = SingleTester::Create(omq, db);
     if (!tester.ok()) {

@@ -23,8 +23,20 @@ class Interner {
     next_.reserve(n);
   }
 
+  /// Switches the interner into const-lookup mode: Intern() of an unknown
+  /// string aborts instead of growing the tables. Concurrent enumeration
+  /// sessions share the vocabulary read-only; freezing turns an accidental
+  /// write (a data race under threads) into a deterministic failure.
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
   /// Returns the id for `s`, creating one if needed.
   uint32_t Intern(std::string_view s) {
+    if (frozen_) {
+      uint32_t id = Lookup(s);
+      OMQE_CHECK(id != UINT32_MAX);  // Intern of a new string on a frozen interner
+      return id;
+    }
     uint64_t h = HashString(s);
     // Resolve (rare) hash collisions with a per-hash chain of candidates.
     uint32_t* found = map_.Find(h);
@@ -75,6 +87,7 @@ class Interner {
   std::vector<std::string> strings_;
   std::vector<uint32_t> next_;
   FlatMap<uint64_t, uint32_t> map_;
+  bool frozen_ = false;
 };
 
 }  // namespace omqe

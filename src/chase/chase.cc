@@ -107,6 +107,7 @@ class ChaseEngine {
     while (!delta_.empty()) {
       std::vector<FactRef> delta = std::move(delta_);
       delta_.clear();
+      if (options_.adaptive_reserve) ReserveForRound(delta.size());
       for (const FactRef& f : delta) {
         if (f.rel >= plans_by_rel_.size()) continue;
         for (uint32_t plan_id : plans_by_rel_[f.rel]) {
@@ -170,6 +171,47 @@ class ChaseEngine {
       for (uint32_t row = 0; row < rows; ++row) idx.Add(result_->db, row);
     }
     return Status::OK();
+  }
+
+  /// Adaptive re-reservation at a delta-round boundary (the ROADMAP's
+  /// running fact-count estimate). Chase-created relations start from an
+  /// empty reservation and would otherwise grow their dedup tables and
+  /// index chains by repeated doubling as Apply adds facts. Before each
+  /// round, project the round's growth per head relation — first round: the
+  /// current row count of the relations feeding its producing TGDs (capped
+  /// by the delta, so head relations nothing feeds reserve nothing); later
+  /// rounds: the previous round's measured growth scaled by the delta-size
+  /// ratio — and pre-size the relation plus its dynamic indexes once. The
+  /// estimate is linear in the facts that can actually fire, so memory
+  /// stays within a constant factor of the facts actually created.
+  void ReserveForRound(size_t delta_size) {
+    const bool first = head_rows_before_.empty();
+    if (first) head_rows_before_.assign(head_rels_.size(), 0);
+    for (size_t i = 0; i < head_rels_.size(); ++i) {
+      RelId r = head_rels_[i];
+      uint32_t rows = result_->db.NumRows(r);
+      size_t est;
+      if (first) {
+        size_t feed = 0;
+        for (RelId b : head_feeders_[i]) feed += result_->db.NumRows(b);
+        est = std::min(feed, delta_size);
+      } else {
+        size_t growth = rows - head_rows_before_[i];
+        est = prev_delta_ == 0 ? growth : growth * delta_size / prev_delta_ + 1;
+      }
+      head_rows_before_[i] = rows;
+      // Small projections are not worth a reservation: the default table
+      // already covers them and repeated tiny reserves only churn.
+      if (est >= 64 && est <= options_.max_facts) {
+        result_->db.ReserveFacts(r, static_cast<uint32_t>(est));
+        if (r < rel_indexes_.size()) {
+          for (uint32_t idx : rel_indexes_[r]) {
+            indexes_[idx].Reserve(static_cast<uint32_t>(rows + est));
+          }
+        }
+      }
+    }
+    prev_delta_ = delta_size;
   }
 
   void BuildPlans() {
@@ -243,6 +285,25 @@ class ChaseEngine {
       RelId rel = onto_.tgds()[plans_[p].tgd].body()[plans_[p].delta_atom].rel;
       if (rel >= plans_by_rel_.size()) plans_by_rel_.resize(rel + 1);
       plans_by_rel_[rel].push_back(p);
+    }
+    // Head relations are the only ones the delta loop can grow; the adaptive
+    // re-reservation tracks their per-round growth plus, for the first-round
+    // estimate, the body relations of the TGDs producing each of them.
+    for (const TGD& tgd : onto_.tgds()) {
+      for (const Atom& h : tgd.head()) {
+        size_t i = std::find(head_rels_.begin(), head_rels_.end(), h.rel) -
+                   head_rels_.begin();
+        if (i == head_rels_.size()) {
+          head_rels_.push_back(h.rel);
+          head_feeders_.emplace_back();
+        }
+        for (const Atom& b : tgd.body()) {
+          if (std::find(head_feeders_[i].begin(), head_feeders_[i].end(),
+                        b.rel) == head_feeders_[i].end()) {
+            head_feeders_[i].push_back(b.rel);
+          }
+        }
+      }
     }
   }
 
@@ -437,6 +498,10 @@ class ChaseEngine {
   std::vector<MatchPlan> plans_;
   std::vector<std::vector<uint32_t>> plans_by_rel_;  // delta-atom rel -> plan ids
   std::vector<std::vector<PlanStep>> head_plans_;
+  std::vector<RelId> head_rels_;                 // relations TGD heads can grow
+  std::vector<std::vector<RelId>> head_feeders_; // body rels of their producers
+  std::vector<uint32_t> head_rows_before_;       // rows at the last boundary
+  size_t prev_delta_ = 0;
   std::vector<DynIndex> indexes_;
   std::vector<std::vector<uint32_t>> rel_indexes_;
   TupleMap<char> applied_;

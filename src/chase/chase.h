@@ -49,6 +49,12 @@ struct ChaseOptions {
   uint32_t null_depth = 4;
   /// Abort (ResourceExhausted) if the instance exceeds this many facts.
   size_t max_facts = 200u * 1000 * 1000;
+  /// Re-reserve chase-created relations at delta-round boundaries from a
+  /// running per-relation fact-count estimate, so facts beyond the seeded
+  /// reservation do not grow their dedup tables by repeated doubling. The
+  /// estimate is linear in the delta size, so the reservation stays within a
+  /// constant factor of the facts actually created.
+  bool adaptive_reserve = true;
 };
 
 /// A chase-like block: the null-free guard fact it hangs off (absent for

@@ -10,7 +10,19 @@ uint32_t MinNullDepthFor(const CQ& q) {
   return std::max(used_vars, atoms);
 }
 
-StatusOr<std::unique_ptr<ChaseResult>> QueryDirectedChase(
+namespace {
+
+/// Seals the finished chase: the database freezes so every consumer —
+/// including concurrent enumeration sessions — reads a provably immutable
+/// artifact.
+std::shared_ptr<ChaseResult> Seal(std::unique_ptr<ChaseResult> result) {
+  result->db.Freeze();
+  return std::shared_ptr<ChaseResult>(std::move(result));
+}
+
+}  // namespace
+
+StatusOr<std::shared_ptr<ChaseResult>> QueryDirectedChase(
     const Database& db, const Ontology& onto, const CQ& q,
     const QdcOptions& options) {
   ChaseOptions chase_options;
@@ -22,7 +34,7 @@ StatusOr<std::unique_ptr<ChaseResult>> QueryDirectedChase(
   chase_options.null_depth = depth;
   auto prev = RunChase(db, onto, chase_options);
   if (!prev.ok()) return prev.status();
-  if (!(*prev)->truncated) return std::move(prev).value();
+  if (!(*prev)->truncated) return Seal(std::move(prev).value());
 
   for (uint32_t k = depth + 1; k <= options.max_depth; ++k) {
     chase_options.null_depth = k;
@@ -30,13 +42,13 @@ StatusOr<std::unique_ptr<ChaseResult>> QueryDirectedChase(
     if (!cur.ok()) return cur.status();
     if (!(*cur)->truncated ||
         (*cur)->db_part_facts == (*prev)->db_part_facts) {
-      return std::move(cur).value();
+      return Seal(std::move(cur).value());
     }
     prev = std::move(cur);
   }
   // Saturation did not stabilize within the hard cap; return the deepest
   // prefix (truncated flag stays set so callers can surface this).
-  return std::move(prev).value();
+  return Seal(std::move(prev).value());
 }
 
 }  // namespace omqe

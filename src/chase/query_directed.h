@@ -29,7 +29,14 @@ struct QdcOptions {
   size_t max_facts = 200u * 1000 * 1000;
 };
 
-StatusOr<std::unique_ptr<ChaseResult>> QueryDirectedChase(
+/// The returned ChaseResult is a shared immutable artifact: its database is
+/// frozen (Database::Freeze), and shared_ptr ownership lets one chase feed a
+/// prepared query plus any number of enumeration sessions without copies
+/// (see core/prepared.h). Note that SingleTester::Create additionally
+/// registers a fresh P_db relation in the (shared, unfrozen) Vocabulary —
+/// construct testers before freezing the vocabulary or sharing it across
+/// threads.
+StatusOr<std::shared_ptr<ChaseResult>> QueryDirectedChase(
     const Database& db, const Ontology& onto, const CQ& q,
     const QdcOptions& options = QdcOptions());
 

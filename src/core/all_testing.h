@@ -37,7 +37,7 @@ class AllTester {
   std::vector<uint32_t> answer_vars_;
   uint32_t num_vars_ = 0;
   bool always_false_ = false;
-  std::unique_ptr<ChaseResult> chase_;
+  std::shared_ptr<const ChaseResult> chase_;
   /// One normalization per guard component (their trees are merged here).
   std::vector<Normalized> parts_;
 };

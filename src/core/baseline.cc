@@ -5,8 +5,8 @@
 namespace omqe {
 
 namespace {
-std::unique_ptr<ChaseResult> ChaseFor(const OMQ& omq, const Database& db,
-                                      const QdcOptions& options) {
+std::shared_ptr<const ChaseResult> ChaseFor(const OMQ& omq, const Database& db,
+                                            const QdcOptions& options) {
   auto chase = QueryDirectedChase(db, omq.ontology, omq.query, options);
   OMQE_CHECK(chase.ok());
   return std::move(chase).value();

@@ -4,33 +4,19 @@ namespace omqe {
 
 StatusOr<std::unique_ptr<CompleteEnumerator>> CompleteEnumerator::Create(
     const OMQ& omq, const Database& db, const QdcOptions& options) {
-  if (!omq.IsGuarded()) {
-    return Status::InvalidArgument("ontology is not guarded");
-  }
-  if (!omq.IsAcyclic() || !omq.IsFreeConnexAcyclic()) {
-    return Status::InvalidArgument(
-        "enumeration requires an acyclic and free-connex acyclic OMQ");
-  }
-  auto chase = QueryDirectedChase(db, omq.ontology, omq.query, options);
-  if (!chase.ok()) return chase.status();
-
-  auto enumerator = std::unique_ptr<CompleteEnumerator>(new CompleteEnumerator());
-  enumerator->answer_vars_.assign(omq.query.answer_vars().begin(),
-                                  omq.query.answer_vars().end());
-  enumerator->chase_ = std::move(chase).value();
-  OMQE_RETURN_IF_ERROR(Normalize(omq.query, enumerator->chase_->db,
-                                 /*answers_constants_only=*/true,
-                                 &enumerator->norm_));
-  enumerator->walker_ =
-      std::make_unique<TreeWalker>(&enumerator->norm_, omq.query.num_vars());
-  return enumerator;
+  PrepareOptions prepare;
+  prepare.chase = options;
+  prepare.for_complete = true;
+  prepare.for_partial = false;
+  auto prepared = PreparedOMQ::Prepare(omq, db, prepare);
+  if (!prepared.ok()) return prepared.status();
+  return FromPrepared(std::move(prepared).value());
 }
 
-bool CompleteEnumerator::Next(ValueTuple* out) {
-  if (!walker_->Next()) return false;
-  out->clear();
-  for (uint32_t v : answer_vars_) out->push_back(walker_->assignment()[v]);
-  return true;
+std::unique_ptr<CompleteEnumerator> CompleteEnumerator::FromPrepared(
+    std::shared_ptr<const PreparedOMQ> prepared) {
+  return std::unique_ptr<CompleteEnumerator>(
+      new CompleteEnumerator(std::move(prepared)));
 }
 
 std::vector<ValueTuple> AllCompleteAnswers(const OMQ& omq, const Database& db) {

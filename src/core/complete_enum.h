@@ -1,19 +1,19 @@
 // Constant-delay enumeration of complete answers to OMQs from (G, CQ) that
 // are acyclic and free-connex acyclic (Theorem 4.1(1)).
 //
-// Preprocessing (linear in ||D||): query-directed chase, then the (q1, D1)
-// normalization restricted to constant answers (the paper's P_db trick).
-// Enumeration: a TreeWalker over the normalized forest — constant delay,
-// no repetitions.
+// Since the prepared-query split, this class is a thin wrapper: PreparedOMQ
+// runs the preprocessing (query-directed chase, then the (q1, D1)
+// normalization restricted to constant answers — the paper's P_db trick)
+// and CompleteSession walks the normalized forest with constant delay and
+// no repetitions. Callers that want several (possibly concurrent) cursors
+// over one preprocessing run should use PreparedOMQ + CompleteSession
+// directly (see core/prepared.h).
 #ifndef OMQE_CORE_COMPLETE_ENUM_H_
 #define OMQE_CORE_COMPLETE_ENUM_H_
 
 #include <memory>
 
-#include "chase/query_directed.h"
-#include "core/omq.h"
-#include "core/tree_walker.h"
-#include "eval/normalize.h"
+#include "core/prepared.h"
 
 namespace omqe {
 
@@ -24,22 +24,26 @@ class CompleteEnumerator {
   static StatusOr<std::unique_ptr<CompleteEnumerator>> Create(
       const OMQ& omq, const Database& db, const QdcOptions& options = QdcOptions());
 
+  /// Wraps an already-prepared query (which must have for_complete() set).
+  static std::unique_ptr<CompleteEnumerator> FromPrepared(
+      std::shared_ptr<const PreparedOMQ> prepared);
+
   /// Emits the next answer; false signals end of enumeration.
-  bool Next(ValueTuple* out);
+  bool Next(ValueTuple* out) { return session_.Next(out); }
 
   /// Restarts the enumeration phase (preprocessing is not repeated).
-  void Reset() { walker_->Reset(); }
+  void Reset() { session_.Reset(); }
 
-  const ChaseResult& chase() const { return *chase_; }
-  const Normalized& normalized() const { return norm_; }
+  const ChaseResult& chase() const { return prepared_->chase(); }
+  const Normalized& normalized() const { return prepared_->complete_norm(); }
+  const std::shared_ptr<const PreparedOMQ>& prepared() const { return prepared_; }
 
  private:
-  CompleteEnumerator() = default;
+  explicit CompleteEnumerator(std::shared_ptr<const PreparedOMQ> prepared)
+      : prepared_(std::move(prepared)), session_(prepared_) {}
 
-  std::vector<uint32_t> answer_vars_;
-  std::unique_ptr<ChaseResult> chase_;
-  Normalized norm_;
-  std::unique_ptr<TreeWalker> walker_;
+  std::shared_ptr<const PreparedOMQ> prepared_;
+  CompleteSession session_;
 };
 
 /// Convenience: materializes all answers (for tests and baselines).

@@ -20,13 +20,24 @@ class CompleteFirstEnumerator {
  public:
   static StatusOr<std::unique_ptr<CompleteFirstEnumerator>> Create(
       const OMQ& omq, const Database& db, const QdcOptions& options = QdcOptions()) {
-    auto complete = CompleteEnumerator::Create(omq, db, options);
-    if (!complete.ok()) return complete.status();
-    auto partial = PartialEnumerator::Create(omq, db, options);
-    if (!partial.ok()) return partial.status();
+    // One prepared artifact serves both enumerators: the chase runs once and
+    // the two normalizations share its frozen database.
+    PrepareOptions prepare;
+    prepare.chase = options;
+    prepare.for_complete = true;
+    prepare.for_partial = true;
+    auto prepared = PreparedOMQ::Prepare(omq, db, prepare);
+    if (!prepared.ok()) return prepared.status();
+    return FromPrepared(std::move(prepared).value());
+  }
+
+  /// Wraps an already-prepared query (needs for_complete() and
+  /// for_partial()).
+  static std::unique_ptr<CompleteFirstEnumerator> FromPrepared(
+      std::shared_ptr<const PreparedOMQ> prepared) {
     auto e = std::unique_ptr<CompleteFirstEnumerator>(new CompleteFirstEnumerator());
-    e->complete_ = std::move(complete).value();
-    e->partial_ = std::move(partial).value();
+    e->complete_ = CompleteEnumerator::FromPrepared(prepared);
+    e->partial_ = PartialEnumerator::FromPrepared(std::move(prepared));
     return e;
   }
 

@@ -99,13 +99,23 @@ bool CanonicalMultiTester::Test(const ValueTuple& candidate) {
 
 StatusOr<std::unique_ptr<MultiWildcardEnumerator>> MultiWildcardEnumerator::Create(
     const OMQ& omq, const Database& db, const QdcOptions& options) {
-  auto a1 = PartialEnumerator::Create(omq, db, options);
-  if (!a1.ok()) return a1.status();
-  auto e = std::unique_ptr<MultiWildcardEnumerator>(new MultiWildcardEnumerator());
-  e->query_ = omq.query;
-  e->a1_ = std::move(a1).value();
-  e->tester_ =
-      std::make_unique<CanonicalMultiTester>(e->query_, e->a1_->chase().db);
+  PrepareOptions prepare;
+  prepare.chase = options;
+  prepare.for_complete = false;
+  prepare.for_partial = true;
+  auto prepared = PreparedOMQ::Prepare(omq, db, prepare);
+  if (!prepared.ok()) return prepared.status();
+  return FromPrepared(std::move(prepared).value());
+}
+
+std::unique_ptr<MultiWildcardEnumerator> MultiWildcardEnumerator::FromPrepared(
+    std::shared_ptr<const PreparedOMQ> prepared) {
+  auto e = std::unique_ptr<MultiWildcardEnumerator>(
+      new MultiWildcardEnumerator(std::move(prepared)));
+  // The query and chase live in (and are kept alive by) the shared prepared
+  // artifact; the tester itself is per-session state (memo + patterns).
+  e->tester_ = std::make_unique<CanonicalMultiTester>(e->prepared_->query(),
+                                                      e->prepared_->chase().db);
   return e;
 }
 
@@ -152,7 +162,7 @@ bool MultiWildcardEnumerator::Next(ValueTuple* out) {
   if (done_) return false;
   if (!flushing_) {
     ValueTuple star;
-    if (a1_->Next(&star)) {
+    if (a1_.Next(&star)) {
       ProcessRound(star, out);
       return true;
     }

@@ -23,7 +23,7 @@
 #include <memory>
 #include <vector>
 
-#include "core/partial_enum.h"
+#include "core/prepared.h"
 #include "core/wildcards.h"
 #include "eval/brute.h"
 
@@ -58,21 +58,30 @@ class MultiWildcardEnumerator {
   static StatusOr<std::unique_ptr<MultiWildcardEnumerator>> Create(
       const OMQ& omq, const Database& db, const QdcOptions& options = QdcOptions());
 
+  /// Wraps an already-prepared query (which must have for_partial() set);
+  /// only the per-session A1 walk and Algorithm 2 state are allocated, so
+  /// many (possibly concurrent) multi-wildcard cursors can share one
+  /// preprocessing run.
+  static std::unique_ptr<MultiWildcardEnumerator> FromPrepared(
+      std::shared_ptr<const PreparedOMQ> prepared);
+
   /// Next minimal partial answer with multi-wildcards (canonical numbering).
   bool Next(ValueTuple* out);
 
-  const ChaseResult& chase() const { return a1_->chase(); }
+  const ChaseResult& chase() const { return prepared_->chase(); }
+  const std::shared_ptr<const PreparedOMQ>& prepared() const { return prepared_; }
 
  private:
-  MultiWildcardEnumerator() = default;
+  explicit MultiWildcardEnumerator(std::shared_ptr<const PreparedOMQ> prepared)
+      : prepared_(std::move(prepared)), a1_(prepared_) {}
 
   bool is_answer(const ValueTuple& t) { return tester_->Test(t); }
   void ProcessRound(const ValueTuple& star_answer, ValueTuple* out);
   void PruneAbove(const ValueTuple& answer);
   void RemoveFromL(const ValueTuple& t);
 
-  CQ query_;
-  std::unique_ptr<PartialEnumerator> a1_;
+  std::shared_ptr<const PreparedOMQ> prepared_;
+  EnumerationSession a1_;
   std::unique_ptr<CanonicalMultiTester> tester_;
 
   // Algorithm 2 state.

@@ -1,459 +1,22 @@
 #include "core/partial_enum.h"
 
-#include <algorithm>
-
-#include "eval/brute.h"  // kNoValue
-
 namespace omqe {
 
 StatusOr<std::unique_ptr<PartialEnumerator>> PartialEnumerator::Create(
     const OMQ& omq, const Database& db, const QdcOptions& options) {
-  if (!omq.IsGuarded()) {
-    return Status::InvalidArgument("ontology is not guarded");
-  }
-  if (!omq.IsAcyclic() || !omq.IsFreeConnexAcyclic()) {
-    return Status::InvalidArgument(
-        "partial-answer enumeration requires an acyclic and free-connex "
-        "acyclic OMQ");
-  }
-  if (db.HasNulls()) {
-    return Status::InvalidArgument("input databases must be null-free");
-  }
-  auto chase = QueryDirectedChase(db, omq.ontology, omq.query, options);
-  if (!chase.ok()) return chase.status();
-
-  auto e = std::unique_ptr<PartialEnumerator>(new PartialEnumerator());
-  e->answer_vars_.assign(omq.query.answer_vars().begin(),
-                         omq.query.answer_vars().end());
-  e->num_vars_ = omq.query.num_vars();
-  e->chase_ = std::move(chase).value();
-  OMQE_RETURN_IF_ERROR(Normalize(omq.query, e->chase_->db,
-                                 /*answers_constants_only=*/false, &e->norm_));
-  e->BuildSlots();
-  e->BuildSubtrees();
-  e->CollectProgressTrees();
-  e->LinkLists();
-  e->Reset();
-  return e;
+  PrepareOptions prepare;
+  prepare.chase = options;
+  prepare.for_complete = false;
+  prepare.for_partial = true;
+  auto prepared = PreparedOMQ::Prepare(omq, db, prepare);
+  if (!prepared.ok()) return prepared.status();
+  return FromPrepared(std::move(prepared).value());
 }
 
-void PartialEnumerator::BuildSlots() {
-  node_to_slot_.resize(norm_.trees.size());
-  for (size_t t = 0; t < norm_.trees.size(); ++t) {
-    node_to_slot_[t].assign(norm_.trees[t].nodes.size(), -1);
-    for (int n : norm_.trees[t].preorder) {
-      node_to_slot_[t][n] = static_cast<int>(slots_.size());
-      Slot slot;
-      slot.tree = static_cast<int>(t);
-      slot.node = n;
-      slot.vars = norm_.trees[t].nodes[n].vars;
-      slot.pred_vars = norm_.trees[t].nodes[n].pred_vars;
-      slots_.push_back(std::move(slot));
-    }
-    for (int n : norm_.trees[t].preorder) {
-      int s = node_to_slot_[t][n];
-      for (int c : norm_.trees[t].nodes[n].children) {
-        slots_[s].children.push_back(node_to_slot_[t][c]);
-      }
-    }
-  }
-  OMQE_CHECK(slots_.size() <= 64);
-}
-
-uint32_t PartialEnumerator::SubtreeIdFor(uint64_t mask, int root_slot) {
-  uint32_t fresh = static_cast<uint32_t>(subtrees_.size());
-  uint32_t& id = subtree_by_mask_.InsertOrGet(mask, fresh);
-  if (id == fresh) {
-    Subtree st;
-    st.root_slot = root_slot;
-    st.mask = mask;
-    VarSet vars = 0;
-    uint64_t m = mask;
-    while (m) {
-      int s = __builtin_ctzll(m);
-      m &= m - 1;
-      for (uint32_t v : slots_[s].vars) vars |= VarBit(v);
-    }
-    while (vars) {
-      uint32_t v = static_cast<uint32_t>(__builtin_ctzll(vars));
-      vars &= vars - 1;
-      st.vars.push_back(v);
-    }
-    subtrees_.push_back(std::move(st));
-  }
-  return id;
-}
-
-void PartialEnumerator::BuildSubtrees() {
-  // Bottom-up: combos(s) = all connected subgraph masks rooted at s.
-  std::vector<std::vector<uint64_t>> combos(slots_.size());
-  for (int s = static_cast<int>(slots_.size()); s-- > 0;) {
-    std::vector<uint64_t> acc{uint64_t{1} << s};
-    for (int c : slots_[s].children) {
-      std::vector<uint64_t> next;
-      next.reserve(acc.size() * (1 + combos[c].size()));
-      for (uint64_t base : acc) {
-        next.push_back(base);  // child excluded
-        for (uint64_t cm : combos[c]) next.push_back(base | cm);
-      }
-      acc = std::move(next);
-      OMQE_CHECK(acc.size() <= (1u << 20));
-    }
-    combos[s] = std::move(acc);
-  }
-  for (int s = 0; s < static_cast<int>(slots_.size()); ++s) {
-    for (uint64_t mask : combos[s]) SubtreeIdFor(mask, s);
-  }
-}
-
-void PartialEnumerator::AddProgressTree(uint32_t subtree,
-                                        const std::vector<Value>& hom) {
-  const Subtree& st = subtrees_[subtree];
-  ValueTuple& g = scratch_g_;
-  g.clear();
-  for (uint32_t v : st.vars) {
-    Value val = hom[v];
-    g.push_back(IsNull(val) ? kStar : val);
-  }
-  // Condition (1): the root's predecessor variables must be constants.
-  ValueTuple& pred = scratch_pred_;
-  pred.clear();
-  for (uint32_t pv : slots_[st.root_slot].pred_vars) {
-    Value val = hom[pv];
-    if (IsNull(val)) return;
-    pred.push_back(val);
-  }
-  CommitTree(subtree, st.root_slot, g.data(), g.size(), pred.data(),
-             pred.size());
-}
-
-void PartialEnumerator::CommitTree(uint32_t subtree, int root_slot,
-                                   const Value* g, uint32_t g_len,
-                                   const Value* pred_vals, uint32_t pred_len) {
-  // Dedup via the location table.
-  ValueTuple& loc_key = scratch_loc_key_;
-  loc_key.clear();
-  loc_key.push_back(subtree);
-  for (uint32_t i = 0; i < g_len; ++i) loc_key.push_back(g[i]);
-  uint32_t fresh = static_cast<uint32_t>(pool_.size());
-  uint32_t& id = location_.InsertOrGet(loc_key.data(), loc_key.size(), fresh);
-  if (id != fresh) return;
-
-  PTree tree;
-  tree.subtree = subtree;
-  tree.g = ValueTuple(g, g + g_len);
-  // The owning list: trees(root, h restricted to the root's pred vars).
-  ValueTuple& list_key = scratch_list_key_;
-  list_key.clear();
-  list_key.push_back(static_cast<uint32_t>(root_slot));
-  for (uint32_t i = 0; i < pred_len; ++i) list_key.push_back(pred_vals[i]);
-  uint32_t fresh_list = static_cast<uint32_t>(list_head_by_id_.size());
-  uint32_t& list_id =
-      list_ids_.InsertOrGet(list_key.data(), list_key.size(), fresh_list);
-  if (list_id == fresh_list) list_head_by_id_.push_back(UINT32_MAX);
-  tree.list = list_id;
-  pool_.push_back(std::move(tree));
-}
-
-void PartialEnumerator::CollectFromRow(int slot, uint32_t row) {
-  // Assemble homomorphisms of the forced subtree rooted at `slot` starting
-  // from `row`; every null forces the children sharing it (condition (2)).
-  std::vector<Value> hom(num_vars_, kNoValue);
-  uint64_t mask = 0;
-
-  // Recursive lambda over (slot, row) with explicit backtracking.
-  struct Rec {
-    PartialEnumerator* self;
-    std::vector<Value>& hom;
-    uint64_t& mask;
-    int root;
-
-    bool BindNode(int s, uint32_t r, SmallVec<uint32_t, 8>* bound) {
-      const NormNode& node =
-          self->norm_.trees[self->slots_[s].tree].nodes[self->slots_[s].node];
-      const Value* tuple = node.rel.Row(r);
-      for (size_t i = 0; i < node.vars.size(); ++i) {
-        uint32_t v = node.vars[i];
-        if (hom[v] == kNoValue) {
-          hom[v] = tuple[i];
-          bound->push_back(v);
-        } else if (hom[v] != tuple[i]) {
-          for (uint32_t b : *bound) hom[b] = kNoValue;
-          return false;
-        }
-      }
-      return true;
-    }
-
-    void Go(int s, uint32_t r) {
-      SmallVec<uint32_t, 8> bound;
-      if (!BindNode(s, r, &bound)) return;
-      mask |= uint64_t{1} << s;
-      // Children forced by a null predecessor variable.
-      SmallVec<uint32_t, 8> forced;
-      for (int c : self->slots_[s].children) {
-        bool has_null_pred = false;
-        for (uint32_t pv : self->slots_[c].pred_vars) {
-          has_null_pred |= IsNull(hom[pv]);
-        }
-        if (has_null_pred) forced.push_back(static_cast<uint32_t>(c));
-      }
-      Product(s, forced, 0);
-      mask &= ~(uint64_t{1} << s);
-      for (uint32_t b : bound) hom[b] = kNoValue;
-    }
-
-    // Cross product over the forced children's row choices.
-    void Product(int s, const SmallVec<uint32_t, 8>& forced, uint32_t i) {
-      if (i == forced.size()) {
-        if (s == root) Emit();
-        return;
-      }
-      int c = static_cast<int>(forced[i]);
-      const NormNode& node =
-          self->norm_.trees[self->slots_[c].tree].nodes[self->slots_[c].node];
-      ValueTuple key;
-      for (uint32_t pv : self->slots_[c].pred_vars) key.push_back(hom[pv]);
-      for (uint32_t r = node.index.First(key.data()); r != UINT32_MAX;
-           r = node.index.Next(r)) {
-        // Recurse into the child subtree, then continue with the siblings.
-        SmallVec<uint32_t, 8> bound;
-        if (!BindNode(c, r, &bound)) continue;
-        mask |= uint64_t{1} << c;
-        SmallVec<uint32_t, 8> grand;
-        for (int gc : self->slots_[c].children) {
-          bool null_pred = false;
-          for (uint32_t pv : self->slots_[gc].pred_vars) {
-            null_pred |= IsNull(hom[pv]);
-          }
-          if (null_pred) grand.push_back(static_cast<uint32_t>(gc));
-        }
-        // Compose: finish c's forced grandchildren, then the remaining
-        // siblings of c. We flatten by appending.
-        SmallVec<uint32_t, 8> rest = grand;
-        for (uint32_t j = i + 1; j < forced.size(); ++j) rest.push_back(forced[j]);
-        Product(s, rest, 0);
-        mask &= ~(uint64_t{1} << c);
-        for (uint32_t b : bound) hom[b] = kNoValue;
-      }
-    }
-
-    void Emit() { self->AddProgressTree(self->SubtreeIdFor(mask, root), hom); }
-  };
-
-  Rec rec{this, hom, mask, slot};
-  rec.Go(slot, row);
-}
-
-void PartialEnumerator::CollectProgressTrees() {
-  // Pre-size the side tables from the total row count: every database row
-  // contributes at most one single-atom progress tree and the location/list
-  // keys carry the row values, so one up-front sizing covers the bulk of the
-  // inserts (null excursions add a small remainder that grows normally).
-  size_t total_rows = 0;
-  size_t total_key_words = 0;
-  for (const Slot& slot : slots_) {
-    const NormNode& node = norm_.trees[slot.tree].nodes[slot.node];
-    total_rows += node.rel.NumRows();
-    total_key_words +=
-        static_cast<size_t>(node.rel.NumRows()) * (1 + node.rel.width());
-  }
-  location_.Reserve(total_rows, total_key_words);
-  list_ids_.Reserve(total_rows, total_key_words);
-  pool_.reserve(total_rows);
-  list_head_by_id_.reserve(total_rows);
-
-  for (int s = 0; s < static_cast<int>(slots_.size()); ++s) {
-    const Slot& slot = slots_[s];
-    const NormNode& node = norm_.trees[slot.tree].nodes[slot.node];
-    const uint32_t width = node.rel.width();
-    // Hoisted per-slot state: the single-atom subtree id (one map probe per
-    // slot instead of one per row) and the predecessor-variable columns.
-    const uint32_t single_subtree = SubtreeIdFor(uint64_t{1} << s, s);
-    SmallVec<uint32_t, 8> pred_cols;
-    for (uint32_t pv : slot.pred_vars) pred_cols.push_back(node.rel.ColumnOf(pv));
-    for (uint32_t r = 0; r < node.rel.NumRows(); ++r) {
-      const Value* tuple = node.rel.Row(r);
-      bool has_null = false;
-      for (uint32_t i = 0; i < width; ++i) has_null |= IsNull(tuple[i]);
-      if (!has_null) {
-        // Single-atom database progress tree. The node's columns are its
-        // variables in ascending order, which is exactly the subtree's
-        // variable order, so the row itself is the binding g; condition (1)
-        // holds trivially (no nulls anywhere in the row).
-        ValueTuple& pred = scratch_pred_;
-        pred.clear();
-        for (uint32_t c : pred_cols) pred.push_back(tuple[c]);
-        CommitTree(single_subtree, s, tuple, width, pred.data(), pred.size());
-      } else {
-        // Root of a null excursion — unless a predecessor variable is null
-        // (then this row only appears deeper inside other excursions).
-        bool pred_null = false;
-        for (uint32_t c : pred_cols) pred_null |= IsNull(tuple[c]);
-        if (!pred_null) CollectFromRow(s, r);
-      }
-    }
-  }
-}
-
-void PartialEnumerator::LinkLists() {
-  // Group pool ids per list, sort in database-preferring order, link.
-  std::vector<std::vector<uint32_t>> per_list(list_head_by_id_.size());
-  for (uint32_t id = 0; id < pool_.size(); ++id) {
-    per_list[pool_[id].list].push_back(id);
-  }
-  auto stars = [&](const PTree& t) {
-    uint32_t n = 0;
-    for (Value v : t.g) n += (v == kStar);
-    return n;
-  };
-  for (auto& ids : per_list) {
-    std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
-      const PTree& ta = pool_[a];
-      const PTree& tb = pool_[b];
-      int pa = __builtin_popcountll(subtrees_[ta.subtree].mask);
-      int pb = __builtin_popcountll(subtrees_[tb.subtree].mask);
-      if (pa != pb) return pa < pb;                       // V_q ⊊ V_q' first
-      uint32_t sa = stars(ta), sb = stars(tb);
-      if (sa != sb) return sa < sb;                       // fewer wildcards first
-      if (ta.subtree != tb.subtree) return ta.subtree < tb.subtree;
-      return ta.g < tb.g;                                 // deterministic tie-break
-    });
-    for (size_t i = 0; i < ids.size(); ++i) {
-      pool_[ids[i]].prev = (i == 0) ? UINT32_MAX : ids[i - 1];
-      pool_[ids[i]].next = (i + 1 == ids.size()) ? UINT32_MAX : ids[i + 1];
-    }
-    if (!ids.empty()) list_head_by_id_[pool_[ids[0]].list] = ids[0];
-  }
-}
-
-void PartialEnumerator::Reset() {
-  h_.assign(num_vars_, kNoValue);
-  stack_.clear();
-  started_ = false;
-  boolean_emitted_ = false;
-  exhausted_ = norm_.empty;
-}
-
-int PartialEnumerator::NextAtom(int after) const {
-  for (int j = after + 1; j < static_cast<int>(slots_.size()); ++j) {
-    for (uint32_t v : slots_[j].vars) {
-      if (h_[v] == kNoValue) return j;
-    }
-  }
-  return -1;
-}
-
-uint32_t PartialEnumerator::ListHeadFor(int slot) {
-  ValueTuple key;
-  key.push_back(static_cast<uint32_t>(slot));
-  for (uint32_t pv : slots_[slot].pred_vars) key.push_back(h_[pv]);
-  const uint32_t* id = list_ids_.Find(key.data(), key.size());
-  if (id == nullptr) return UINT32_MAX;
-  return list_head_by_id_[*id];
-}
-
-uint32_t PartialEnumerator::AdvanceSkippingDead(uint32_t id) const {
-  while (id != UINT32_MAX && !pool_[id].alive) id = pool_[id].next;
-  return id;
-}
-
-void PartialEnumerator::BindTree(Frame* frame, const PTree& tree) {
-  const Subtree& st = subtrees_[tree.subtree];
-  for (size_t i = 0; i < st.vars.size(); ++i) {
-    uint32_t v = st.vars[i];
-    if (h_[v] == kNoValue) {
-      h_[v] = tree.g[i];
-      frame->bound.push_back(v);
-    }
-  }
-}
-
-void PartialEnumerator::UnbindTree(Frame* frame) {
-  for (uint32_t v : frame->bound) h_[v] = kNoValue;
-  frame->bound.clear();
-}
-
-void PartialEnumerator::Unlink(uint32_t id) {
-  PTree& t = pool_[id];
-  if (!t.alive) return;
-  t.alive = false;
-  if (t.prev != UINT32_MAX) {
-    pool_[t.prev].next = t.next;
-  } else {
-    list_head_by_id_[t.list] = t.next;
-  }
-  if (t.next != UINT32_MAX) pool_[t.next].prev = t.prev;
-  // t.prev / t.next stay frozen so live iterators can continue past it.
-}
-
-void PartialEnumerator::Prune() {
-  // Remove every progress tree strictly more wildcarded than the branch
-  // just output: (q, g') with g' ≻db (q, h|var(q)).
-  ValueTuple key;
-  for (uint32_t st_id = 0; st_id < subtrees_.size(); ++st_id) {
-    const Subtree& st = subtrees_[st_id];
-    // Positions of var(q) currently holding constants (flippable to '*').
-    SmallVec<uint32_t, 16> flippable;
-    for (uint32_t i = 0; i < st.vars.size(); ++i) {
-      if (h_[st.vars[i]] != kStar) flippable.push_back(i);
-    }
-    OMQE_CHECK(flippable.size() <= 20);
-    uint32_t combos = 1u << flippable.size();
-    for (uint32_t m = 1; m < combos; ++m) {  // m=0 is (q, h|var(q)) itself
-      key.clear();
-      key.push_back(st_id);
-      for (uint32_t v : st.vars) key.push_back(h_[v]);
-      for (uint32_t b = 0; b < flippable.size(); ++b) {
-        if (m & (1u << b)) key[1 + flippable[b]] = kStar;
-      }
-      const uint32_t* id = location_.Find(key.data(), key.size());
-      if (id != nullptr) Unlink(*id);
-    }
-  }
-}
-
-bool PartialEnumerator::Next(ValueTuple* out) {
-  if (exhausted_) return false;
-  if (slots_.empty()) {
-    // Boolean query (or one whose components are all Boolean).
-    if (boolean_emitted_) {
-      exhausted_ = true;
-      return false;
-    }
-    boolean_emitted_ = true;
-    out->clear();
-    return true;
-  }
-  if (!started_) {
-    started_ = true;
-    int first = NextAtom(-1);
-    OMQE_CHECK(first >= 0);
-    stack_.push_back(Frame{first, UINT32_MAX, true, {}});
-  }
-  while (!stack_.empty()) {
-    Frame& f = stack_.back();
-    UnbindTree(&f);
-    uint32_t nxt = f.fresh ? ListHeadFor(f.slot) : pool_[f.cur].next;
-    f.fresh = false;
-    nxt = AdvanceSkippingDead(nxt);
-    if (nxt == UINT32_MAX) {
-      stack_.pop_back();
-      continue;
-    }
-    f.cur = nxt;
-    BindTree(&f, pool_[nxt]);
-    int next_slot = NextAtom(f.slot);
-    if (next_slot == -1) {
-      out->clear();
-      for (uint32_t v : answer_vars_) out->push_back(h_[v]);
-      Prune();
-      return true;
-    }
-    stack_.push_back(Frame{next_slot, UINT32_MAX, true, {}});
-  }
-  exhausted_ = true;
-  return false;
+std::unique_ptr<PartialEnumerator> PartialEnumerator::FromPrepared(
+    std::shared_ptr<const PreparedOMQ> prepared) {
+  return std::unique_ptr<PartialEnumerator>(
+      new PartialEnumerator(std::move(prepared)));
 }
 
 std::vector<ValueTuple> AllMinimalPartialAnswers(const OMQ& omq, const Database& db) {

@@ -1,30 +1,21 @@
 // Enumeration of minimal partial answers with a single wildcard
 // (Section 5, Theorem 5.2, Algorithm 1).
 //
-// Preprocessing: query-directed chase; (q1, D1) normalization keeping null
-// values; enumeration of all *progress trees* (q, g) — excursions of
-// subtrees of q1 into the null part of D1 — from the chase-like blocks
-// (Lemma 5.3), stored in bidirectionally linked `trees(v, h)` lists sorted
-// in database-preferring order, plus a location table for O(1) pruning.
-//
-// Enumeration: a pre-order walk over q1's join forest. At each atom v with
-// predecessor binding h|ȳ the walk iterates the list trees(v, h|ȳ); each
-// progress tree extends h over its whole subtree (constants and '*'s).
-// After each output, prune(h) removes the progress trees that are strictly
-// more wildcarded than the branch just output (≻db), which is exactly what
-// guarantees minimality and no repetitions (Prop 5.5). Removal unlinks
-// nodes but preserves their forward pointers, so live iterators keep
-// working — the paper's mutation of the global lists.
+// Since the prepared-query split, this class is a thin convenience wrapper:
+// PreparedOMQ runs the preprocessing phase (query-directed chase, (q1, D1)
+// normalization keeping null values, progress-tree collection, Lemma 5.3)
+// and EnumerationSession drives Algorithm 1's walk with per-session
+// ≻db-pruning state (Prop 5.5). Create() = Prepare + one session; Reset()
+// starts a fresh session over the same prepared artifact. Callers that want
+// several (possibly concurrent) cursors over one preprocessing run should
+// use PreparedOMQ + EnumerationSession directly (see core/prepared.h).
 #ifndef OMQE_CORE_PARTIAL_ENUM_H_
 #define OMQE_CORE_PARTIAL_ENUM_H_
 
 #include <memory>
 #include <vector>
 
-#include "base/flat_hash.h"
-#include "chase/query_directed.h"
-#include "core/omq.h"
-#include "eval/normalize.h"
+#include "core/prepared.h"
 
 namespace omqe {
 
@@ -35,93 +26,29 @@ class PartialEnumerator {
   static StatusOr<std::unique_ptr<PartialEnumerator>> Create(
       const OMQ& omq, const Database& db, const QdcOptions& options = QdcOptions());
 
+  /// Wraps an already-prepared query (which must have for_partial() set);
+  /// the expensive artifact is shared, only session state is allocated.
+  static std::unique_ptr<PartialEnumerator> FromPrepared(
+      std::shared_ptr<const PreparedOMQ> prepared);
+
   /// Next minimal partial answer; wildcard positions hold kStar.
-  bool Next(ValueTuple* out);
+  bool Next(ValueTuple* out) { return session_.Next(out); }
 
   /// Restarts the walk. The pruned list state is reusable (the paper's S'
   /// observation), so preprocessing is not repeated; the same answer set is
   /// produced again.
-  void Reset();
+  void Reset() { session_.Reset(); }
 
-  const ChaseResult& chase() const { return *chase_; }
-  size_t num_progress_trees() const { return pool_.size(); }
+  const ChaseResult& chase() const { return prepared_->chase(); }
+  size_t num_progress_trees() const { return prepared_->num_progress_trees(); }
+  const std::shared_ptr<const PreparedOMQ>& prepared() const { return prepared_; }
 
  private:
-  struct Slot {
-    int tree;
-    int node;
-    std::vector<uint32_t> vars;       // node variables (ascending)
-    std::vector<uint32_t> pred_vars;  // shared with parent
-    std::vector<int> children;        // child slot ids (same tree)
-  };
-  struct Subtree {
-    int root_slot;
-    uint64_t mask;                    // slots included
-    std::vector<uint32_t> vars;       // union of node vars (ascending)
-  };
-  struct PTree {
-    uint32_t subtree;                 // Subtree id
-    ValueTuple g;                     // values over Subtree::vars (kStar allowed)
-    uint32_t prev = UINT32_MAX;
-    uint32_t next = UINT32_MAX;
-    uint32_t list = UINT32_MAX;       // owning list id
-    bool alive = true;
-  };
-  struct Frame {
-    int slot;
-    uint32_t cur;                     // pool id of current progress tree
-    bool fresh;                       // list head not yet fetched
-    SmallVec<uint32_t, 8> bound;      // vars bound by the current tree
-  };
+  explicit PartialEnumerator(std::shared_ptr<const PreparedOMQ> prepared)
+      : prepared_(std::move(prepared)), session_(prepared_) {}
 
-  PartialEnumerator() = default;
-
-  void BuildSlots();
-  void BuildSubtrees();
-  void CollectProgressTrees();
-  void CollectFromRow(int slot, uint32_t row);
-  void LinkLists();
-  uint32_t SubtreeIdFor(uint64_t mask, int root_slot);
-  void AddProgressTree(uint32_t subtree, const std::vector<Value>& hom);
-  /// Shared tail of progress-tree registration: location-table dedup, pool
-  /// append, and list assignment. `g` is the (star-mapped) binding over the
-  /// subtree's variables; `pred_vals` the root's predecessor binding.
-  void CommitTree(uint32_t subtree, int root_slot, const Value* g,
-                  uint32_t g_len, const Value* pred_vals, uint32_t pred_len);
-  int NextAtom(int after) const;
-  void BindTree(Frame* frame, const PTree& tree);
-  void UnbindTree(Frame* frame);
-  void Prune();
-  void Unlink(uint32_t id);
-  uint32_t ListHeadFor(int slot);
-  uint32_t AdvanceSkippingDead(uint32_t id) const;
-
-  std::vector<uint32_t> answer_vars_;
-  uint32_t num_vars_ = 0;
-  std::unique_ptr<ChaseResult> chase_;
-  Normalized norm_;
-
-  std::vector<Slot> slots_;
-  std::vector<std::vector<int>> node_to_slot_;  // [tree][node] -> slot
-  std::vector<Subtree> subtrees_;
-  FlatMap<uint64_t, uint32_t> subtree_by_mask_;
-  std::vector<PTree> pool_;
-  TupleMap<uint32_t> location_;   // [subtree, g...] -> pool id
-  TupleMap<uint32_t> list_ids_;   // [root_slot, h|pred...] -> list id
-  std::vector<uint32_t> list_head_by_id_;
-  // Scratch buffers reused across progress-tree collection (no per-row
-  // allocation).
-  ValueTuple scratch_g_;
-  ValueTuple scratch_pred_;
-  ValueTuple scratch_loc_key_;
-  ValueTuple scratch_list_key_;
-
-  // Enumeration state.
-  std::vector<Value> h_;
-  std::vector<Frame> stack_;
-  bool started_ = false;
-  bool exhausted_ = false;
-  bool boolean_emitted_ = false;
+  std::shared_ptr<const PreparedOMQ> prepared_;
+  EnumerationSession session_;
 };
 
 /// Convenience: materializes all minimal partial answers.

@@ -1,0 +1,532 @@
+#include "core/prepared.h"
+
+#include <algorithm>
+
+#include "eval/brute.h"  // kNoValue
+
+namespace omqe {
+
+// ---------------------------------------------------------------------------
+// PreparedOMQ: the once-only preprocessing phase.
+// ---------------------------------------------------------------------------
+
+StatusOr<std::shared_ptr<const PreparedOMQ>> PreparedOMQ::Prepare(
+    const OMQ& omq, const Database& db, const PrepareOptions& options) {
+  if (!omq.IsGuarded()) {
+    return Status::InvalidArgument("ontology is not guarded");
+  }
+  if (!omq.IsAcyclic() || !omq.IsFreeConnexAcyclic()) {
+    return Status::InvalidArgument(
+        "enumeration requires an acyclic and free-connex acyclic OMQ");
+  }
+  if (!options.for_complete && !options.for_partial) {
+    return Status::InvalidArgument(
+        "PrepareOptions must request at least one of complete / partial");
+  }
+  if (options.for_partial && db.HasNulls()) {
+    return Status::InvalidArgument("input databases must be null-free");
+  }
+  auto chase = QueryDirectedChase(db, omq.ontology, omq.query, options.chase);
+  if (!chase.ok()) return chase.status();
+
+  auto p = std::shared_ptr<PreparedOMQ>(new PreparedOMQ());
+  p->query_ = omq.query;
+  p->answer_vars_.assign(omq.query.answer_vars().begin(),
+                         omq.query.answer_vars().end());
+  p->num_vars_ = omq.query.num_vars();
+  p->for_complete_ = options.for_complete;
+  p->for_partial_ = options.for_partial;
+  p->chase_ = std::move(chase).value();
+  if (options.for_complete) {
+    OMQE_RETURN_IF_ERROR(Normalize(omq.query, p->chase_->db,
+                                   /*answers_constants_only=*/true,
+                                   &p->complete_norm_));
+  }
+  if (options.for_partial) {
+    OMQE_RETURN_IF_ERROR(Normalize(omq.query, p->chase_->db,
+                                   /*answers_constants_only=*/false,
+                                   &p->partial_norm_));
+    p->BuildSlots();
+    p->BuildSubtrees();
+    p->CollectProgressTrees();
+    p->LinkLists();
+    p->ReleaseBuildState();
+  }
+  return std::shared_ptr<const PreparedOMQ>(std::move(p));
+}
+
+void PreparedOMQ::ReleaseBuildState() {
+  // The artifact outlives the build by design (it backs long-running
+  // sessions); drop the tables only the build phase probes.
+  node_to_slot_ = {};
+  subtree_by_mask_ = FlatMap<uint64_t, uint32_t>();
+  scratch_g_ = ValueTuple();
+  scratch_pred_ = ValueTuple();
+  scratch_loc_key_ = ValueTuple();
+  scratch_list_key_ = ValueTuple();
+}
+
+void PreparedOMQ::BuildSlots() {
+  node_to_slot_.resize(partial_norm_.trees.size());
+  for (size_t t = 0; t < partial_norm_.trees.size(); ++t) {
+    node_to_slot_[t].assign(partial_norm_.trees[t].nodes.size(), -1);
+    for (int n : partial_norm_.trees[t].preorder) {
+      node_to_slot_[t][n] = static_cast<int>(slots_.size());
+      Slot slot;
+      slot.tree = static_cast<int>(t);
+      slot.node = n;
+      slot.vars = partial_norm_.trees[t].nodes[n].vars;
+      slot.pred_vars = partial_norm_.trees[t].nodes[n].pred_vars;
+      slots_.push_back(std::move(slot));
+    }
+    for (int n : partial_norm_.trees[t].preorder) {
+      int s = node_to_slot_[t][n];
+      for (int c : partial_norm_.trees[t].nodes[n].children) {
+        slots_[s].children.push_back(node_to_slot_[t][c]);
+      }
+    }
+  }
+  OMQE_CHECK(slots_.size() <= 64);
+}
+
+uint32_t PreparedOMQ::SubtreeIdFor(uint64_t mask, int root_slot) {
+  uint32_t fresh = static_cast<uint32_t>(subtrees_.size());
+  uint32_t& id = subtree_by_mask_.InsertOrGet(mask, fresh);
+  if (id == fresh) {
+    Subtree st;
+    st.root_slot = root_slot;
+    st.mask = mask;
+    VarSet vars = 0;
+    uint64_t m = mask;
+    while (m) {
+      int s = __builtin_ctzll(m);
+      m &= m - 1;
+      for (uint32_t v : slots_[s].vars) vars |= VarBit(v);
+    }
+    while (vars) {
+      uint32_t v = static_cast<uint32_t>(__builtin_ctzll(vars));
+      vars &= vars - 1;
+      st.vars.push_back(v);
+    }
+    subtrees_.push_back(std::move(st));
+  }
+  return id;
+}
+
+void PreparedOMQ::BuildSubtrees() {
+  // Bottom-up: combos(s) = all connected subgraph masks rooted at s.
+  std::vector<std::vector<uint64_t>> combos(slots_.size());
+  for (int s = static_cast<int>(slots_.size()); s-- > 0;) {
+    std::vector<uint64_t> acc{uint64_t{1} << s};
+    for (int c : slots_[s].children) {
+      std::vector<uint64_t> next;
+      next.reserve(acc.size() * (1 + combos[c].size()));
+      for (uint64_t base : acc) {
+        next.push_back(base);  // child excluded
+        for (uint64_t cm : combos[c]) next.push_back(base | cm);
+      }
+      acc = std::move(next);
+      OMQE_CHECK(acc.size() <= (1u << 20));
+    }
+    combos[s] = std::move(acc);
+  }
+  for (int s = 0; s < static_cast<int>(slots_.size()); ++s) {
+    for (uint64_t mask : combos[s]) SubtreeIdFor(mask, s);
+  }
+}
+
+void PreparedOMQ::AddProgressTree(uint32_t subtree,
+                                  const std::vector<Value>& hom) {
+  const Subtree& st = subtrees_[subtree];
+  ValueTuple& g = scratch_g_;
+  g.clear();
+  for (uint32_t v : st.vars) {
+    Value val = hom[v];
+    g.push_back(IsNull(val) ? kStar : val);
+  }
+  // Condition (1): the root's predecessor variables must be constants.
+  ValueTuple& pred = scratch_pred_;
+  pred.clear();
+  for (uint32_t pv : slots_[st.root_slot].pred_vars) {
+    Value val = hom[pv];
+    if (IsNull(val)) return;
+    pred.push_back(val);
+  }
+  CommitTree(subtree, st.root_slot, g.data(), g.size(), pred.data(),
+             pred.size());
+}
+
+void PreparedOMQ::CommitTree(uint32_t subtree, int root_slot, const Value* g,
+                             uint32_t g_len, const Value* pred_vals,
+                             uint32_t pred_len) {
+  // Dedup via the location table.
+  ValueTuple& loc_key = scratch_loc_key_;
+  loc_key.clear();
+  loc_key.push_back(subtree);
+  for (uint32_t i = 0; i < g_len; ++i) loc_key.push_back(g[i]);
+  uint32_t fresh = static_cast<uint32_t>(pool_.size());
+  uint32_t& id = location_.InsertOrGet(loc_key.data(), loc_key.size(), fresh);
+  if (id != fresh) return;
+
+  PTree tree;
+  tree.subtree = subtree;
+  tree.g = ValueTuple(g, g + g_len);
+  // The owning list: trees(root, h restricted to the root's pred vars).
+  ValueTuple& list_key = scratch_list_key_;
+  list_key.clear();
+  list_key.push_back(static_cast<uint32_t>(root_slot));
+  for (uint32_t i = 0; i < pred_len; ++i) list_key.push_back(pred_vals[i]);
+  uint32_t fresh_list = static_cast<uint32_t>(init_list_head_.size());
+  uint32_t& list_id =
+      list_ids_.InsertOrGet(list_key.data(), list_key.size(), fresh_list);
+  if (list_id == fresh_list) init_list_head_.push_back(UINT32_MAX);
+  tree.list = list_id;
+  pool_.push_back(std::move(tree));
+}
+
+void PreparedOMQ::CollectFromRow(int slot, uint32_t row) {
+  // Assemble homomorphisms of the forced subtree rooted at `slot` starting
+  // from `row`; every null forces the children sharing it (condition (2)).
+  std::vector<Value> hom(num_vars_, kNoValue);
+  uint64_t mask = 0;
+
+  // Recursive lambda over (slot, row) with explicit backtracking.
+  struct Rec {
+    PreparedOMQ* self;
+    std::vector<Value>& hom;
+    uint64_t& mask;
+    int root;
+
+    bool BindNode(int s, uint32_t r, SmallVec<uint32_t, 8>* bound) {
+      const NormNode& node = self->partial_norm_.trees[self->slots_[s].tree]
+                                 .nodes[self->slots_[s].node];
+      const Value* tuple = node.rel.Row(r);
+      for (size_t i = 0; i < node.vars.size(); ++i) {
+        uint32_t v = node.vars[i];
+        if (hom[v] == kNoValue) {
+          hom[v] = tuple[i];
+          bound->push_back(v);
+        } else if (hom[v] != tuple[i]) {
+          for (uint32_t b : *bound) hom[b] = kNoValue;
+          return false;
+        }
+      }
+      return true;
+    }
+
+    void Go(int s, uint32_t r) {
+      SmallVec<uint32_t, 8> bound;
+      if (!BindNode(s, r, &bound)) return;
+      mask |= uint64_t{1} << s;
+      // Children forced by a null predecessor variable.
+      SmallVec<uint32_t, 8> forced;
+      for (int c : self->slots_[s].children) {
+        bool has_null_pred = false;
+        for (uint32_t pv : self->slots_[c].pred_vars) {
+          has_null_pred |= IsNull(hom[pv]);
+        }
+        if (has_null_pred) forced.push_back(static_cast<uint32_t>(c));
+      }
+      Product(s, forced, 0);
+      mask &= ~(uint64_t{1} << s);
+      for (uint32_t b : bound) hom[b] = kNoValue;
+    }
+
+    // Cross product over the forced children's row choices.
+    void Product(int s, const SmallVec<uint32_t, 8>& forced, uint32_t i) {
+      if (i == forced.size()) {
+        if (s == root) Emit();
+        return;
+      }
+      int c = static_cast<int>(forced[i]);
+      const NormNode& node = self->partial_norm_.trees[self->slots_[c].tree]
+                                 .nodes[self->slots_[c].node];
+      ValueTuple key;
+      for (uint32_t pv : self->slots_[c].pred_vars) key.push_back(hom[pv]);
+      for (uint32_t r = node.index.First(key.data()); r != UINT32_MAX;
+           r = node.index.Next(r)) {
+        // Recurse into the child subtree, then continue with the siblings.
+        SmallVec<uint32_t, 8> bound;
+        if (!BindNode(c, r, &bound)) continue;
+        mask |= uint64_t{1} << c;
+        SmallVec<uint32_t, 8> grand;
+        for (int gc : self->slots_[c].children) {
+          bool null_pred = false;
+          for (uint32_t pv : self->slots_[gc].pred_vars) {
+            null_pred |= IsNull(hom[pv]);
+          }
+          if (null_pred) grand.push_back(static_cast<uint32_t>(gc));
+        }
+        // Compose: finish c's forced grandchildren, then the remaining
+        // siblings of c. We flatten by appending.
+        SmallVec<uint32_t, 8> rest = grand;
+        for (uint32_t j = i + 1; j < forced.size(); ++j) rest.push_back(forced[j]);
+        Product(s, rest, 0);
+        mask &= ~(uint64_t{1} << c);
+        for (uint32_t b : bound) hom[b] = kNoValue;
+      }
+    }
+
+    void Emit() { self->AddProgressTree(self->SubtreeIdFor(mask, root), hom); }
+  };
+
+  Rec rec{this, hom, mask, slot};
+  rec.Go(slot, row);
+}
+
+void PreparedOMQ::CollectProgressTrees() {
+  // Pre-size the side tables from the total row count: every database row
+  // contributes at most one single-atom progress tree and the location/list
+  // keys carry the row values, so one up-front sizing covers the bulk of the
+  // inserts (null excursions add a small remainder that grows normally).
+  size_t total_rows = 0;
+  size_t total_key_words = 0;
+  for (const Slot& slot : slots_) {
+    const NormNode& node = partial_norm_.trees[slot.tree].nodes[slot.node];
+    total_rows += node.rel.NumRows();
+    total_key_words +=
+        static_cast<size_t>(node.rel.NumRows()) * (1 + node.rel.width());
+  }
+  location_.Reserve(total_rows, total_key_words);
+  list_ids_.Reserve(total_rows, total_key_words);
+  pool_.reserve(total_rows);
+  init_list_head_.reserve(total_rows);
+
+  for (int s = 0; s < static_cast<int>(slots_.size()); ++s) {
+    const Slot& slot = slots_[s];
+    const NormNode& node = partial_norm_.trees[slot.tree].nodes[slot.node];
+    const uint32_t width = node.rel.width();
+    // Hoisted per-slot state: the single-atom subtree id (one map probe per
+    // slot instead of one per row) and the predecessor-variable columns.
+    const uint32_t single_subtree = SubtreeIdFor(uint64_t{1} << s, s);
+    SmallVec<uint32_t, 8> pred_cols;
+    for (uint32_t pv : slot.pred_vars) pred_cols.push_back(node.rel.ColumnOf(pv));
+    for (uint32_t r = 0; r < node.rel.NumRows(); ++r) {
+      const Value* tuple = node.rel.Row(r);
+      bool has_null = false;
+      for (uint32_t i = 0; i < width; ++i) has_null |= IsNull(tuple[i]);
+      if (!has_null) {
+        // Single-atom database progress tree. The node's columns are its
+        // variables in ascending order, which is exactly the subtree's
+        // variable order, so the row itself is the binding g; condition (1)
+        // holds trivially (no nulls anywhere in the row).
+        ValueTuple& pred = scratch_pred_;
+        pred.clear();
+        for (uint32_t c : pred_cols) pred.push_back(tuple[c]);
+        CommitTree(single_subtree, s, tuple, width, pred.data(), pred.size());
+      } else {
+        // Root of a null excursion — unless a predecessor variable is null
+        // (then this row only appears deeper inside other excursions).
+        bool pred_null = false;
+        for (uint32_t c : pred_cols) pred_null |= IsNull(tuple[c]);
+        if (!pred_null) CollectFromRow(s, r);
+      }
+    }
+  }
+}
+
+void PreparedOMQ::LinkLists() {
+  // Group pool ids per list, sort in database-preferring order, link into
+  // the initial-order arrays sessions start from.
+  init_prev_.assign(pool_.size(), UINT32_MAX);
+  init_next_.assign(pool_.size(), UINT32_MAX);
+  std::vector<std::vector<uint32_t>> per_list(init_list_head_.size());
+  for (uint32_t id = 0; id < pool_.size(); ++id) {
+    per_list[pool_[id].list].push_back(id);
+  }
+  auto stars = [&](const PTree& t) {
+    uint32_t n = 0;
+    for (Value v : t.g) n += (v == kStar);
+    return n;
+  };
+  for (auto& ids : per_list) {
+    std::sort(ids.begin(), ids.end(), [&](uint32_t a, uint32_t b) {
+      const PTree& ta = pool_[a];
+      const PTree& tb = pool_[b];
+      int pa = __builtin_popcountll(subtrees_[ta.subtree].mask);
+      int pb = __builtin_popcountll(subtrees_[tb.subtree].mask);
+      if (pa != pb) return pa < pb;                       // V_q ⊊ V_q' first
+      uint32_t sa = stars(ta), sb = stars(tb);
+      if (sa != sb) return sa < sb;                       // fewer wildcards first
+      if (ta.subtree != tb.subtree) return ta.subtree < tb.subtree;
+      return ta.g < tb.g;                                 // deterministic tie-break
+    });
+    for (size_t i = 0; i < ids.size(); ++i) {
+      init_prev_[ids[i]] = (i == 0) ? UINT32_MAX : ids[i - 1];
+      init_next_[ids[i]] = (i + 1 == ids.size()) ? UINT32_MAX : ids[i + 1];
+    }
+    if (!ids.empty()) init_list_head_[pool_[ids[0]].list] = ids[0];
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EnumerationSession: the per-session enumeration phase.
+// ---------------------------------------------------------------------------
+
+EnumerationSession::EnumerationSession(
+    std::shared_ptr<const PreparedOMQ> prepared)
+    : prepared_(std::move(prepared)) {
+  OMQE_CHECK(prepared_ != nullptr && prepared_->for_partial());
+  // The session's private copy of the link state (the only O(#progress
+  // trees) cost a session ever pays; Reset does not repeat it).
+  const PreparedOMQ& p = *prepared_;
+  prev_ = p.init_prev_;
+  next_ = p.init_next_;
+  list_head_ = p.init_list_head_;
+  alive_.assign(p.pool_.size(), 1);
+  Reset();
+}
+
+void EnumerationSession::Reset() {
+  const PreparedOMQ& p = *prepared_;
+  h_.assign(p.num_vars_, kNoValue);
+  stack_.clear();
+  started_ = false;
+  boolean_emitted_ = false;
+  exhausted_ = p.partial_norm_.empty;
+}
+
+int EnumerationSession::NextAtom(int after) const {
+  const auto& slots = prepared_->slots_;
+  for (int j = after + 1; j < static_cast<int>(slots.size()); ++j) {
+    for (uint32_t v : slots[j].vars) {
+      if (h_[v] == kNoValue) return j;
+    }
+  }
+  return -1;
+}
+
+uint32_t EnumerationSession::ListHeadFor(int slot) {
+  key_.clear();
+  key_.push_back(static_cast<uint32_t>(slot));
+  for (uint32_t pv : prepared_->slots_[slot].pred_vars) key_.push_back(h_[pv]);
+  const uint32_t* id = prepared_->list_ids_.Find(key_.data(), key_.size());
+  if (id == nullptr) return UINT32_MAX;
+  return list_head_[*id];
+}
+
+uint32_t EnumerationSession::AdvanceSkippingDead(uint32_t id) const {
+  while (id != UINT32_MAX && !alive_[id]) id = next_[id];
+  return id;
+}
+
+void EnumerationSession::BindTree(Frame* frame,
+                                  const PreparedOMQ::PTree& tree) {
+  const PreparedOMQ::Subtree& st = prepared_->subtrees_[tree.subtree];
+  for (size_t i = 0; i < st.vars.size(); ++i) {
+    uint32_t v = st.vars[i];
+    if (h_[v] == kNoValue) {
+      h_[v] = tree.g[i];
+      frame->bound.push_back(v);
+    }
+  }
+}
+
+void EnumerationSession::UnbindTree(Frame* frame) {
+  for (uint32_t v : frame->bound) h_[v] = kNoValue;
+  frame->bound.clear();
+}
+
+void EnumerationSession::Unlink(uint32_t id) {
+  if (!alive_[id]) return;
+  alive_[id] = 0;
+  uint32_t p = prev_[id];
+  uint32_t n = next_[id];
+  if (p != UINT32_MAX) {
+    next_[p] = n;
+  } else {
+    list_head_[prepared_->pool_[id].list] = n;
+  }
+  if (n != UINT32_MAX) prev_[n] = p;
+  // prev_[id] / next_[id] stay frozen so live iterators can continue past it.
+}
+
+void EnumerationSession::Prune() {
+  // Remove every progress tree strictly more wildcarded than the branch
+  // just output: (q, g') with g' ≻db (q, h|var(q)).
+  const PreparedOMQ& p = *prepared_;
+  for (uint32_t st_id = 0; st_id < p.subtrees_.size(); ++st_id) {
+    const PreparedOMQ::Subtree& st = p.subtrees_[st_id];
+    // Positions of var(q) currently holding constants (flippable to '*').
+    SmallVec<uint32_t, 16> flippable;
+    for (uint32_t i = 0; i < st.vars.size(); ++i) {
+      if (h_[st.vars[i]] != kStar) flippable.push_back(i);
+    }
+    OMQE_CHECK(flippable.size() <= 20);
+    uint32_t combos = 1u << flippable.size();
+    for (uint32_t m = 1; m < combos; ++m) {  // m=0 is (q, h|var(q)) itself
+      key_.clear();
+      key_.push_back(st_id);
+      for (uint32_t v : st.vars) key_.push_back(h_[v]);
+      for (uint32_t b = 0; b < flippable.size(); ++b) {
+        if (m & (1u << b)) key_[1 + flippable[b]] = kStar;
+      }
+      const uint32_t* id = p.location_.Find(key_.data(), key_.size());
+      if (id != nullptr) Unlink(*id);
+    }
+  }
+}
+
+bool EnumerationSession::Next(ValueTuple* out) {
+  if (exhausted_) return false;
+  const PreparedOMQ& p = *prepared_;
+  if (p.slots_.empty()) {
+    // Boolean query (or one whose components are all Boolean).
+    if (boolean_emitted_) {
+      exhausted_ = true;
+      return false;
+    }
+    boolean_emitted_ = true;
+    out->clear();
+    return true;
+  }
+  if (!started_) {
+    started_ = true;
+    int first = NextAtom(-1);
+    OMQE_CHECK(first >= 0);
+    stack_.push_back(Frame{first, UINT32_MAX, true, {}});
+  }
+  while (!stack_.empty()) {
+    Frame& f = stack_.back();
+    UnbindTree(&f);
+    uint32_t nxt = f.fresh ? ListHeadFor(f.slot) : next_[f.cur];
+    f.fresh = false;
+    nxt = AdvanceSkippingDead(nxt);
+    if (nxt == UINT32_MAX) {
+      stack_.pop_back();
+      continue;
+    }
+    f.cur = nxt;
+    BindTree(&f, p.pool_[nxt]);
+    int next_slot = NextAtom(f.slot);
+    if (next_slot == -1) {
+      out->clear();
+      for (uint32_t v : p.answer_vars_) out->push_back(h_[v]);
+      Prune();
+      return true;
+    }
+    stack_.push_back(Frame{next_slot, UINT32_MAX, true, {}});
+  }
+  exhausted_ = true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// CompleteSession.
+// ---------------------------------------------------------------------------
+
+CompleteSession::CompleteSession(std::shared_ptr<const PreparedOMQ> prepared)
+    : prepared_(std::move(prepared)) {
+  OMQE_CHECK(prepared_ != nullptr && prepared_->for_complete());
+  walker_ = std::make_unique<TreeWalker>(&prepared_->complete_norm(),
+                                         prepared_->num_vars());
+}
+
+bool CompleteSession::Next(ValueTuple* out) {
+  if (!walker_->Next()) return false;
+  out->clear();
+  for (uint32_t v : prepared_->answer_vars()) out->push_back(walker_->assignment()[v]);
+  return true;
+}
+
+}  // namespace omqe

@@ -1,0 +1,211 @@
+// Prepared-query engine: the paper's two-phase contract (Thm 5.2 — linear
+// preprocessing, then constant-delay enumeration) split into two types.
+//
+// PreparedOMQ runs the expensive phase ONCE — query-directed chase, the
+// (q1, D1) normalization(s), slot/subtree construction, and progress-tree
+// collection (Lemma 5.3) — and is immutable afterwards. One prepared query
+// can back any number of concurrent sessions: its chase database is frozen
+// (Database::Freeze), its hash tables are only probed through const
+// lookups, and ownership is shared_ptr so sessions keep it alive.
+//
+// EnumerationSession holds the per-session mutable state of Algorithm 1:
+// the walk stack, the binding h, and — because the paper's ≻db pruning
+// (Prop 5.5) mutates the trees(v, h) lists during enumeration — a private
+// overlay of the prev/next/alive links and list heads, initialized from the
+// prepared query's database-preferring order. Creating or resetting a
+// session is O(#progress trees); stepping it is constant-delay.
+//
+// CompleteSession is the analogous cursor for complete answers
+// (Theorem 4.1(1)): a TreeWalker over the prepared constants-only
+// normalization, which needs no overlay because that walk never mutates.
+#ifndef OMQE_CORE_PREPARED_H_
+#define OMQE_CORE_PREPARED_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/flat_hash.h"
+#include "chase/query_directed.h"
+#include "core/omq.h"
+#include "core/tree_walker.h"
+#include "eval/normalize.h"
+
+namespace omqe {
+
+struct PrepareOptions {
+  QdcOptions chase;
+  /// Build the constants-only normalization (CompleteSession support).
+  bool for_complete = true;
+  /// Build the null-keeping normalization plus the progress-tree machinery
+  /// (EnumerationSession support). Requires a null-free input database.
+  bool for_partial = true;
+};
+
+class PreparedOMQ {
+ public:
+  /// Runs the full preprocessing phase. Requires omq acyclic + free-connex
+  /// acyclic with a guarded ontology; for_partial additionally requires a
+  /// null-free input database. The result is immutable and safe to share
+  /// across threads, each driving its own session.
+  static StatusOr<std::shared_ptr<const PreparedOMQ>> Prepare(
+      const OMQ& omq, const Database& db,
+      const PrepareOptions& options = PrepareOptions());
+
+  const CQ& query() const { return query_; }
+  const std::vector<uint32_t>& answer_vars() const { return answer_vars_; }
+  uint32_t num_vars() const { return num_vars_; }
+  const ChaseResult& chase() const { return *chase_; }
+  const std::shared_ptr<const ChaseResult>& shared_chase() const { return chase_; }
+  bool for_complete() const { return for_complete_; }
+  bool for_partial() const { return for_partial_; }
+  /// The constants-only normalization (valid when for_complete()).
+  const Normalized& complete_norm() const { return complete_norm_; }
+  /// The null-keeping normalization (valid when for_partial()).
+  const Normalized& partial_norm() const { return partial_norm_; }
+  size_t num_progress_trees() const { return pool_.size(); }
+
+ private:
+  friend class EnumerationSession;
+
+  /// One q1 atom in the global preorder over all normalization trees.
+  struct Slot {
+    int tree;
+    int node;
+    std::vector<uint32_t> vars;       // node variables (ascending)
+    std::vector<uint32_t> pred_vars;  // shared with parent
+    std::vector<int> children;        // child slot ids (same tree)
+  };
+  /// A connected subtree of q1 (the q of a progress tree (q, g)).
+  struct Subtree {
+    int root_slot;
+    uint64_t mask;                    // slots included
+    std::vector<uint32_t> vars;       // union of node vars (ascending)
+  };
+  /// Immutable payload of one progress tree; the link fields live in the
+  /// initial-order arrays below (and per-session overlays thereafter).
+  struct PTree {
+    uint32_t subtree;                 // Subtree id
+    uint32_t list;                    // owning trees(v, h) list id
+    ValueTuple g;                     // values over Subtree::vars (kStar allowed)
+  };
+
+  PreparedOMQ() = default;
+
+  void BuildSlots();
+  void BuildSubtrees();
+  void CollectProgressTrees();
+  void CollectFromRow(int slot, uint32_t row);
+  void LinkLists();
+  uint32_t SubtreeIdFor(uint64_t mask, int root_slot);
+  void AddProgressTree(uint32_t subtree, const std::vector<Value>& hom);
+  /// Shared tail of progress-tree registration: location-table dedup, pool
+  /// append, and list assignment. `g` is the (star-mapped) binding over the
+  /// subtree's variables; `pred_vals` the root's predecessor binding.
+  void CommitTree(uint32_t subtree, int root_slot, const Value* g,
+                  uint32_t g_len, const Value* pred_vals, uint32_t pred_len);
+  /// Frees construction-only state (mask map, node-to-slot table, scratch
+  /// buffers) — the artifact is long-lived and sessions never probe these.
+  void ReleaseBuildState();
+
+  CQ query_;
+  std::vector<uint32_t> answer_vars_;
+  uint32_t num_vars_ = 0;
+  bool for_complete_ = false;
+  bool for_partial_ = false;
+  std::shared_ptr<const ChaseResult> chase_;
+  Normalized complete_norm_;
+  Normalized partial_norm_;
+
+  std::vector<Slot> slots_;
+  std::vector<std::vector<int>> node_to_slot_;  // build-only: [tree][node] -> slot
+  std::vector<Subtree> subtrees_;
+  FlatMap<uint64_t, uint32_t> subtree_by_mask_;  // build-only
+  std::vector<PTree> pool_;
+  TupleMap<uint32_t> location_;   // [subtree, g...] -> pool id
+  TupleMap<uint32_t> list_ids_;   // [root_slot, h|pred...] -> list id
+  /// The database-preferring order of every list (Prop 5.5), as doubly
+  /// linked pool ids. Sessions copy these and prune their copies.
+  std::vector<uint32_t> init_prev_;
+  std::vector<uint32_t> init_next_;
+  std::vector<uint32_t> init_list_head_;
+  // Scratch buffers reused across progress-tree collection (no per-row
+  // allocation); released by ReleaseBuildState.
+  ValueTuple scratch_g_;
+  ValueTuple scratch_pred_;
+  ValueTuple scratch_loc_key_;
+  ValueTuple scratch_list_key_;
+};
+
+/// One cursor over the minimal partial answers of a prepared query
+/// (Algorithm 1's enumeration phase). Sessions over the same PreparedOMQ
+/// are fully independent: each owns its walk stack, binding, and link
+/// overlay, so any number may run interleaved or on separate threads.
+class EnumerationSession {
+ public:
+  /// Requires prepared->for_partial().
+  explicit EnumerationSession(std::shared_ptr<const PreparedOMQ> prepared);
+
+  /// Next minimal partial answer; wildcard positions hold kStar.
+  bool Next(ValueTuple* out);
+
+  /// Restarts the walk in O(num_vars). The session's pruned overlay is
+  /// reusable (the paper's S' observation: pruned trees are strictly
+  /// dominated by an already-output answer and can never contribute a
+  /// minimal one), so the same answer set is produced without re-copying
+  /// the lists.
+  void Reset();
+
+  const PreparedOMQ& prepared() const { return *prepared_; }
+
+ private:
+  struct Frame {
+    int slot;
+    uint32_t cur;                     // pool id of current progress tree
+    bool fresh;                       // list head not yet fetched
+    SmallVec<uint32_t, 8> bound;      // vars bound by the current tree
+  };
+
+  int NextAtom(int after) const;
+  void BindTree(Frame* frame, const PreparedOMQ::PTree& tree);
+  void UnbindTree(Frame* frame);
+  void Prune();
+  void Unlink(uint32_t id);
+  uint32_t ListHeadFor(int slot);
+  uint32_t AdvanceSkippingDead(uint32_t id) const;
+
+  std::shared_ptr<const PreparedOMQ> prepared_;
+
+  // Session overlay of the linked-list state the ≻db pruning mutates.
+  std::vector<uint32_t> prev_;
+  std::vector<uint32_t> next_;
+  std::vector<uint32_t> list_head_;
+  std::vector<char> alive_;
+
+  // Walk state.
+  std::vector<Value> h_;
+  std::vector<Frame> stack_;
+  ValueTuple key_;                    // lookup scratch
+  bool started_ = false;
+  bool exhausted_ = false;
+  bool boolean_emitted_ = false;
+};
+
+/// One cursor over the complete answers of a prepared query (Thm 4.1(1)).
+class CompleteSession {
+ public:
+  /// Requires prepared->for_complete().
+  explicit CompleteSession(std::shared_ptr<const PreparedOMQ> prepared);
+
+  bool Next(ValueTuple* out);
+  void Reset() { walker_->Reset(); }
+
+  const PreparedOMQ& prepared() const { return *prepared_; }
+
+ private:
+  std::shared_ptr<const PreparedOMQ> prepared_;
+  std::unique_ptr<TreeWalker> walker_;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_CORE_PREPARED_H_

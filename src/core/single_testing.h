@@ -27,6 +27,10 @@ namespace omqe {
 
 class SingleTester {
  public:
+  /// Registers a fresh P_db relation in db's vocabulary (the minimality
+  /// refutations need it), so the vocabulary must not be frozen yet:
+  /// construct testers before Vocabulary::Freeze / before sharing the
+  /// vocabulary across threads. Testing itself is read-only.
   static StatusOr<std::unique_ptr<SingleTester>> Create(
       const OMQ& omq, const Database& db, const QdcOptions& options = QdcOptions());
 
@@ -56,7 +60,7 @@ class SingleTester {
                      const Database& db) const;
 
   CQ query_;
-  std::unique_ptr<ChaseResult> chase_;
+  std::shared_ptr<const ChaseResult> chase_;
   /// chase db plus the P_db facts (one per database constant).
   std::unique_ptr<Database> with_pdb_;
   RelId pdb_ = 0;

@@ -7,6 +7,7 @@
 namespace omqe {
 
 void Database::ReserveFacts(RelId rel, uint32_t additional_rows) {
+  OMQE_CHECK(!frozen_);
   if (rel >= rels_.size()) rels_.resize(rel + 1);
   RelData& rd = rels_[rel];
   size_t arity = vocab_->Arity(rel);
@@ -16,6 +17,7 @@ void Database::ReserveFacts(RelId rel, uint32_t additional_rows) {
 }
 
 bool Database::AddFact(RelId rel, const Value* args, uint32_t arity) {
+  OMQE_CHECK(!frozen_);
   OMQE_CHECK(arity == vocab_->Arity(rel));
   if (rel >= rels_.size()) rels_.resize(rel + 1);
   RelData& rd = rels_[rel];

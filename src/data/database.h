@@ -34,6 +34,13 @@ class Database {
 
   Vocabulary* vocab() const { return vocab_; }
 
+  /// Makes the database immutable: AddFact / FreshNull / ReserveFacts abort
+  /// afterwards. The prepared-query engine freezes chase results before
+  /// sharing them across enumeration sessions, so an accidental write from a
+  /// session is a deterministic failure instead of a cross-thread data race.
+  void Freeze() { frozen_ = true; }
+  bool frozen() const { return frozen_; }
+
   /// Pre-sizes relation `rel` for `additional_rows` more facts: one up-front
   /// sizing of the dedup table and tuple storage, so a bulk load performs no
   /// intermediate rehash. Safe to call on an unseen relation id.
@@ -74,7 +81,10 @@ class Database {
   /// Largest null index in use plus one (0 when the database has no nulls).
   uint32_t NullHighWater() const { return null_high_water_; }
   /// Reserves a fresh null id.
-  Value FreshNull() { return MakeNull(null_high_water_++); }
+  Value FreshNull() {
+    OMQE_CHECK(!frozen_);
+    return MakeNull(null_high_water_++);
+  }
   bool HasNulls() const { return null_high_water_ > 0; }
 
   /// Pretty-prints up to `limit` facts (for examples and debugging).
@@ -96,6 +106,7 @@ class Database {
   Vocabulary* vocab_;
   std::vector<RelData> rels_;
   uint32_t null_high_water_ = 0;
+  bool frozen_ = false;
 };
 
 }  // namespace omqe

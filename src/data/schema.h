@@ -18,6 +18,16 @@ namespace omqe {
 
 class Vocabulary {
  public:
+  /// Puts both interners into const-lookup mode (see Interner::Freeze):
+  /// looking up existing symbols stays valid — including from concurrent
+  /// enumeration sessions — while registering a new relation or constant
+  /// aborts. One-way; used before sharing the vocabulary across threads.
+  void Freeze() {
+    relations_.Freeze();
+    constants_.Freeze();
+  }
+  bool frozen() const { return relations_.frozen(); }
+
   /// Returns the id of relation `name`, registering it with `arity` if new.
   /// Aborts if the relation exists with a different arity (schema bug).
   RelId RelationId(std::string_view name, uint32_t arity);

@@ -74,7 +74,27 @@ class VarRelation {
     *this = std::move(fresh);
   }
 
+  /// Releases over-reserved storage: shrinks the tuple data to fit and
+  /// rebuilds the dedup table sized for the actual row count. O(rows); a
+  /// no-op gain unless the relation was reserved far beyond its final size.
+  void ShrinkToFit() {
+    if (width() == 0) return;
+    data_.shrink_to_fit();
+    TupleMap<char> fresh;
+    fresh.Reserve(num_rows_, static_cast<size_t>(num_rows_) * width());
+    for (uint32_t r = 0; r < num_rows_; ++r) {
+      fresh.InsertOrGet(Row(r), width(), 1);
+    }
+    dedup_ = std::move(fresh);
+  }
+
+  /// Dedup-table statistics (tests assert that heavily collapsing
+  /// projections do not retain source-row-count capacity).
+  HashStats DedupStats() const { return dedup_.Stats(); }
+
   /// Projection onto a subset of this relation's variables (deduplicated).
+  /// The output is reserved for the source row count (the upper bound);
+  /// heavily collapsing projections shrink back to their deduped size.
   VarRelation Project(const std::vector<uint32_t>& onto_vars) const {
     VarRelation out(onto_vars);
     out.Reserve(num_rows_);
@@ -92,6 +112,7 @@ class VarRelation {
       for (uint32_t i = 0; i < cols.size(); ++i) tmp[i] = row[cols[i]];
       out.AddRow(tmp.data());
     }
+    if (out.num_rows_ * 2 <= num_rows_) out.ShrinkToFit();
     return out;
   }
 

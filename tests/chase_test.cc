@@ -164,6 +164,66 @@ TEST(ChaseTest, BlockMembershipIsConsistent) {
   }
 }
 
+TEST(ChaseTest, AdaptiveReservationMatchesAndReducesRehashes) {
+  // Chase-created relations (S, T are not in the input) would otherwise
+  // grow their dedup tables by doubling; the adaptive round-boundary
+  // reservation must eliminate most of that without changing the result.
+  auto build = [](World* w) {
+    w->vocab.ReserveConstants(5000);
+    w->db.ReserveFacts(w->vocab.RelationId("A", 1), 4096);
+    for (int i = 0; i < 4096; ++i) {
+      Value v[1] = {w->C("a" + std::to_string(i))};
+      w->db.AddFact(w->vocab.FindRelation("A"), v, 1);
+    }
+  };
+  // The U -> V rule never fires (no U facts); V must not be reserved for
+  // the delta size — the first-round estimate is bounded by the rows of the
+  // relations actually feeding each head relation.
+  const char* kOnto = R"(
+    A(x) -> exists y. S(x, y), T(y, x)
+    U(x) -> exists y. V(x, y)
+  )";
+  World on_world, off_world;
+  Ontology onto_on = on_world.Onto(kOnto);
+  Ontology onto_off = off_world.Onto(kOnto);
+  build(&on_world);
+  build(&off_world);
+
+  ChaseOptions on;
+  on.adaptive_reserve = true;
+  ChaseOptions off = on;
+  off.adaptive_reserve = false;
+  auto with = RunChase(on_world.db, onto_on, on);
+  auto without = RunChase(off_world.db, onto_off, off);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+
+  const Database& da = (*with)->db;
+  const Database& db = (*without)->db;
+  ASSERT_EQ(da.TotalFacts(), db.TotalFacts());
+  for (RelId r = 0; r < da.NumRelationSlots(); ++r) {
+    ASSERT_EQ(da.NumRows(r), db.NumRows(r));
+    for (uint32_t row = 0; row < da.NumRows(r); ++row) {
+      ASSERT_TRUE(db.Contains(r, da.Row(r, row), da.Arity(r)));
+    }
+  }
+
+  auto rehashes = [](const Database& d, RelId r) {
+    return d.DedupStats(r).rehashes;
+  };
+  RelId s = on_world.vocab.FindRelation("S");
+  RelId t = on_world.vocab.FindRelation("T");
+  // Without reservation: ~log2(4096/12) doubling rehashes per relation.
+  EXPECT_GE(rehashes(db, s), 5u);
+  // With the round-boundary estimate the bulk of the growth is pre-sized.
+  EXPECT_LE(rehashes(da, s), 1u);
+  EXPECT_LE(rehashes(da, t), 1u);
+  // The unfed head relation kept its (empty) default-size table.
+  RelId v = on_world.vocab.FindRelation("V");
+  EXPECT_EQ(da.NumRows(v), 0u);
+  EXPECT_LE(da.DedupStats(v).capacity, 16u);
+}
+
 TEST(QueryDirectedChaseTest, AdaptiveDepthFindsStableDbPart) {
   World w;
   Ontology onto = w.Onto(R"(

@@ -28,6 +28,46 @@ TEST(VarRelationTest, AddProjectFilter) {
   EXPECT_EQ(r.NumRows(), 1u);
 }
 
+TEST(VarRelationTest, ProjectShrinksHeavilyCollapsingOutput) {
+  // 20k source rows collapse to 8 distinct projected rows; the projection
+  // must not keep source-row-count capacity in its dedup table or data.
+  constexpr uint32_t kRows = 20000;
+  VarRelation r({0, 1});
+  r.Reserve(kRows);
+  for (uint32_t i = 0; i < kRows; ++i) {
+    Value row[2] = {i, 1000000u + (i % 8)};
+    r.AddRow(row);
+  }
+  VarRelation p = r.Project({1});
+  ASSERT_EQ(p.NumRows(), 8u);
+  HashStats stats = p.DedupStats();
+  EXPECT_EQ(stats.size, 8u);
+  EXPECT_LE(stats.capacity, 64u) << "dedup table kept source-row capacity";
+
+  // A non-collapsing projection keeps its rows and stays functional.
+  VarRelation q = r.Project({0, 1});
+  EXPECT_EQ(q.NumRows(), kRows);
+  Value probe[2] = {17u, 1000000u + (17 % 8)};
+  EXPECT_TRUE(q.ContainsRow(probe));
+}
+
+TEST(VarRelationTest, ShrinkToFitPreservesContents) {
+  VarRelation r({0});
+  r.Reserve(4096);
+  for (uint32_t i = 0; i < 5; ++i) {
+    Value row[1] = {i};
+    r.AddRow(row);
+  }
+  r.ShrinkToFit();
+  EXPECT_EQ(r.NumRows(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    Value row[1] = {i};
+    EXPECT_TRUE(r.ContainsRow(row));
+    EXPECT_FALSE(r.AddRow(row));  // dedup table rebuilt correctly
+  }
+  EXPECT_LE(r.DedupStats().capacity, 16u);
+}
+
 TEST(VarRelationTest, ZeroWidthSemantics) {
   VarRelation r(std::vector<uint32_t>{});
   EXPECT_TRUE(r.empty());

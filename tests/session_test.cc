@@ -1,0 +1,272 @@
+// Session independence for the prepared-query engine: one PreparedOMQ, many
+// EnumerationSession / CompleteSession cursors. Each session must produce
+// exactly the seed answer set regardless of how the sessions are
+// interleaved, staggered, reset, or spread across threads — the paper's
+// ≻db pruning mutates per-session overlay state only, never the shared
+// artifact. The threaded tests are the payload of the tsan preset.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/complete_enum.h"
+#include "core/complete_first.h"
+#include "core/multiwild_enum.h"
+#include "core/partial_enum.h"
+#include "core/prepared.h"
+#include "test_util.h"
+
+namespace omqe {
+namespace {
+
+using testing::SameTupleSet;
+using testing::World;
+
+std::vector<ValueTuple> Drain(EnumerationSession& s) {
+  std::vector<ValueTuple> out;
+  ValueTuple t;
+  while (s.Next(&t)) out.push_back(t);
+  return out;
+}
+
+std::vector<ValueTuple> Drain(CompleteSession& s) {
+  std::vector<ValueTuple> out;
+  ValueTuple t;
+  while (s.Next(&t)) out.push_back(t);
+  return out;
+}
+
+/// The paper's office example plus one prepared query over it.
+struct PreparedOffice : World {
+  OMQ omq;
+  std::shared_ptr<const PreparedOMQ> prepared;
+
+  explicit PreparedOffice(bool for_complete = true, bool for_partial = true) {
+    Ontology onto = Onto(R"(
+      Researcher(x) -> exists y. HasOffice(x, y)
+      HasOffice(x, y) -> Office(y)
+      Office(x) -> exists y. InBuilding(x, y)
+    )");
+    Load(R"(
+      Researcher(mary) Researcher(john) Researcher(mike)
+      HasOffice(mary, room1) HasOffice(john, room4)
+      InBuilding(room1, main1)
+    )");
+    omq = MakeOMQ(onto,
+                  Query("q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)"));
+    PrepareOptions options;
+    options.for_complete = for_complete;
+    options.for_partial = for_partial;
+    auto p = PreparedOMQ::Prepare(omq, db, options);
+    OMQE_CHECK(p.ok());
+    prepared = std::move(p).value();
+  }
+
+  std::vector<ValueTuple> WantPartial() const {
+    return BruteMinimalPartialAnswers(omq.query, prepared->chase().db);
+  }
+  std::vector<ValueTuple> WantComplete() const {
+    return BruteCompleteAnswers(omq.query, prepared->chase().db);
+  }
+};
+
+TEST(SessionTest, InterleavedSessionsProduceSeedAnswerSet) {
+  PreparedOffice w;
+  std::vector<ValueTuple> want = w.WantPartial();
+  ASSERT_FALSE(want.empty());
+
+  // Two sessions advanced in lock-step; pruning in one must not leak into
+  // the other.
+  EnumerationSession a(w.prepared);
+  EnumerationSession b(w.prepared);
+  std::vector<ValueTuple> got_a, got_b;
+  ValueTuple t;
+  bool more_a = true, more_b = true;
+  while (more_a || more_b) {
+    if (more_a && (more_a = a.Next(&t))) got_a.push_back(t);
+    if (more_b && (more_b = b.Next(&t))) got_b.push_back(t);
+  }
+  EXPECT_TRUE(SameTupleSet(got_a, want));
+  EXPECT_TRUE(SameTupleSet(got_b, want));
+}
+
+TEST(SessionTest, StaggeredSessionStartSeesFullAnswerSet) {
+  PreparedOffice w;
+  std::vector<ValueTuple> want = w.WantPartial();
+
+  // Session A prunes while enumerating; B starts only after A is half (and
+  // then fully) done and must still see the full, unpruned answer set.
+  EnumerationSession a(w.prepared);
+  ValueTuple t;
+  ASSERT_TRUE(a.Next(&t));  // A has pruned at least once now.
+  EnumerationSession b(w.prepared);
+  std::vector<ValueTuple> got_b = Drain(b);
+  std::vector<ValueTuple> got_a;
+  got_a.push_back(t);
+  while (a.Next(&t)) got_a.push_back(t);
+  EXPECT_TRUE(SameTupleSet(got_a, want));
+  EXPECT_TRUE(SameTupleSet(got_b, want));
+
+  EnumerationSession c(w.prepared);  // after both exhausted
+  EXPECT_TRUE(SameTupleSet(Drain(c), want));
+}
+
+TEST(SessionTest, ResetReproducesAnswersDespitePruning) {
+  // Reset keeps the session's pruned overlay (the paper's S' observation:
+  // pruned trees are dominated by an output answer and contribute no
+  // minimal one), so every re-walk yields the seed answer set.
+  PreparedOffice w;
+  std::vector<ValueTuple> want = w.WantPartial();
+  EnumerationSession s(w.prepared);
+  ValueTuple t;
+  ASSERT_TRUE(s.Next(&t));  // abandon mid-walk, with pruning applied
+  s.Reset();
+  EXPECT_TRUE(SameTupleSet(Drain(s), want));
+  s.Reset();
+  EXPECT_TRUE(SameTupleSet(Drain(s), want));
+}
+
+TEST(SessionTest, SessionKeepsPreparedAlive) {
+  PreparedOffice w;
+  std::vector<ValueTuple> want = w.WantPartial();
+  EnumerationSession s(w.prepared);
+  w.prepared.reset();  // the session's shared_ptr is now the only owner
+  EXPECT_TRUE(SameTupleSet(Drain(s), want));
+}
+
+TEST(SessionTest, CompleteSessionsAreIndependent) {
+  PreparedOffice w;
+  std::vector<ValueTuple> want = w.WantComplete();
+  CompleteSession a(w.prepared);
+  CompleteSession b(w.prepared);
+  ValueTuple t;
+  ASSERT_TRUE(a.Next(&t));  // a mid-walk while b drains
+  std::vector<ValueTuple> got_b = Drain(b);
+  std::vector<ValueTuple> got_a;
+  got_a.push_back(t);
+  while (a.Next(&t)) got_a.push_back(t);
+  EXPECT_TRUE(SameTupleSet(got_a, want));
+  EXPECT_TRUE(SameTupleSet(got_b, want));
+}
+
+TEST(SessionTest, MultiWildcardCursorsShareOnePrepare) {
+  PreparedOffice w(/*for_complete=*/false, /*for_partial=*/true);
+  std::vector<ValueTuple> want =
+      BruteMinimalMultiWildcardAnswers(w.omq.query, w.prepared->chase().db);
+  auto a = MultiWildcardEnumerator::FromPrepared(w.prepared);
+  auto b = MultiWildcardEnumerator::FromPrepared(w.prepared);
+  std::vector<ValueTuple> got_a, got_b;
+  ValueTuple t;
+  bool more_a = true, more_b = true;
+  while (more_a || more_b) {
+    if (more_a && (more_a = a->Next(&t))) got_a.push_back(t);
+    if (more_b && (more_b = b->Next(&t))) got_b.push_back(t);
+  }
+  EXPECT_TRUE(SameTupleSet(got_a, want));
+  EXPECT_TRUE(SameTupleSet(got_b, want));
+}
+
+TEST(SessionTest, BooleanQuerySessions) {
+  World w;
+  Ontology onto = w.Onto("A(x) -> exists y. R(x, y)");
+  w.Load("A(a)");
+  OMQ omq = MakeOMQ(onto, w.Query("q() :- R(x, y)"));
+  auto p = PreparedOMQ::Prepare(omq, w.db);
+  ASSERT_TRUE(p.ok());
+  EnumerationSession a(*p);
+  EnumerationSession b(*p);
+  ValueTuple t;
+  EXPECT_TRUE(a.Next(&t));
+  EXPECT_TRUE(b.Next(&t));
+  EXPECT_FALSE(a.Next(&t));
+  EXPECT_FALSE(b.Next(&t));
+}
+
+TEST(SessionTest, PartialEnumeratorWrapperSharesPrepared) {
+  PreparedOffice w(/*for_complete=*/false, /*for_partial=*/true);
+  auto a = PartialEnumerator::FromPrepared(w.prepared);
+  auto b = PartialEnumerator::FromPrepared(w.prepared);
+  EXPECT_EQ(&a->chase(), &b->chase());
+  EXPECT_EQ(a->num_progress_trees(), b->num_progress_trees());
+  std::vector<ValueTuple> want = w.WantPartial();
+  std::vector<ValueTuple> got_a, got_b;
+  ValueTuple t;
+  while (a->Next(&t)) got_a.push_back(t);
+  while (b->Next(&t)) got_b.push_back(t);
+  EXPECT_TRUE(SameTupleSet(got_a, want));
+  EXPECT_TRUE(SameTupleSet(got_b, want));
+}
+
+// The TSan payload: N threads, each with a private session over one shared
+// PreparedOMQ, enumerating concurrently. The vocabulary and the chase
+// database are frozen, so any write to shared state aborts deterministically
+// — and any racy read/write pair is a TSan report under the tsan preset.
+TEST(SessionTest, ConcurrentThreadsEnumerateIndependently) {
+  PreparedOffice w;
+  w.vocab.Freeze();
+  ASSERT_TRUE(w.prepared->chase().db.frozen());
+  std::vector<ValueTuple> want_partial = w.WantPartial();
+  std::vector<ValueTuple> want_complete = w.WantComplete();
+
+  constexpr int kThreads = 8;
+  std::vector<std::vector<ValueTuple>> got(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      if (i % 2 == 0) {
+        EnumerationSession s(w.prepared);
+        got[i] = Drain(s);
+      } else {
+        CompleteSession s(w.prepared);
+        got[i] = Drain(s);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_TRUE(SameTupleSet(got[i], i % 2 == 0 ? want_partial : want_complete))
+        << "thread " << i;
+  }
+}
+
+// Same shape on a larger generated instance so threads genuinely overlap.
+TEST(SessionTest, ConcurrentThreadsOnLargerInstance) {
+  World w;
+  Ontology onto = w.Onto(R"(
+    A(x) -> exists y. R(x, y)
+    R(x, y) -> B(y)
+    B(x) -> exists y. S(x, y)
+  )");
+  w.vocab.ReserveConstants(3000);
+  for (int i = 0; i < 1000; ++i) {
+    std::string n = std::to_string(i);
+    w.Load("A(a" + n + ")");
+    if (i % 3 != 0) w.Load("R(a" + n + ", c" + n + ")");
+    if (i % 6 == 1) w.Load("S(c" + n + ", d" + n + ")");
+  }
+  OMQ omq = MakeOMQ(onto, w.Query("q(x, y, z) :- R(x, y), S(y, z)"));
+  auto p = PreparedOMQ::Prepare(omq, w.db);
+  ASSERT_TRUE(p.ok());
+  std::shared_ptr<const PreparedOMQ> prepared = std::move(p).value();
+  w.vocab.Freeze();
+  std::vector<ValueTuple> want =
+      BruteMinimalPartialAnswers(omq.query, prepared->chase().db);
+  ASSERT_GT(want.size(), 500u);
+
+  constexpr int kThreads = 6;
+  std::vector<std::vector<ValueTuple>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      EnumerationSession s(prepared);
+      got[i] = Drain(s);
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_TRUE(SameTupleSet(got[i], want)) << "thread " << i;
+  }
+}
+
+}  // namespace
+}  // namespace omqe
