@@ -20,7 +20,7 @@ int main(int argc, char** argv) {
   for (uint32_t n :
        bench::Sweep(smoke, {1000u, 2000u, 4000u, 8000u}, 100u)) {
     for (bool planted : {false, true}) {
-      EdgeList edges = GenBipartite(n / 2, n / 2, n * 3, 99);
+      EdgeList edges = GenBipartite({.left = n / 2, .right = n / 2, .edges = n * 3, .seed = 99});
       if (planted) PlantTriangle(&edges, n);
 
       Stopwatch direct_watch;

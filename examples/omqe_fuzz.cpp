@@ -1,0 +1,180 @@
+// omqe_fuzz: differential fuzzing driver. Sweeps randomized GenSpecs per
+// family, cross-checks every enumeration mode against the brute-force
+// oracle, and on a mismatch greedily minimizes the failing spec and writes
+// it as a corpus file ready to check in under tests/corpus/.
+//
+//   $ ./omqe_fuzz [--family F|all] [--seeds N] [--start S]
+//                 [--corpus DIR]        # replay every *.genspec in DIR
+//                 [--spec FILE]         # replay one spec file
+//                 [--out DIR]           # where minimized failures land (.)
+//
+// Exit status: 0 when every case agrees with the oracle, 1 otherwise.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/timer.h"
+#include "workload/differential.h"
+#include "workload/generator.h"
+
+using namespace omqe;
+
+namespace {
+
+struct Args {
+  std::string family = "all";
+  uint64_t seeds = 200;
+  uint64_t start = 0;
+  std::string corpus_dir;
+  std::string spec_file;
+  std::string out_dir = ".";
+};
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--family") {
+      const char* v = next();
+      if (!v) return false;
+      args->family = v;
+    } else if (arg == "--seeds") {
+      const char* v = next();
+      if (!v) return false;
+      args->seeds = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--start") {
+      const char* v = next();
+      if (!v) return false;
+      args->start = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--corpus") {
+      const char* v = next();
+      if (!v) return false;
+      args->corpus_dir = v;
+    } else if (arg == "--spec") {
+      const char* v = next();
+      if (!v) return false;
+      args->spec_file = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      args->out_dir = v;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Replays one spec; on failure, minimizes it and writes the minimized spec
+/// to `out_dir` so it can be checked into tests/corpus/.
+bool HandleFailure(const GenSpec& spec, const DiffReport& report,
+                   const std::string& out_dir) {
+  std::fprintf(stderr, "MISMATCH [%s] check=%s\n%s\n", FamilyName(spec.family),
+               report.check.c_str(), report.failure.c_str());
+  std::fprintf(stderr, "minimizing...\n");
+  GenSpec minimized = MinimizeSpec(
+      spec, [&](const GenSpec& s) { return !RunDifferentialSpec(s).ok; });
+  DiffReport small = RunDifferentialSpec(minimized);
+  std::string path =
+      out_dir + "/minimized_" + FamilyName(minimized.family) + "_" +
+      std::to_string(minimized.seed) + ".genspec";
+  std::ofstream out(path);
+  out << "# minimized differential failure: check=" << small.check << "\n"
+      << SerializeSpec(minimized);
+  out.close();
+  std::fprintf(stderr, "minimized spec written to %s:\n%s\n", path.c_str(),
+               SerializeSpec(minimized).c_str());
+  return false;
+}
+
+size_t g_chase_skipped = 0;
+
+bool RunSpec(const GenSpec& spec, const std::string& out_dir,
+             size_t* answers_seen) {
+  DiffReport report = RunDifferentialSpec(spec);
+  *answers_seen += report.partial_answers;
+  if (report.chase_skipped) ++g_chase_skipped;
+  if (report.ok) return true;
+  return HandleFailure(spec, report, out_dir);
+}
+
+bool ReplayFile(const std::filesystem::path& path, const std::string& out_dir,
+                size_t* cases, size_t* answers_seen) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.string().c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto spec = ParseSpec(buffer.str());
+  if (!spec.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.string().c_str(),
+                 spec.status().ToString().c_str());
+    return false;
+  }
+  ++*cases;
+  return RunSpec(spec.value(), out_dir, answers_seen);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  bool ok = true;
+  size_t cases = 0, answers = 0;
+  Stopwatch watch;
+
+  if (!args.spec_file.empty()) {
+    ok = ReplayFile(args.spec_file, args.out_dir, &cases, &answers);
+  } else if (!args.corpus_dir.empty()) {
+    std::vector<std::filesystem::path> files;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(args.corpus_dir)) {
+      if (entry.path().extension() == ".genspec") files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& path : files) {
+      ok &= ReplayFile(path, args.out_dir, &cases, &answers);
+    }
+    std::printf("corpus: replayed %zu spec(s)\n", cases);
+  } else {
+    std::vector<GenFamily> families;
+    if (args.family == "all") {
+      families.assign(std::begin(kAllFamilies), std::end(kAllFamilies));
+    } else {
+      GenFamily f;
+      if (!ParseFamily(args.family, &f)) {
+        std::fprintf(stderr, "unknown family: %s\n", args.family.c_str());
+        return 2;
+      }
+      families.push_back(f);
+    }
+    for (GenFamily family : families) {
+      for (uint64_t seed = args.start; seed < args.start + args.seeds; ++seed) {
+        ++cases;
+        if (!RunSpec(RandomSpec(family, seed), args.out_dir, &answers)) {
+          ok = false;
+        }
+      }
+    }
+  }
+
+  double secs = watch.ElapsedSeconds();
+  std::printf("%zu case(s), %zu oracle answers, %zu oversized chase(s) "
+              "skipped, %.2fs (%.0f cases/s): %s\n",
+              cases, answers, g_chase_skipped, secs,
+              secs > 0 ? static_cast<double>(cases) / secs : 0.0,
+              ok ? "all modes agree with the oracle" : "MISMATCHES FOUND");
+  return ok ? 0 : 1;
+}

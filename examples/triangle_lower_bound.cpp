@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
 
   std::printf("Graphs with %u vertices, %u edges.\n\n", n, m);
   for (bool planted : {false, true}) {
-    EdgeList edges = GenBipartite(n / 2, n / 2, m, 42);
+    EdgeList edges = GenBipartite({.left = n / 2, .right = n / 2, .edges = m, .seed = 42});
     if (planted) PlantTriangle(&edges, n);
 
     Stopwatch direct;

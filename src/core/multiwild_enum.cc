@@ -36,6 +36,22 @@ CanonicalMultiTester::Pattern* CanonicalMultiTester::PatternFor(
   }
   auto p = std::make_unique<Pattern>();
   p->shape = shape;
+  // A repeated answer variable whose positions carry two different wildcard
+  // classes can never match: both classes would have to take that variable's
+  // single value, but distinct classes require pairwise distinct nulls. Such
+  // shapes arise from the candidate cone of queries like q(x, y, y) and must
+  // be rejected wholesale (found by differential fuzzing, seed 4082).
+  std::vector<uint32_t> var_class(q_.num_vars(), 0);
+  for (uint32_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == 0) continue;
+    uint32_t v = q_.answer_vars()[i];
+    if (var_class[v] != 0 && var_class[v] != shape[i]) {
+      p->feasible = false;
+      patterns_.push_back(std::move(p));
+      return patterns_.back().get();
+    }
+    var_class[v] = shape[i];
+  }
   // Merge answer variables sharing a wildcard class.
   std::vector<uint32_t> rep(q_.num_vars());
   for (uint32_t v = 0; v < q_.num_vars(); ++v) rep[v] = v;
@@ -63,6 +79,10 @@ bool CanonicalMultiTester::Test(const ValueTuple& candidate) {
   if (memo != 0) return memo == 1;
 
   Pattern* pattern = PatternFor(candidate);
+  if (!pattern->feasible) {
+    memo = 2;
+    return false;
+  }
   const CQ& merged = *pattern->merged;
   // Pre-bind the constant positions (coherence may fail for repeated vars).
   std::vector<Value> pre(std::max<uint32_t>(merged.num_vars(), 1), kNoValue);

@@ -40,6 +40,10 @@ class CanonicalMultiTester {
  private:
   struct Pattern {
     ValueTuple shape;  // per position: 0 = constant, else wildcard index
+    /// False when one answer variable carries two distinct wildcard classes:
+    /// distinct classes must take pairwise distinct nulls, so no candidate
+    /// with this shape is ever an answer (merged/search stay null).
+    bool feasible = true;
     std::unique_ptr<CQ> merged;
     std::unique_ptr<HomSearch> search;
     std::vector<uint32_t> class_vars;  // merged representative per class

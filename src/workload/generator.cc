@@ -1,0 +1,650 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "base/rng.h"
+#include "base/str.h"
+#include "cq/parser.h"
+#include "cq/properties.h"
+#include "tgd/parser.h"
+
+namespace omqe {
+
+namespace {
+
+uint32_t Clamp(uint32_t v, uint32_t lo, uint32_t hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+std::string ConstName(const char* prefix, uint32_t i) {
+  return StrPrintf("%s%u", prefix, i);
+}
+
+/// A relation of the random schema: name + arity, registered up front so
+/// relation ids (and therefore serialization order) are deterministic.
+struct SchemaRel {
+  std::string name;
+  uint32_t arity;
+};
+
+/// Independent seed-derived streams per section, so growing the database
+/// knobs of a spec (a bench sweep over `facts`) never perturbs the drawn
+/// schema, ontology, or query shape.
+struct GenStreams {
+  Rng data;
+  Rng onto;
+  Rng query;
+};
+
+// ---------------------------------------------------------------------------
+// guarded_random: random schema, random guarded TGDs, random CQ, random db.
+// ---------------------------------------------------------------------------
+
+GeneratedCase GenGuardedRandom(const GenSpec& spec, GenStreams& streams,
+                               GeneratedCase c) {
+  Rng& rng = streams.data;
+  Rng& qrng = streams.query;
+  Vocabulary* vocab = c.vocab.get();
+  const uint32_t num_rels = Clamp(spec.relations, 1, 8);
+  const uint32_t max_arity = Clamp(spec.max_arity, 1, 3);
+  const uint32_t domain = Clamp(spec.domain, 1, 64);
+
+  std::vector<SchemaRel> rels;
+  for (uint32_t i = 0; i < num_rels; ++i) {
+    uint32_t arity = 1 + static_cast<uint32_t>(rng.Below(max_arity));
+    const char* stem = arity == 1 ? "P" : arity == 2 ? "R" : "T";
+    rels.push_back({StrPrintf("%s%u", stem, i), arity});
+    vocab->RelationId(rels.back().name, arity);
+  }
+
+  // Database: uniform facts over c0..c{domain-1} (AddFact dedups).
+  auto cname = [&](uint64_t i) { return ConstName("c", static_cast<uint32_t>(i)); };
+  for (uint32_t f = 0; f < spec.facts; ++f) {
+    const SchemaRel& r = rels[rng.Below(rels.size())];
+    ValueTuple vals;
+    for (uint32_t a = 0; a < r.arity; ++a) {
+      vals.push_back(vocab->ConstantId(cname(rng.Below(domain))));
+    }
+    c.db->AddFact(vocab->FindRelation(r.name), vals);
+  }
+
+  // Random guarded TGDs: a guard atom over distinct variables, optionally a
+  // second body atom covered by the guard's variables, heads over body
+  // variables plus up to two existentials.
+  const char* vars[] = {"x0", "x1", "x2", "z0", "z1"};
+  Rng& orng = streams.onto;
+  std::string onto_text;
+  for (uint32_t t = 0; t < spec.tgds; ++t) {
+    const SchemaRel& guard = rels[orng.Below(rels.size())];
+    uint32_t body_vars = guard.arity;
+    std::string body = guard.name + "(";
+    for (uint32_t a = 0; a < guard.arity; ++a) {
+      if (a) body += ", ";
+      body += vars[a];
+    }
+    body += ")";
+    if (orng.Chance(0.35)) {
+      // Second body atom over guard variables (guardedness preserved).
+      const SchemaRel& extra = rels[orng.Below(rels.size())];
+      if (extra.arity <= body_vars) {
+        body += ", " + extra.name + "(";
+        for (uint32_t a = 0; a < extra.arity; ++a) {
+          if (a) body += ", ";
+          body += vars[orng.Below(body_vars)];
+        }
+        body += ")";
+      }
+    }
+    uint32_t head_atoms =
+        1 + static_cast<uint32_t>(orng.Below(std::max(1u, spec.max_head_atoms)));
+    uint32_t existentials = 0;
+    std::string head;
+    for (uint32_t h = 0; h < head_atoms; ++h) {
+      if (h) head += ", ";
+      const SchemaRel& hr = rels[orng.Below(rels.size())];
+      head += hr.name + "(";
+      for (uint32_t a = 0; a < hr.arity; ++a) {
+        if (a) head += ", ";
+        if (existentials < 2 && orng.Chance(spec.existential_chance)) {
+          head += vars[3 + existentials];
+          ++existentials;
+        } else {
+          uint32_t pick = static_cast<uint32_t>(
+              orng.Below(body_vars + existentials));
+          head += pick < body_vars ? vars[pick] : vars[3 + (pick - body_vars)];
+        }
+      }
+      head += ")";
+    }
+    onto_text += body + " -> " + head + "\n";
+  }
+  // Existential chain of the requested depth over the binary relations, so
+  // deep chases (chains of labeled nulls) appear even in tiny specs.
+  std::vector<const SchemaRel*> binary;
+  for (const SchemaRel& r : rels)
+    if (r.arity == 2) binary.push_back(&r);
+  if (!binary.empty()) {
+    for (uint32_t d = 0; d + 1 < spec.chase_depth; ++d) {
+      onto_text += StrPrintf("%s(x0, x1) -> exists z0. %s(x1, z0)\n",
+                             binary[d % binary.size()]->name.c_str(),
+                             binary[(d + 1) % binary.size()]->name.c_str());
+    }
+  }
+  c.ontology = MustParseOntology(onto_text, vocab);
+
+  // Random acyclic + free-connex query (rejection sampling). Constants and
+  // repeated answer variables appear with low probability.
+  const char* qvars[] = {"v0", "v1", "v2", "v3", "v4", "v5"};
+  const uint32_t max_vars = Clamp(spec.query_vars, 1, 6);
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    uint32_t natoms = 1 + static_cast<uint32_t>(
+                              qrng.Below(std::max(1u, spec.query_atoms)));
+    uint32_t nvars = 1 + static_cast<uint32_t>(qrng.Below(max_vars));
+    std::string body;
+    for (uint32_t a = 0; a < natoms; ++a) {
+      if (a) body += ", ";
+      const SchemaRel& r = rels[qrng.Below(rels.size())];
+      body += r.name + "(";
+      for (uint32_t k = 0; k < r.arity; ++k) {
+        if (k) body += ", ";
+        if (qrng.Chance(0.1)) {
+          body += "'" + cname(qrng.Below(domain)) + "'";
+        } else {
+          body += qvars[qrng.Below(nvars)];
+        }
+      }
+      body += ")";
+    }
+    CQ q = MustParseCQ(body, vocab);  // Boolean so far.
+    std::vector<uint32_t> used;
+    VarSet all = q.AllVars();
+    while (all) {
+      used.push_back(static_cast<uint32_t>(__builtin_ctzll(all)));
+      all &= all - 1;
+    }
+    if (!used.empty()) {
+      uint32_t arity = static_cast<uint32_t>(qrng.Below(used.size() + 1));
+      for (uint32_t i = 0; i < arity; ++i) {
+        q.AddAnswerVar(used[qrng.Below(used.size())]);
+      }
+    }
+    if (IsAcyclic(q) && IsFreeConnexAcyclic(q)) {
+      c.query = std::move(q);
+      return c;
+    }
+  }
+  // Fallback: a single-atom query over the first relation (always admissible).
+  std::string fb = rels[0].name + "(";
+  std::string head_fb;
+  for (uint32_t a = 0; a < rels[0].arity; ++a) {
+    if (a) {
+      fb += ", ";
+      head_fb += ", ";
+    }
+    fb += qvars[a];
+    head_fb += qvars[a];
+  }
+  c.query = MustParseCQ("q(" + head_fb + ") :- " + fb + ")", vocab);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// star_schema: Fact(o, k1..kd) + Dim_i(k, a); TGDs invent missing dim rows.
+// ---------------------------------------------------------------------------
+
+GeneratedCase GenStarSchema(const GenSpec& spec, GenStreams& streams,
+                            GeneratedCase c) {
+  Rng& rng = streams.data;
+  Rng& qrng = streams.query;
+  Vocabulary* vocab = c.vocab.get();
+  const uint32_t dims = Clamp(spec.relations, 1, 3);
+  const uint32_t domain = Clamp(spec.domain, 1, 1u << 20);
+
+  std::string fact_rel = "Fact";
+  vocab->RelationId(fact_rel, 1 + dims);
+  std::vector<std::string> dim_rels;
+  for (uint32_t i = 0; i < dims; ++i) {
+    dim_rels.push_back(StrPrintf("Dim%u", i));
+    vocab->RelationId(dim_rels.back(), 2);
+  }
+
+  // Fact rows: one per order, keys uniform per dimension.
+  std::vector<std::vector<uint32_t>> keys(spec.facts);
+  for (uint32_t o = 0; o < spec.facts; ++o) {
+    ValueTuple row;
+    row.push_back(vocab->ConstantId(ConstName("o", o)));
+    for (uint32_t i = 0; i < dims; ++i) {
+      uint32_t k = static_cast<uint32_t>(rng.Below(domain));
+      keys[o].push_back(k);
+      row.push_back(vocab->ConstantId(StrPrintf("k%u_%u", i, k)));
+    }
+    c.db->AddFact(vocab->FindRelation(fact_rel), row);
+  }
+  // Dimension rows: each key referenced by some fact is covered with
+  // probability `coverage`; uncovered keys get their attribute only from the
+  // completion TGD (an existential null -> a wildcard answer).
+  for (uint32_t i = 0; i < dims; ++i) {
+    std::vector<char> seen(domain, 0);
+    for (uint32_t o = 0; o < spec.facts; ++o) {
+      uint32_t k = keys[o][i];
+      if (seen[k]) continue;
+      seen[k] = 1;
+      if (!rng.Chance(spec.coverage)) continue;
+      ValueTuple row;
+      row.push_back(vocab->ConstantId(StrPrintf("k%u_%u", i, k)));
+      row.push_back(vocab->ConstantId(
+          StrPrintf("a%u_%u", i, static_cast<uint32_t>(rng.Below(domain)))));
+      c.db->AddFact(vocab->FindRelation(dim_rels[i]), row);
+    }
+  }
+
+  // Completion TGDs: Fact(o, k1..kd) -> exists a. Dim_i(k_i, a).
+  std::string onto_text;
+  for (uint32_t i = 0; i < dims; ++i) {
+    std::string body = "Fact(o";
+    for (uint32_t j = 0; j < dims; ++j) body += StrPrintf(", k%u", j);
+    body += ")";
+    onto_text += body + StrPrintf(" -> exists a. Dim%u(k%u, a)\n", i, i);
+  }
+  c.ontology = MustParseOntology(onto_text, vocab);
+
+  // Query: the fact atom joined with 1..min(dims, query_atoms-1) dimensions;
+  // answer vars are the order, every key, and the joined attributes (every
+  // atom's variables sit inside the head, so the query is free-connex by
+  // construction). Occasionally project one un-joined key away when the
+  // result stays admissible.
+  uint32_t joined = Clamp(spec.query_atoms > 1 ? spec.query_atoms - 1 : 1, 1, dims);
+  std::string body = "Fact(o";
+  for (uint32_t j = 0; j < dims; ++j) body += StrPrintf(", k%u", j);
+  body += ")";
+  for (uint32_t i = 0; i < joined; ++i) {
+    body += StrPrintf(", Dim%u(k%u, a%u)", i, i, i);
+  }
+  auto build = [&](bool drop_last_unjoined) {
+    std::string head = "o";
+    for (uint32_t j = 0; j < dims; ++j) {
+      if (drop_last_unjoined && j + 1 == dims && dims > joined) continue;
+      head += StrPrintf(", k%u", j);
+    }
+    for (uint32_t i = 0; i < joined; ++i) head += StrPrintf(", a%u", i);
+    return MustParseCQ("q(" + head + ") :- " + body, vocab);
+  };
+  CQ q = build(qrng.Chance(0.5) && dims > joined);
+  if (!IsAcyclic(q) || !IsFreeConnexAcyclic(q)) q = build(false);
+  c.query = std::move(q);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// snowflake: Fact -> Dim -> SubDim chains of length chase_depth.
+// ---------------------------------------------------------------------------
+
+GeneratedCase GenSnowflake(const GenSpec& spec, GenStreams& streams,
+                           GeneratedCase c) {
+  Rng& rng = streams.data;
+  Rng& qrng = streams.query;
+  Vocabulary* vocab = c.vocab.get();
+  const uint32_t levels = Clamp(spec.chase_depth, 2, 3);
+  const uint32_t domain = Clamp(spec.domain, 1, 1u << 20);
+
+  vocab->RelationId("Fact", 2);
+  for (uint32_t l = 0; l < levels; ++l) {
+    vocab->RelationId(StrPrintf("D%u", l), 2);
+  }
+
+  // Level-0 keys referenced by fact rows; each level covers the previous
+  // level's values with probability `coverage`.
+  std::vector<uint32_t> frontier;
+  std::vector<char> seen(domain, 0);
+  for (uint32_t o = 0; o < spec.facts; ++o) {
+    uint32_t k = static_cast<uint32_t>(rng.Below(domain));
+    ValueTuple row = {vocab->ConstantId(ConstName("o", o)),
+                      vocab->ConstantId(StrPrintf("s0_%u", k))};
+    c.db->AddFact(vocab->FindRelation("Fact"), row);
+    if (!seen[k]) {
+      seen[k] = 1;
+      frontier.push_back(k);
+    }
+  }
+  for (uint32_t l = 0; l < levels; ++l) {
+    std::vector<uint32_t> next;
+    std::vector<char> next_seen(domain, 0);
+    for (uint32_t k : frontier) {
+      if (!rng.Chance(spec.coverage)) continue;
+      uint32_t v = static_cast<uint32_t>(rng.Below(domain));
+      ValueTuple row = {vocab->ConstantId(StrPrintf("s%u_%u", l, k)),
+                        vocab->ConstantId(StrPrintf("s%u_%u", l + 1, v))};
+      c.db->AddFact(vocab->FindRelation(StrPrintf("D%u", l)), row);
+      if (!next_seen[v]) {
+        next_seen[v] = 1;
+        next.push_back(v);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  // Chained completion TGDs drive nulls through multi-hop chases.
+  std::string onto_text = "Fact(x, y) -> exists z. D0(y, z)\n";
+  for (uint32_t l = 0; l + 1 < levels; ++l) {
+    onto_text += StrPrintf("D%u(x, y) -> exists z. D%u(y, z)\n", l, l + 1);
+  }
+  c.ontology = MustParseOntology(onto_text, vocab);
+
+  // Query: the full path, all variables free (free-connex by construction);
+  // occasionally try a projected variant, keeping it only when admissible.
+  std::string body = "Fact(o, s0)";
+  std::string head = "o, s0";
+  for (uint32_t l = 0; l < levels; ++l) {
+    body += StrPrintf(", D%u(s%u, s%u)", l, l, l + 1);
+    head += StrPrintf(", s%u", l + 1);
+  }
+  CQ q = MustParseCQ("q(" + head + ") :- " + body, vocab);
+  if (qrng.Chance(0.4)) {
+    // Drop the order (a prefix projection keeps the path free-connex).
+    CQ proj = MustParseCQ("q(" + head.substr(3) + ") :- " + body, vocab);
+    if (IsAcyclic(proj) && IsFreeConnexAcyclic(proj)) q = std::move(proj);
+  }
+  c.query = std::move(q);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// social_graph: Person / Follows / Posts with preferential attachment.
+// ---------------------------------------------------------------------------
+
+GeneratedCase GenSocialGraph(const GenSpec& spec, GenStreams& streams,
+                             GeneratedCase c) {
+  Rng& rng = streams.data;
+  Rng& qrng = streams.query;
+  Vocabulary* vocab = c.vocab.get();
+  const uint32_t persons = std::max(1u, spec.facts);
+  const uint32_t messages = Clamp(spec.domain, 1, 1u << 20);
+
+  vocab->RelationId("Person", 1);
+  vocab->RelationId("Follows", 2);
+  vocab->RelationId("Posts", 2);
+
+  auto pname = [&](uint32_t i) { return vocab->ConstantId(ConstName("p", i)); };
+  for (uint32_t i = 0; i < persons; ++i) {
+    Value p = pname(i);
+    c.db->AddFact(vocab->FindRelation("Person"), &p, 1);
+  }
+  // Follows: `fanout` edges per person; targets are preferential (an endpoint
+  // of an existing edge) with probability 0.6, else uniform — a heavy-tailed
+  // in-degree like real follow graphs.
+  std::vector<uint32_t> endpoints;
+  for (uint32_t i = 0; i < persons; ++i) {
+    if (!rng.Chance(spec.coverage)) continue;  // lurkers follow nobody
+    for (uint32_t f = 0; f < spec.fanout; ++f) {
+      uint32_t to = (!endpoints.empty() && rng.Chance(0.6))
+                        ? endpoints[rng.Below(endpoints.size())]
+                        : static_cast<uint32_t>(rng.Below(persons));
+      ValueTuple row = {pname(i), pname(to)};
+      c.db->AddFact(vocab->FindRelation("Follows"), row);
+      endpoints.push_back(to);
+      endpoints.push_back(i);
+    }
+  }
+  // Posts: a covered person posts one of the shared messages.
+  for (uint32_t i = 0; i < persons; ++i) {
+    if (!rng.Chance(spec.coverage)) continue;
+    ValueTuple row = {pname(i), vocab->ConstantId(ConstName(
+                                    "m", static_cast<uint32_t>(rng.Below(messages))))};
+    c.db->AddFact(vocab->FindRelation("Posts"), row);
+  }
+
+  c.ontology = MustParseOntology(
+      "Person(x) -> exists y. Follows(x, y)\n"
+      "Follows(x, y) -> Person(y)\n"
+      "Person(x) -> exists m. Posts(x, m)\n",
+      vocab);
+
+  const char* pool[] = {
+      "q(x, y, m) :- Follows(x, y), Posts(y, m)",
+      "q(x, y) :- Follows(x, y)",
+      "q(x, m) :- Person(x), Posts(x, m)",
+      "q(x, y, z) :- Follows(x, y), Follows(y, z)",
+      "q(x, y) :- Follows(x, y), Person(y)",
+      "q(x) :- Follows(x, x)",
+      "q(x, m1, m2) :- Posts(x, m1), Posts(x, m2)",
+      "q(x, y, m) :- Follows(x, y), Posts(x, m)",
+  };
+  for (int attempt = 0; attempt < 20; ++attempt) {
+    CQ q = MustParseCQ(pool[qrng.Below(std::size(pool))], vocab);
+    if (IsAcyclic(q) && IsFreeConnexAcyclic(q)) {
+      c.query = std::move(q);
+      return c;
+    }
+  }
+  c.query = MustParseCQ("q(x) :- Person(x)", vocab);
+  return c;
+}
+
+}  // namespace
+
+const char* FamilyName(GenFamily family) {
+  switch (family) {
+    case GenFamily::kGuardedRandom: return "guarded_random";
+    case GenFamily::kStarSchema: return "star_schema";
+    case GenFamily::kSnowflake: return "snowflake";
+    case GenFamily::kSocialGraph: return "social_graph";
+  }
+  return "unknown";
+}
+
+bool ParseFamily(std::string_view name, GenFamily* out) {
+  for (GenFamily f : kAllFamilies) {
+    if (name == FamilyName(f)) {
+      *out = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool operator==(const GenSpec& a, const GenSpec& b) {
+  return a.family == b.family && a.seed == b.seed &&
+         a.relations == b.relations && a.max_arity == b.max_arity &&
+         a.tgds == b.tgds && a.max_head_atoms == b.max_head_atoms &&
+         a.chase_depth == b.chase_depth &&
+         a.existential_chance == b.existential_chance &&
+         a.query_atoms == b.query_atoms && a.query_vars == b.query_vars &&
+         a.domain == b.domain && a.facts == b.facts && a.fanout == b.fanout &&
+         a.coverage == b.coverage;
+}
+
+GeneratedCase GenerateCase(const GenSpec& spec) {
+  GeneratedCase c;
+  c.spec = spec;
+  c.vocab = std::make_unique<Vocabulary>();
+  c.db = std::make_unique<Database>(c.vocab.get());
+  const uint64_t base = spec.seed ^ (static_cast<uint64_t>(spec.family) << 56);
+  GenStreams streams{Rng(base), Rng(base ^ 0xa5a5a5a5a5a5a5a5ULL),
+                     Rng(base ^ 0x5a5a5a5a5a5a5a5aULL)};
+  switch (spec.family) {
+    case GenFamily::kGuardedRandom:
+      return GenGuardedRandom(spec, streams, std::move(c));
+    case GenFamily::kStarSchema:
+      return GenStarSchema(spec, streams, std::move(c));
+    case GenFamily::kSnowflake:
+      return GenSnowflake(spec, streams, std::move(c));
+    case GenFamily::kSocialGraph:
+      return GenSocialGraph(spec, streams, std::move(c));
+  }
+  OMQE_CHECK(false);  // unreachable
+  return c;
+}
+
+GenSpec RandomSpec(GenFamily family, uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(family));
+  GenSpec spec;
+  spec.family = family;
+  spec.seed = seed;
+  switch (family) {
+    case GenFamily::kGuardedRandom:
+      spec.relations = 2 + static_cast<uint32_t>(rng.Below(4));
+      spec.max_arity = 1 + static_cast<uint32_t>(rng.Below(3));
+      spec.tgds = static_cast<uint32_t>(rng.Below(4));
+      spec.max_head_atoms = 1 + static_cast<uint32_t>(rng.Below(2));
+      spec.chase_depth = 1 + static_cast<uint32_t>(rng.Below(3));
+      spec.existential_chance = 0.25 + 0.5 * rng.NextDouble();
+      spec.query_atoms = 1 + static_cast<uint32_t>(rng.Below(3));
+      spec.query_vars = 2 + static_cast<uint32_t>(rng.Below(4));
+      spec.domain = 2 + static_cast<uint32_t>(rng.Below(4));
+      spec.facts = static_cast<uint32_t>(rng.Below(16));
+      break;
+    case GenFamily::kStarSchema:
+      spec.relations = 1 + static_cast<uint32_t>(rng.Below(2));  // dimensions
+      spec.query_atoms = 2 + static_cast<uint32_t>(rng.Below(2));
+      spec.domain = 2 + static_cast<uint32_t>(rng.Below(3));
+      spec.facts = 1 + static_cast<uint32_t>(rng.Below(10));
+      spec.coverage = rng.NextDouble();
+      break;
+    case GenFamily::kSnowflake:
+      spec.chase_depth = 2 + static_cast<uint32_t>(rng.Below(2));
+      spec.domain = 2 + static_cast<uint32_t>(rng.Below(3));
+      spec.facts = 1 + static_cast<uint32_t>(rng.Below(10));
+      spec.coverage = rng.NextDouble();
+      break;
+    case GenFamily::kSocialGraph:
+      spec.facts = 1 + static_cast<uint32_t>(rng.Below(8));  // persons
+      spec.fanout = 1 + static_cast<uint32_t>(rng.Below(3));
+      spec.domain = 1 + static_cast<uint32_t>(rng.Below(3));  // messages
+      spec.coverage = rng.NextDouble();
+      break;
+  }
+  return spec;
+}
+
+std::string SerializeSpec(const GenSpec& spec) {
+  std::string out;
+  out += StrPrintf("family %s\n", FamilyName(spec.family));
+  out += StrPrintf("seed %llu\n", static_cast<unsigned long long>(spec.seed));
+  out += StrPrintf("relations %u\n", spec.relations);
+  out += StrPrintf("max_arity %u\n", spec.max_arity);
+  out += StrPrintf("tgds %u\n", spec.tgds);
+  out += StrPrintf("max_head_atoms %u\n", spec.max_head_atoms);
+  out += StrPrintf("chase_depth %u\n", spec.chase_depth);
+  out += StrPrintf("existential_chance %.17g\n", spec.existential_chance);
+  out += StrPrintf("query_atoms %u\n", spec.query_atoms);
+  out += StrPrintf("query_vars %u\n", spec.query_vars);
+  out += StrPrintf("domain %u\n", spec.domain);
+  out += StrPrintf("facts %u\n", spec.facts);
+  out += StrPrintf("fanout %u\n", spec.fanout);
+  out += StrPrintf("coverage %.17g\n", spec.coverage);
+  return out;
+}
+
+StatusOr<GenSpec> ParseSpec(std::string_view text) {
+  GenSpec spec;
+  size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    // Trim, skip blanks and comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t'))
+      line.remove_prefix(1);
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r'))
+      line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+    size_t sp = line.find_first_of(" \t");
+    if (sp == std::string_view::npos) {
+      return Status::ParseError(
+          StrPrintf("spec line %d: expected 'key value'", lineno));
+    }
+    std::string key(line.substr(0, sp));
+    std::string value(line.substr(line.find_first_not_of(" \t", sp)));
+    // Strict numeric parsing: a typo in a corpus file must be a loud error,
+    // not a silently different (and probably trivially-passing) spec.
+    Status bad = Status::ParseError(
+        StrPrintf("spec line %d: bad numeric value '%s' for key '%s'", lineno,
+                  value.c_str(), key.c_str()));
+    bool numeric_ok = true;
+    auto u32 = [&](uint32_t* out) {
+      char* end = nullptr;
+      unsigned long v = std::strtoul(value.c_str(), &end, 10);
+      numeric_ok = end != value.c_str() && *end == '\0' && v <= UINT32_MAX;
+      *out = static_cast<uint32_t>(v);
+    };
+    auto u64 = [&](uint64_t* out) {
+      char* end = nullptr;
+      *out = std::strtoull(value.c_str(), &end, 10);
+      numeric_ok = end != value.c_str() && *end == '\0';
+    };
+    auto f64 = [&](double* out) {
+      char* end = nullptr;
+      *out = std::strtod(value.c_str(), &end);
+      numeric_ok = end != value.c_str() && *end == '\0';
+    };
+    if (key == "family") {
+      if (!ParseFamily(value, &spec.family)) {
+        return Status::ParseError("unknown family: " + value);
+      }
+    } else if (key == "seed") {
+      u64(&spec.seed);
+    } else if (key == "relations") {
+      u32(&spec.relations);
+    } else if (key == "max_arity") {
+      u32(&spec.max_arity);
+    } else if (key == "tgds") {
+      u32(&spec.tgds);
+    } else if (key == "max_head_atoms") {
+      u32(&spec.max_head_atoms);
+    } else if (key == "chase_depth") {
+      u32(&spec.chase_depth);
+    } else if (key == "existential_chance") {
+      f64(&spec.existential_chance);
+    } else if (key == "query_atoms") {
+      u32(&spec.query_atoms);
+    } else if (key == "query_vars") {
+      u32(&spec.query_vars);
+    } else if (key == "domain") {
+      u32(&spec.domain);
+    } else if (key == "facts") {
+      u32(&spec.facts);
+    } else if (key == "fanout") {
+      u32(&spec.fanout);
+    } else if (key == "coverage") {
+      f64(&spec.coverage);
+    } else {
+      return Status::ParseError(
+          StrPrintf("spec line %d: unknown key '%s'", lineno, key.c_str()));
+    }
+    if (!numeric_ok) return bad;
+  }
+  return spec;
+}
+
+std::string SerializeCase(const GeneratedCase& c) {
+  const Vocabulary& vocab = *c.vocab;
+  std::string out = "# omqe generated case\n";
+  out += "spec {\n" + SerializeSpec(c.spec) + "}\n";
+  out += "ontology {\n" + c.ontology.ToString(vocab) + "}\n";
+  out += "query {\n" + c.query.ToString(vocab) + "\n}\n";
+  out += "database {\n";
+  for (RelId r = 0; r < c.db->NumRelationSlots(); ++r) {
+    uint32_t arity = vocab.Arity(r);
+    for (uint32_t row = 0; row < c.db->NumRows(r); ++row) {
+      const Value* vals = c.db->Row(r, row);
+      out += vocab.RelationName(r);
+      out += '(';
+      for (uint32_t i = 0; i < arity; ++i) {
+        if (i) out += ", ";
+        out += vocab.ValueName(vals[i]);
+      }
+      out += ")\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace omqe

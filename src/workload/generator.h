@@ -1,0 +1,111 @@
+// Randomized workload generator: parameterized, fully reproducible random
+// instances (ontology + query + database) for differential fuzzing against
+// the brute-force oracle. A GenSpec is a flat bag of knobs plus a seed;
+// GenerateCase is a pure function of the spec, so any failure replays from
+// the spec alone. Specs serialize to a line-oriented text format that the
+// checked-in regression corpus (tests/corpus/) stores and the omqe_fuzz
+// driver replays.
+//
+// Families:
+//   guarded_random — random guarded-TGD ontologies over a random schema
+//                    (tunable arity, head fan-out, existential chain depth),
+//                    random acyclic + free-connex CQs (rejection-sampled),
+//                    random databases.
+//   star_schema    — fact table + dimension tables; TGDs complete missing
+//                    dimension rows with existentials, so uncovered keys
+//                    surface as wildcard answers.
+//   snowflake      — star with chained dimension levels (Fact -> Dim ->
+//                    SubDim -> ...), driving nulls through multi-hop chases.
+//   social_graph   — persons / follows / posts with preferential-attachment
+//                    edges; the ontology closes the graph existentially.
+#ifndef OMQE_WORKLOAD_GENERATOR_H_
+#define OMQE_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "base/status.h"
+#include "core/omq.h"
+#include "data/database.h"
+
+namespace omqe {
+
+enum class GenFamily : uint8_t {
+  kGuardedRandom = 0,
+  kStarSchema = 1,
+  kSnowflake = 2,
+  kSocialGraph = 3,
+};
+
+inline constexpr GenFamily kAllFamilies[] = {
+    GenFamily::kGuardedRandom, GenFamily::kStarSchema, GenFamily::kSnowflake,
+    GenFamily::kSocialGraph};
+
+const char* FamilyName(GenFamily family);
+bool ParseFamily(std::string_view name, GenFamily* out);
+
+/// Every knob of one generated case. Fields the family does not use are
+/// ignored (and harmless to shrink), which keeps the minimizer generic.
+struct GenSpec {
+  GenFamily family = GenFamily::kGuardedRandom;
+  uint64_t seed = 1;
+
+  // Schema / ontology shape.
+  uint32_t relations = 4;       // guarded_random: schema size; star: dimensions
+  uint32_t max_arity = 2;       // guarded_random: max relation arity (1..3)
+  uint32_t tgds = 2;            // guarded_random: random TGD count
+  uint32_t max_head_atoms = 2;  // guarded_random: atoms per TGD head
+  uint32_t chase_depth = 2;     // guarded_random/snowflake: existential chain length
+  double existential_chance = 0.5;
+
+  // Query shape.
+  uint32_t query_atoms = 3;
+  uint32_t query_vars = 4;
+
+  // Database shape.
+  uint32_t domain = 5;   // constants per entity pool
+  uint32_t facts = 15;   // facts / fact rows / persons
+  uint32_t fanout = 2;   // social_graph: follows edges per person
+  double coverage = 0.6; // fraction of entities with explicit downstream facts
+
+  friend bool operator==(const GenSpec& a, const GenSpec& b);
+};
+
+/// One materialized case. The vocabulary and database are owned here; the
+/// input database is always null-free (an S-database proper), the ontology
+/// guarded, and the query acyclic + free-connex acyclic, so every case is
+/// admissible for all four enumerators.
+struct GeneratedCase {
+  GenSpec spec;
+  std::unique_ptr<Vocabulary> vocab;
+  std::unique_ptr<Database> db;
+  Ontology ontology;
+  CQ query;
+
+  OMQ Omq() const { return MakeOMQ(ontology, query); }
+};
+
+/// Materializes `spec`. Deterministic: equal specs produce byte-identical
+/// SerializeCase output on every platform (the generator draws only from the
+/// repo's portable xoshiro Rng).
+GeneratedCase GenerateCase(const GenSpec& spec);
+
+/// A spec with family-appropriate knobs jittered from `seed` — the shape the
+/// fuzz driver sweeps. Sizes stay small enough that the brute-force oracle
+/// answers in microseconds.
+GenSpec RandomSpec(GenFamily family, uint64_t seed);
+
+/// Spec <-> text ("key value" lines, '#' comments). Round-trips exactly.
+std::string SerializeSpec(const GenSpec& spec);
+StatusOr<GenSpec> ParseSpec(std::string_view text);
+
+/// Renders the full materialized case (spec, ontology, query, facts) as
+/// text — the determinism tests compare this byte-for-byte, and failure
+/// reports embed it so a mismatch is debuggable without re-running.
+std::string SerializeCase(const GeneratedCase& c);
+
+}  // namespace omqe
+
+#endif  // OMQE_WORKLOAD_GENERATOR_H_

@@ -16,13 +16,13 @@ uint64_t EdgeKey(uint32_t u, uint32_t v) {
 }
 }  // namespace
 
-EdgeList GenErdosRenyi(uint32_t n, uint32_t m, uint64_t seed) {
-  Rng rng(seed);
+EdgeList GenErdosRenyi(const ErdosRenyiParams& params) {
+  Rng rng(params.seed);
   EdgeList edges;
   FlatMap<uint64_t, char> seen;
-  while (edges.size() < m) {
-    uint32_t u = static_cast<uint32_t>(rng.Below(n));
-    uint32_t v = static_cast<uint32_t>(rng.Below(n));
+  while (edges.size() < params.edges) {
+    uint32_t u = static_cast<uint32_t>(rng.Below(params.vertices));
+    uint32_t v = static_cast<uint32_t>(rng.Below(params.vertices));
     if (u == v) continue;
     char& flag = seen.InsertOrGet(EdgeKey(u, v), 0);
     if (flag) continue;
@@ -32,13 +32,13 @@ EdgeList GenErdosRenyi(uint32_t n, uint32_t m, uint64_t seed) {
   return edges;
 }
 
-EdgeList GenBipartite(uint32_t left, uint32_t right, uint32_t m, uint64_t seed) {
-  Rng rng(seed);
+EdgeList GenBipartite(const BipartiteParams& params) {
+  Rng rng(params.seed);
   EdgeList edges;
   FlatMap<uint64_t, char> seen;
-  while (edges.size() < m) {
-    uint32_t u = static_cast<uint32_t>(rng.Below(left));
-    uint32_t v = left + static_cast<uint32_t>(rng.Below(right));
+  while (edges.size() < params.edges) {
+    uint32_t u = static_cast<uint32_t>(rng.Below(params.left));
+    uint32_t v = params.left + static_cast<uint32_t>(rng.Below(params.right));
     char& flag = seen.InsertOrGet(EdgeKey(u, v), 0);
     if (flag) continue;
     flag = 1;

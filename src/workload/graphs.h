@@ -14,11 +14,28 @@ namespace omqe {
 using Edge = std::pair<uint32_t, uint32_t>;
 using EdgeList = std::vector<Edge>;
 
-/// G(n, m): m distinct undirected edges over n vertices (no self loops).
-EdgeList GenErdosRenyi(uint32_t n, uint32_t m, uint64_t seed);
+/// Explicit seed/size parameters, mirroring ChainParams/OfficeParams/
+/// UniversityParams so every graph instance in the repo is reproducible
+/// from one struct literal.
+struct ErdosRenyiParams {
+  uint32_t vertices = 100;
+  uint32_t edges = 300;
+  uint64_t seed = 5;
+};
+
+struct BipartiteParams {
+  uint32_t left = 50;
+  uint32_t right = 50;
+  uint32_t edges = 400;
+  uint64_t seed = 9;
+};
+
+/// G(n, m): `edges` distinct undirected edges over `vertices` (no self
+/// loops).
+EdgeList GenErdosRenyi(const ErdosRenyiParams& params);
 
 /// Random bipartite graph (triangle-free by construction).
-EdgeList GenBipartite(uint32_t left, uint32_t right, uint32_t m, uint64_t seed);
+EdgeList GenBipartite(const BipartiteParams& params);
 
 /// Adds one triangle over three fresh vertices.
 void PlantTriangle(EdgeList* edges, uint32_t n);

@@ -18,6 +18,7 @@
 #include "core/omq.h"
 #include "core/partial_enum.h"
 #include "workload/chains.h"
+#include "workload/generator.h"
 
 namespace omqe {
 namespace {
@@ -106,6 +107,56 @@ TEST(DelayRegressionTest, PartialEnumDelayBoundedByPreprocessing) {
   EXPECT_LT(max_delay, profile.prep_ns * 10)
       << "max per-answer delay " << max_delay << "ns vs preprocessing "
       << profile.prep_ns << "ns";
+}
+
+// One guard for the generated families: partial enumeration over the
+// materialized spec, same bounds as the chain tests (p95 * 200 and
+// max * 10 against the preprocessing phase).
+void CheckGeneratedDelayProfile(const GenSpec& spec) {
+  GeneratedCase c = GenerateCase(spec);
+  OMQ omq = c.Omq();
+
+  DelayProfile profile = Profile<PartialEnumerator>(omq, *c.db);
+  ASSERT_GT(profile.delays_ns.size(), 1000u) << "workload produced too few answers";
+  ASSERT_GT(profile.prep_ns, 0);
+
+  EXPECT_LT(profile.p95() * 200, profile.prep_ns)
+      << "p95 per-answer delay " << profile.p95() << "ns vs preprocessing "
+      << profile.prep_ns << "ns";
+  int64_t max_delay = *std::max_element(profile.delays_ns.begin(),
+                                        profile.delays_ns.end());
+  EXPECT_LT(max_delay, profile.prep_ns * 10)
+      << "max per-answer delay " << max_delay << "ns vs preprocessing "
+      << profile.prep_ns << "ns";
+}
+
+// The generated star-schema family: the completion TGDs invent dimension
+// attributes for uncovered keys, so partial enumeration mixes constant and
+// wildcard answers.
+TEST(DelayRegressionTest, GeneratedStarSchemaDelayBoundedByPreprocessing) {
+  GenSpec spec;
+  spec.family = GenFamily::kStarSchema;
+  spec.seed = 11;
+  spec.relations = 2;
+  spec.query_atoms = 3;
+  spec.facts = 8000;
+  spec.domain = 2000;
+  spec.coverage = 0.7;
+  CheckGeneratedDelayProfile(spec);
+}
+
+// The generated social-graph family: preferential-attachment Follows edges
+// plus the existential closure (Person -> Follows -> Person), enumerated
+// through q(x,y,m) :- Follows(x,y), Posts(y,m) (seed 7's draw).
+TEST(DelayRegressionTest, GeneratedSocialGraphDelayBoundedByPreprocessing) {
+  GenSpec spec;
+  spec.family = GenFamily::kSocialGraph;
+  spec.seed = 7;
+  spec.facts = 8000;
+  spec.fanout = 2;
+  spec.domain = 64;
+  spec.coverage = 0.8;
+  CheckGeneratedDelayProfile(spec);
 }
 
 // The JSON baseline emitter must report exactly the statistics this test

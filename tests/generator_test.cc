@@ -1,0 +1,160 @@
+// Unit tests for the randomized workload generator: determinism (same
+// GenSpec -> byte-identical serialized case), spec round-tripping, per-family
+// admissibility invariants, and the greedy spec minimizer.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cq/properties.h"
+#include "workload/differential.h"
+#include "workload/generator.h"
+
+namespace omqe {
+namespace {
+
+TEST(GenSpecTest, FamilyNamesRoundTrip) {
+  for (GenFamily f : kAllFamilies) {
+    GenFamily parsed;
+    ASSERT_TRUE(ParseFamily(FamilyName(f), &parsed)) << FamilyName(f);
+    EXPECT_EQ(parsed, f);
+  }
+  GenFamily parsed;
+  EXPECT_FALSE(ParseFamily("no_such_family", &parsed));
+}
+
+TEST(GenSpecTest, SerializeParseRoundTrips) {
+  for (GenFamily f : kAllFamilies) {
+    for (uint64_t seed : {0u, 7u, 4082u}) {
+      GenSpec spec = RandomSpec(f, seed);
+      std::string text = SerializeSpec(spec);
+      auto parsed = ParseSpec(text);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      EXPECT_TRUE(parsed.value() == spec) << text;
+      EXPECT_EQ(SerializeSpec(parsed.value()), text);
+    }
+  }
+}
+
+TEST(GenSpecTest, ParseAcceptsCommentsAndPartialSpecs) {
+  auto spec = ParseSpec("# a comment\n\nfamily star_schema\nseed 3\n");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec.value().family, GenFamily::kStarSchema);
+  EXPECT_EQ(spec.value().seed, 3u);
+  // Unspecified knobs keep their defaults.
+  EXPECT_EQ(spec.value().facts, GenSpec().facts);
+}
+
+TEST(GenSpecTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(ParseSpec("family martian\n").ok());
+  EXPECT_FALSE(ParseSpec("unknown_knob 3\n").ok());
+  EXPECT_FALSE(ParseSpec("orphan\n").ok());
+  // A typo'd number must be a loud error, not a silently different spec.
+  EXPECT_FALSE(ParseSpec("facts 1O\n").ok());
+  EXPECT_FALSE(ParseSpec("seed abc\n").ok());
+  EXPECT_FALSE(ParseSpec("coverage 0.5x\n").ok());
+  EXPECT_FALSE(ParseSpec("facts 5000000000\n").ok());  // > UINT32_MAX
+}
+
+// Satellite: same GenSpec -> byte-identical serialized case on two
+// independent generation runs, across every scenario family.
+TEST(GeneratorDeterminismTest, SameSpecSameBytesAcrossFamilies) {
+  for (GenFamily f : kAllFamilies) {
+    for (uint64_t seed = 0; seed < 25; ++seed) {
+      GenSpec spec = RandomSpec(f, seed);
+      GeneratedCase a = GenerateCase(spec);
+      GeneratedCase b = GenerateCase(spec);
+      EXPECT_EQ(SerializeCase(a), SerializeCase(b))
+          << FamilyName(f) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(GeneratorDeterminismTest, DifferentSeedsDiffer) {
+  // Not a hard guarantee for every pair, but these must not collapse.
+  GeneratedCase a = GenerateCase(RandomSpec(GenFamily::kStarSchema, 1));
+  GeneratedCase b = GenerateCase(RandomSpec(GenFamily::kStarSchema, 2));
+  EXPECT_NE(SerializeCase(a), SerializeCase(b));
+}
+
+// Every generated case must be admissible for all four enumerators: guarded
+// ontology, acyclic + free-connex query, null-free input database.
+TEST(GeneratorTest, CasesAreAlwaysAdmissible) {
+  for (GenFamily f : kAllFamilies) {
+    for (uint64_t seed = 0; seed < 50; ++seed) {
+      GeneratedCase c = GenerateCase(RandomSpec(f, seed));
+      EXPECT_TRUE(c.ontology.IsGuarded()) << FamilyName(f) << " seed=" << seed;
+      EXPECT_TRUE(IsAcyclic(c.query)) << FamilyName(f) << " seed=" << seed;
+      EXPECT_TRUE(IsFreeConnexAcyclic(c.query))
+          << FamilyName(f) << " seed=" << seed;
+      EXPECT_FALSE(c.db->HasNulls()) << FamilyName(f) << " seed=" << seed;
+    }
+  }
+}
+
+TEST(GeneratorTest, FamiliesProduceTheirSignatureShapes) {
+  // star_schema: a Fact relation plus one binary Dim per dimension.
+  GenSpec star;
+  star.family = GenFamily::kStarSchema;
+  star.relations = 2;
+  star.facts = 10;
+  GeneratedCase sc = GenerateCase(star);
+  ASSERT_NE(sc.vocab->FindRelation("Fact"), UINT32_MAX);
+  EXPECT_EQ(sc.vocab->Arity(sc.vocab->FindRelation("Fact")), 3u);
+  EXPECT_NE(sc.vocab->FindRelation("Dim0"), UINT32_MAX);
+  EXPECT_NE(sc.vocab->FindRelation("Dim1"), UINT32_MAX);
+  EXPECT_EQ(sc.db->NumRows(sc.vocab->FindRelation("Fact")), star.facts);
+  EXPECT_EQ(sc.ontology.tgds().size(), 2u);  // one completion TGD per dim
+
+  // snowflake: chained D0..D{depth-1}.
+  GenSpec snow;
+  snow.family = GenFamily::kSnowflake;
+  snow.chase_depth = 3;
+  snow.facts = 5;
+  GeneratedCase sn = GenerateCase(snow);
+  EXPECT_NE(sn.vocab->FindRelation("D2"), UINT32_MAX);
+  EXPECT_EQ(sn.ontology.tgds().size(), 3u);
+
+  // social_graph: every person is a Person fact.
+  GenSpec social;
+  social.family = GenFamily::kSocialGraph;
+  social.facts = 9;
+  GeneratedCase sg = GenerateCase(social);
+  EXPECT_EQ(sg.db->NumRows(sg.vocab->FindRelation("Person")), social.facts);
+}
+
+// The minimizer shrinks every knob to its smallest failing value and leaves
+// family and seed alone.
+TEST(MinimizeSpecTest, ShrinksToThePredicateBoundary) {
+  GenSpec spec = RandomSpec(GenFamily::kGuardedRandom, 17);
+  spec.facts = 200;
+  spec.domain = 40;
+  auto fails = [](const GenSpec& s) { return s.facts >= 5 && s.domain >= 3; };
+  ASSERT_TRUE(fails(spec));
+  GenSpec minimized = MinimizeSpec(spec, fails);
+  EXPECT_EQ(minimized.facts, 5u);
+  EXPECT_EQ(minimized.domain, 3u);
+  EXPECT_EQ(minimized.family, spec.family);
+  EXPECT_EQ(minimized.seed, spec.seed);
+  EXPECT_TRUE(fails(minimized));
+}
+
+TEST(MinimizeSpecTest, UnconstrainedPredicateHitsTheFloors) {
+  GenSpec spec = RandomSpec(GenFamily::kStarSchema, 3);
+  GenSpec minimized = MinimizeSpec(spec, [](const GenSpec&) { return true; });
+  EXPECT_EQ(minimized.facts, 0u);
+  EXPECT_EQ(minimized.domain, 1u);
+  EXPECT_EQ(minimized.relations, 1u);
+  EXPECT_EQ(minimized.tgds, 0u);
+  EXPECT_EQ(minimized.coverage, 0.0);
+  EXPECT_EQ(minimized.existential_chance, 0.0);
+}
+
+TEST(MinimizeSpecTest, NeverFailingSpecIsUntouched) {
+  GenSpec spec = RandomSpec(GenFamily::kSnowflake, 8);
+  GenSpec minimized = MinimizeSpec(spec, [](const GenSpec&) { return false; });
+  EXPECT_TRUE(minimized == spec);
+}
+
+}  // namespace
+}  // namespace omqe

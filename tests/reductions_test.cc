@@ -11,14 +11,14 @@ namespace {
 
 TEST(TriangleReductionTest, AgreesWithDirectDetection) {
   for (uint64_t seed = 0; seed < 8; ++seed) {
-    EdgeList bip = GenBipartite(12, 12, 40, seed);
+    EdgeList bip = GenBipartite({.left = 12, .right = 12, .edges = 40, .seed = seed});
     EXPECT_FALSE(DetectTriangleViaOMQ(bip)) << seed;
     EXPECT_FALSE(DetectTriangleViaBooleanCQ(bip)) << seed;
     PlantTriangle(&bip, 24);
     EXPECT_TRUE(DetectTriangleViaOMQ(bip)) << seed;
     EXPECT_TRUE(DetectTriangleViaBooleanCQ(bip)) << seed;
 
-    EdgeList er = GenErdosRenyi(15, 40, seed + 100);
+    EdgeList er = GenErdosRenyi({.vertices = 15, .edges = 40, .seed = seed + 100});
     bool direct = DetectTriangleDirect(er);
     EXPECT_EQ(DetectTriangleViaOMQ(er), direct) << seed;
     EXPECT_EQ(DetectTriangleViaBooleanCQ(er), direct) << seed;

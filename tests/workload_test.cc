@@ -100,19 +100,19 @@ TEST(ChainWorkloadTest, SizesAndProperties) {
 }
 
 TEST(GraphWorkloadTest, GeneratorsAndDirectDetection) {
-  EdgeList er = GenErdosRenyi(100, 300, 5);
+  EdgeList er = GenErdosRenyi({.vertices = 100, .edges = 300, .seed = 5});
   EXPECT_EQ(er.size(), 300u);
   for (auto [u, v] : er) {
     EXPECT_NE(u, v);
     EXPECT_LT(u, 100u);
   }
   // Bipartite graphs are triangle-free.
-  EdgeList bip = GenBipartite(50, 50, 400, 9);
+  EdgeList bip = GenBipartite({.left = 50, .right = 50, .edges = 400, .seed = 9});
   EXPECT_FALSE(DetectTriangleDirect(bip));
   PlantTriangle(&bip, 100);
   EXPECT_TRUE(DetectTriangleDirect(bip));
   // Dense ER graphs essentially always contain triangles.
-  EdgeList dense = GenErdosRenyi(30, 200, 11);
+  EdgeList dense = GenErdosRenyi({.vertices = 30, .edges = 200, .seed = 11});
   EXPECT_TRUE(DetectTriangleDirect(dense));
 }
 
