@@ -96,12 +96,14 @@ bool HandleFailure(const GenSpec& spec, const DiffReport& report,
 }
 
 size_t g_chase_skipped = 0;
+size_t g_budget_raised = 0;
 
 bool RunSpec(const GenSpec& spec, const std::string& out_dir,
              size_t* answers_seen) {
   DiffReport report = RunDifferentialSpec(spec);
   *answers_seen += report.partial_answers;
   if (report.chase_skipped) ++g_chase_skipped;
+  if (report.budget_raised) ++g_budget_raised;
   if (report.ok) return true;
   return HandleFailure(spec, report, out_dir);
 }
@@ -172,8 +174,9 @@ int main(int argc, char** argv) {
 
   double secs = watch.ElapsedSeconds();
   std::printf("%zu case(s), %zu oracle answers, %zu oversized chase(s) "
-              "skipped, %.2fs (%.0f cases/s): %s\n",
-              cases, answers, g_chase_skipped, secs,
+              "skipped, %zu estimator-raised budget(s), %.2fs (%.0f cases/s): "
+              "%s\n",
+              cases, answers, g_chase_skipped, g_budget_raised, secs,
               secs > 0 ? static_cast<double>(cases) / secs : 0.0,
               ok ? "all modes agree with the oracle" : "MISMATCHES FOUND");
   return ok ? 0 : 1;

@@ -1,0 +1,176 @@
+// omqe_server: the wire front end of the query-serving subsystem — load an
+// ontology and database, then serve the line protocol (server/protocol.h)
+// over TCP or stdio. Also doubles as the protocol client for scripting and
+// the CI smoke job.
+//
+//   # serve the built-in demo environment on an ephemeral port
+//   $ ./omqe_server --port=0
+//   omqe_server: listening on 127.0.0.1:37211 (4 worker threads)
+//
+//   # serve a real environment
+//   $ ./omqe_server --ontology=onto.txt --data=facts.txt --port=7411
+//
+//   # REPL over stdio (each request line answered on stdout)
+//   $ ./omqe_server --stdio
+//
+//   # client mode: send stdin's request lines to a running server, print
+//   # every response line; exit 1 if any response is ERR
+//   $ printf '...exchange...' | ./omqe_server --client --port=7411
+//   (e.g. the lines PREPARE q1 q(x,y) :- HasOffice(x,y) / OPEN q1 /
+//   FETCH 1 10 / CLOSE 1 / SHUTDOWN)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "data/loader.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "tgd/parser.h"
+
+using namespace omqe;
+
+namespace {
+
+const char* kDemoOntology = R"(
+  Researcher(x) -> exists y. HasOffice(x, y)
+  HasOffice(x, y) -> Office(y)
+  Office(x) -> exists y. InBuilding(x, y)
+)";
+
+const char* kDemoData = R"(
+  Researcher(mary)
+  Researcher(john)
+  Researcher(mike)
+  HasOffice(mary, room1)
+  HasOffice(john, room4)
+  InBuilding(room1, main1)
+)";
+
+std::string ReadFileOr(const char* path, const char* fallback) {
+  if (path == nullptr) return fallback;
+  auto text = ReadFileToString(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(text).value();
+}
+
+std::string ReadAllStdin() {
+  std::string text;
+  char buffer[1 << 12];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), stdin)) > 0) text.append(buffer, n);
+  return text;
+}
+
+int RunClient(const std::string& host, uint16_t port) {
+  auto response = server::TcpExchange(host, port, ReadAllStdin());
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(response.value().c_str(), stdout);
+  // Any ERR terminator fails the exchange (the CI smoke contract).
+  return server::AnyError(response.value()) ? 1 : 0;
+}
+
+int RunStdio(server::OmqeServer* srv) {
+  char line[1 << 16];
+  while (std::fgets(line, sizeof(line), stdin) != nullptr) {
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) line[--len] = 0;
+    size_t first = 0;
+    while (first < len && (line[first] == ' ' || line[first] == '\t')) ++first;
+    if (first == len || line[first] == '#') continue;  // blank / comment
+    std::string out;
+    bool keep_going = srv->HandleLine(std::string_view(line, len), &out);
+    std::fputs(out.c_str(), stdout);
+    std::fflush(stdout);
+    if (!keep_going) break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* ontology_path = nullptr;
+  const char* data_path = nullptr;
+  bool client = false;
+  bool stdio = false;
+  bool have_port = false;
+  uint16_t port = 0;
+  std::string host = "127.0.0.1";
+  server::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    auto value = [&](std::string_view prefix) -> const char* {
+      return arg.substr(0, prefix.size()) == prefix ? argv[i] + prefix.size()
+                                                    : nullptr;
+    };
+    if (const char* v = value("--ontology=")) ontology_path = v;
+    else if (const char* v = value("--data=")) data_path = v;
+    else if (const char* v = value("--port=")) {
+      port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+      have_port = true;
+    } else if (const char* v = value("--host=")) host = v;
+    else if (const char* v = value("--threads=")) {
+      options.threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value("--max-rows=")) {
+      options.limits.max_rows = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--max-sessions=")) {
+      options.limits.max_sessions = std::strtoul(v, nullptr, 10);
+    } else if (const char* v = value("--idle-timeout-ms=")) {
+      options.limits.idle_timeout_ms =
+          static_cast<int64_t>(std::strtoll(v, nullptr, 10));
+    } else if (arg == "--client") {
+      client = true;
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (client) {
+    if (!have_port) {
+      std::fprintf(stderr, "--client needs --port=N\n");
+      return 2;
+    }
+    return RunClient(host, port);
+  }
+
+  Vocabulary vocab;
+  auto onto = ParseOntology(ReadFileOr(ontology_path, kDemoOntology), &vocab);
+  if (!onto.ok()) {
+    std::fprintf(stderr, "ontology: %s\n", onto.status().ToString().c_str());
+    return 1;
+  }
+  Ontology ontology = std::move(onto).value();
+  Database db(&vocab);
+  if (Status s = LoadFacts(ReadFileOr(data_path, kDemoData), &db); !s.ok()) {
+    std::fprintf(stderr, "data: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  server::OmqeServer srv(&vocab, &ontology, &db, options);
+  std::fprintf(stderr, "omqe_server: %zu facts loaded\n", db.TotalFacts());
+  if (stdio) return RunStdio(&srv);
+
+  if (!have_port) {
+    std::fprintf(stderr, "pass --port=N (0 = ephemeral), --stdio, or --client\n");
+    return 2;
+  }
+  Status s = server::ServeTcp(&srv, port, [&](uint16_t bound) {
+    std::fprintf(stderr, "omqe_server: listening on 127.0.0.1:%u (%u worker threads)\n",
+                 bound, srv.pool().num_threads());
+  });
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "omqe_server: shutdown complete\n");
+  return 0;
+}

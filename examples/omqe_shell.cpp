@@ -46,17 +46,12 @@ const char* kDemoData = R"(
 
 std::string ReadFileOr(const char* path, const char* fallback) {
   if (path == nullptr) return fallback;
-  std::FILE* f = std::fopen(path, "rb");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open %s\n", path);
+  auto text = ReadFileToString(path);
+  if (!text.ok()) {
+    std::fprintf(stderr, "%s\n", text.status().ToString().c_str());
     std::exit(1);
   }
-  std::string text;
-  char buffer[1 << 16];
-  size_t n;
-  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) text.append(buffer, n);
-  std::fclose(f);
-  return text;
+  return std::move(text).value();
 }
 
 void PrintTuple(const Vocabulary& vocab, const ValueTuple& t) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/flat_hash.h"
+#include "chase/estimate.h"
 #include "horn/horn.h"
 
 namespace omqe {
@@ -178,23 +179,31 @@ class ChaseEngine {
   /// empty reservation and would otherwise grow their dedup tables and
   /// index chains by repeated doubling as Apply adds facts. Before each
   /// round, project the round's growth per head relation — first round: the
-  /// current row count of the relations feeding its producing TGDs (capped
-  /// by the delta, so head relations nothing feeds reserve nothing); later
-  /// rounds: the previous round's measured growth scaled by the delta-size
-  /// ratio — and pre-size the relation plus its dynamic indexes once. The
-  /// estimate is linear in the facts that can actually fire, so memory
-  /// stays within a constant factor of the facts actually created.
+  /// estimator's per-relation creation bound (min over guard-atom counts
+  /// per producing TGD, see chase/estimate.h — tighter than any feed sum,
+  /// and zero for head relations nothing feeds); later rounds: the previous
+  /// round's measured growth scaled by the delta-size ratio — and pre-size
+  /// the relation plus its dynamic indexes once. The estimate is linear in
+  /// the facts that can actually fire, so memory stays within a constant
+  /// factor of the facts actually created.
   void ReserveForRound(size_t delta_size) {
     const bool first = head_rows_before_.empty();
-    if (first) head_rows_before_.assign(head_rels_.size(), 0);
+    if (first) {
+      head_rows_before_.assign(head_rels_.size(), 0);
+      first_round_bounds_ = FirstRoundCreationBounds(input_, onto_);
+    }
     for (size_t i = 0; i < head_rels_.size(); ++i) {
       RelId r = head_rels_[i];
       uint32_t rows = result_->db.NumRows(r);
       size_t est;
       if (first) {
-        size_t feed = 0;
-        for (RelId b : head_feeders_[i]) feed += result_->db.NumRows(b);
-        est = std::min(feed, delta_size);
+        // Clamped by the seeded-delta size: for guarded TGDs the bound is a
+        // guard count and already below it, but the unguarded fallback is a
+        // body-count product and must not turn a tiny join into a
+        // multi-gigabyte reservation.
+        est = r < first_round_bounds_.size()
+                  ? std::min(first_round_bounds_[r], delta_size)
+                  : 0;
       } else {
         size_t growth = rows - head_rows_before_[i];
         est = prev_delta_ == 0 ? growth : growth * delta_size / prev_delta_ + 1;
@@ -287,21 +296,13 @@ class ChaseEngine {
       plans_by_rel_[rel].push_back(p);
     }
     // Head relations are the only ones the delta loop can grow; the adaptive
-    // re-reservation tracks their per-round growth plus, for the first-round
-    // estimate, the body relations of the TGDs producing each of them.
+    // re-reservation tracks their per-round growth (the first round instead
+    // uses the estimator's creation bounds, see ReserveForRound).
     for (const TGD& tgd : onto_.tgds()) {
       for (const Atom& h : tgd.head()) {
-        size_t i = std::find(head_rels_.begin(), head_rels_.end(), h.rel) -
-                   head_rels_.begin();
-        if (i == head_rels_.size()) {
+        if (std::find(head_rels_.begin(), head_rels_.end(), h.rel) ==
+            head_rels_.end()) {
           head_rels_.push_back(h.rel);
-          head_feeders_.emplace_back();
-        }
-        for (const Atom& b : tgd.body()) {
-          if (std::find(head_feeders_[i].begin(), head_feeders_[i].end(),
-                        b.rel) == head_feeders_[i].end()) {
-            head_feeders_[i].push_back(b.rel);
-          }
         }
       }
     }
@@ -499,7 +500,7 @@ class ChaseEngine {
   std::vector<std::vector<uint32_t>> plans_by_rel_;  // delta-atom rel -> plan ids
   std::vector<std::vector<PlanStep>> head_plans_;
   std::vector<RelId> head_rels_;                 // relations TGD heads can grow
-  std::vector<std::vector<RelId>> head_feeders_; // body rels of their producers
+  std::vector<size_t> first_round_bounds_;       // estimator bound per RelId
   std::vector<uint32_t> head_rows_before_;       // rows at the last boundary
   size_t prev_delta_ = 0;
   std::vector<DynIndex> indexes_;

@@ -5,9 +5,10 @@
 // runs the preprocessing (query-directed chase, then the (q1, D1)
 // normalization restricted to constant answers — the paper's P_db trick)
 // and CompleteSession walks the normalized forest with constant delay and
-// no repetitions. Callers that want several (possibly concurrent) cursors
-// over one preprocessing run should use PreparedOMQ + CompleteSession
-// directly (see core/prepared.h).
+// no repetitions. Opening a cursor is O(1) in the data (the walker never
+// mutates shared state, so no link overlay is needed at all). Callers that
+// want several (possibly concurrent) cursors over one preprocessing run
+// should use PreparedOMQ + CompleteSession directly (see core/prepared.h).
 #ifndef OMQE_CORE_COMPLETE_ENUM_H_
 #define OMQE_CORE_COMPLETE_ENUM_H_
 

@@ -367,13 +367,10 @@ EnumerationSession::EnumerationSession(
     std::shared_ptr<const PreparedOMQ> prepared)
     : prepared_(std::move(prepared)) {
   OMQE_CHECK(prepared_ != nullptr && prepared_->for_partial());
-  // The session's private copy of the link state (the only O(#progress
-  // trees) cost a session ever pays; Reset does not repeat it).
+  // O(1) spin-up: the overlay binds to the shared initial order and copies
+  // a node's links only when pruning first touches it.
   const PreparedOMQ& p = *prepared_;
-  prev_ = p.init_prev_;
-  next_ = p.init_next_;
-  list_head_ = p.init_list_head_;
-  alive_.assign(p.pool_.size(), 1);
+  overlay_.Attach(&p.init_prev_, &p.init_next_, &p.init_list_head_);
   Reset();
 }
 
@@ -402,11 +399,11 @@ uint32_t EnumerationSession::ListHeadFor(int slot) {
   for (uint32_t pv : prepared_->slots_[slot].pred_vars) key_.push_back(h_[pv]);
   const uint32_t* id = prepared_->list_ids_.Find(key_.data(), key_.size());
   if (id == nullptr) return UINT32_MAX;
-  return list_head_[*id];
+  return overlay_.head(*id);
 }
 
 uint32_t EnumerationSession::AdvanceSkippingDead(uint32_t id) const {
-  while (id != UINT32_MAX && !alive_[id]) id = next_[id];
+  while (id != UINT32_MAX && !overlay_.alive(id)) id = overlay_.next(id);
   return id;
 }
 
@@ -425,20 +422,6 @@ void EnumerationSession::BindTree(Frame* frame,
 void EnumerationSession::UnbindTree(Frame* frame) {
   for (uint32_t v : frame->bound) h_[v] = kNoValue;
   frame->bound.clear();
-}
-
-void EnumerationSession::Unlink(uint32_t id) {
-  if (!alive_[id]) return;
-  alive_[id] = 0;
-  uint32_t p = prev_[id];
-  uint32_t n = next_[id];
-  if (p != UINT32_MAX) {
-    next_[p] = n;
-  } else {
-    list_head_[prepared_->pool_[id].list] = n;
-  }
-  if (n != UINT32_MAX) prev_[n] = p;
-  // prev_[id] / next_[id] stay frozen so live iterators can continue past it.
 }
 
 void EnumerationSession::Prune() {
@@ -462,7 +445,7 @@ void EnumerationSession::Prune() {
         if (m & (1u << b)) key_[1 + flippable[b]] = kStar;
       }
       const uint32_t* id = p.location_.Find(key_.data(), key_.size());
-      if (id != nullptr) Unlink(*id);
+      if (id != nullptr) overlay_.Unlink(*id, p.pool_[*id].list);
     }
   }
 }
@@ -489,7 +472,7 @@ bool EnumerationSession::Next(ValueTuple* out) {
   while (!stack_.empty()) {
     Frame& f = stack_.back();
     UnbindTree(&f);
-    uint32_t nxt = f.fresh ? ListHeadFor(f.slot) : next_[f.cur];
+    uint32_t nxt = f.fresh ? ListHeadFor(f.slot) : overlay_.next(f.cur);
     f.fresh = false;
     nxt = AdvanceSkippingDead(nxt);
     if (nxt == UINT32_MAX) {

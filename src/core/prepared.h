@@ -11,9 +11,10 @@
 // EnumerationSession holds the per-session mutable state of Algorithm 1:
 // the walk stack, the binding h, and — because the paper's ≻db pruning
 // (Prop 5.5) mutates the trees(v, h) lists during enumeration — a private
-// overlay of the prev/next/alive links and list heads, initialized from the
-// prepared query's database-preferring order. Creating or resetting a
-// session is O(#progress trees); stepping it is constant-delay.
+// copy-on-write overlay (LinkOverlay) of the prev/next/alive links and list
+// heads over the prepared query's database-preferring order. Creating or
+// resetting a session is O(1): link state is materialized lazily, one node
+// at a time, as pruning touches it. Stepping is constant-delay.
 //
 // CompleteSession is the analogous cursor for complete answers
 // (Theorem 4.1(1)): a TreeWalker over the prepared constants-only
@@ -26,6 +27,7 @@
 
 #include "base/flat_hash.h"
 #include "chase/query_directed.h"
+#include "core/link_overlay.h"
 #include "core/omq.h"
 #include "core/tree_walker.h"
 #include "eval/normalize.h"
@@ -124,7 +126,8 @@ class PreparedOMQ {
   TupleMap<uint32_t> location_;   // [subtree, g...] -> pool id
   TupleMap<uint32_t> list_ids_;   // [root_slot, h|pred...] -> list id
   /// The database-preferring order of every list (Prop 5.5), as doubly
-  /// linked pool ids. Sessions copy these and prune their copies.
+  /// linked pool ids. Sessions view these through a copy-on-write
+  /// LinkOverlay and prune only their private overlay entries.
   std::vector<uint32_t> init_prev_;
   std::vector<uint32_t> init_next_;
   std::vector<uint32_t> init_list_head_;
@@ -142,7 +145,8 @@ class PreparedOMQ {
 /// overlay, so any number may run interleaved or on separate threads.
 class EnumerationSession {
  public:
-  /// Requires prepared->for_partial().
+  /// Requires prepared->for_partial(). O(1) in the number of progress
+  /// trees: the link overlay copies nothing until pruning touches a node.
   explicit EnumerationSession(std::shared_ptr<const PreparedOMQ> prepared);
 
   /// Next minimal partial answer; wildcard positions hold kStar.
@@ -157,6 +161,11 @@ class EnumerationSession {
 
   const PreparedOMQ& prepared() const { return *prepared_; }
 
+  /// Copy-on-write counters of the session's link overlay. A session that
+  /// never pruned reports zero touched nodes regardless of pool size —
+  /// the mechanical form of the O(1)-open contract (server_test asserts it).
+  const LinkOverlay::Stats& overlay_stats() const { return overlay_.stats(); }
+
  private:
   struct Frame {
     int slot;
@@ -169,17 +178,13 @@ class EnumerationSession {
   void BindTree(Frame* frame, const PreparedOMQ::PTree& tree);
   void UnbindTree(Frame* frame);
   void Prune();
-  void Unlink(uint32_t id);
   uint32_t ListHeadFor(int slot);
   uint32_t AdvanceSkippingDead(uint32_t id) const;
 
   std::shared_ptr<const PreparedOMQ> prepared_;
 
-  // Session overlay of the linked-list state the ≻db pruning mutates.
-  std::vector<uint32_t> prev_;
-  std::vector<uint32_t> next_;
-  std::vector<uint32_t> list_head_;
-  std::vector<char> alive_;
+  // Copy-on-write view of the linked-list state the ≻db pruning mutates.
+  LinkOverlay overlay_;
 
   // Walk state.
   std::vector<Value> h_;

@@ -63,6 +63,12 @@ Status LoadFacts(std::string_view text, Database* db) {
 }
 
 Status LoadFactsFromFile(const std::string& path, Database* db) {
+  auto text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  return LoadFacts(text.value(), db);
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::InvalidArgument("cannot open " + path);
   std::string text;
@@ -70,7 +76,7 @@ Status LoadFactsFromFile(const std::string& path, Database* db) {
   size_t n;
   while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) text.append(buffer, n);
   std::fclose(f);
-  return LoadFacts(text, db);
+  return text;
 }
 
 }  // namespace omqe

@@ -17,6 +17,10 @@ Status LoadFacts(std::string_view text, Database* db);
 /// Reads `path` and loads its facts.
 Status LoadFactsFromFile(const std::string& path, Database* db);
 
+/// Slurps a whole file (the shared helper behind LoadFactsFromFile, also
+/// used by the example drivers for ontology/data files).
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
 }  // namespace omqe
 
 #endif  // OMQE_DATA_LOADER_H_

@@ -69,6 +69,10 @@ class Vocabulary {
   /// Renders any value: constant name, null "_:n<i>", or wildcard "*"/"*_j".
   std::string ValueName(Value v) const;
 
+  /// Allocation-free access to a constant's stored name (requires
+  /// IsConstant(v)). The hot row-rendering path of the serving subsystem.
+  const std::string& ConstantName(Value v) const { return constants_.Name(v); }
+
  private:
   Interner relations_;
   std::vector<uint32_t> arities_;

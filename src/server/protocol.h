@@ -1,0 +1,101 @@
+// Line-oriented text protocol for the query-serving subsystem.
+//
+// Requests, one per line (verbs are case-insensitive; names are
+// [A-Za-z0-9_-]+; <sid> is a decimal session id):
+//
+//   PREPARE <name> <query>        e.g.  PREPARE offices q(x,y) :- HasOffice(x,y)
+//   OPEN <name> [partial|complete]
+//   FETCH <sid> <n>
+//   RESET <sid>
+//   CLOSE <sid>
+//   EVICT <name>
+//   STATS
+//   QUIT                          close this connection
+//   SHUTDOWN                      stop the server loop
+//
+// Responses. Every request yields zero or more data lines followed by
+// exactly one terminator line:
+//
+//   OK <detail...>                success terminator
+//   ERR <message>                 failure terminator
+//   ROW <v1>,<v2>,...             one answer tuple (FETCH data line)
+//   STAT <json>                   registry/session counters (STATS data line,
+//                                 one line of BENCH-format JSON)
+//
+// FETCH's terminator is "OK FETCH <k> more|done": <k> rows were emitted and
+// the cursor either has more answers or is exhausted (end of enumeration,
+// or the session's row budget was spent).
+//
+// This header is transport-agnostic: parsing/serialization only. The server
+// loop (server.h) maps request lines to registry/session-manager calls; the
+// same grammar runs over TCP, stdio, and the in-process client.
+#ifndef OMQE_SERVER_PROTOCOL_H_
+#define OMQE_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace omqe::server {
+
+enum class Verb {
+  kPrepare,
+  kOpen,
+  kFetch,
+  kReset,
+  kClose,
+  kEvict,
+  kStats,
+  kQuit,
+  kShutdown,
+};
+
+struct Request {
+  Verb verb = Verb::kStats;
+  std::string name;        // PREPARE / OPEN / EVICT query name
+  std::string query_text;  // PREPARE body (everything after the name)
+  bool complete = false;   // OPEN mode (default: partial)
+  uint64_t session = 0;    // FETCH / RESET / CLOSE
+  uint64_t count = 0;      // FETCH row count
+};
+
+/// Parses one request line. Leading/trailing whitespace is ignored; empty
+/// lines and '#' comments yield InvalidArgument — the transports (TCP
+/// connection loop, stdio REPL) skip such lines before dispatch, so only a
+/// direct HandleLine/ParseRequest caller ever sees that error.
+StatusOr<Request> ParseRequest(std::string_view line);
+
+/// Response builders (each returns a single line WITHOUT the trailing \n).
+std::string OkLine(std::string_view detail);
+std::string ErrLine(std::string_view message);
+std::string RowLine(std::string_view rendered_tuple);
+std::string StatLine(std::string_view json);
+
+/// True when `line` is a terminator (OK/ERR) rather than a data line.
+bool IsTerminator(std::string_view line);
+/// True when `line` reports failure.
+bool IsError(std::string_view line);
+
+/// Response-block readers — the single place that understands the wire
+/// shape, shared by the protocol client, server_test, and bench_server so
+/// a format change never has to chase ad-hoc parsers.
+///
+/// The ROW payloads of a response block (the text after "ROW ").
+std::vector<std::string> ResponseRows(std::string_view response);
+/// The last non-empty line of a response block (its terminator; "" if the
+/// block is empty).
+std::string ResponseTerminator(std::string_view response);
+/// True when the block's FETCH terminator reports the cursor done
+/// (exhausted or budget-spent).
+bool FetchDone(std::string_view response);
+/// Parses an "OK OPEN <sid>" terminator; false when not that shape.
+bool ParseOpenSession(std::string_view response, uint64_t* sid);
+/// True when any line of the block is an ERR terminator.
+bool AnyError(std::string_view response);
+
+}  // namespace omqe::server
+
+#endif  // OMQE_SERVER_PROTOCOL_H_

@@ -1,0 +1,96 @@
+#include "server/registry.h"
+
+#include <algorithm>
+
+#include "base/str.h"
+#include "core/omq.h"
+
+namespace omqe::server {
+
+QueryRegistry::QueryRegistry(const Ontology* onto, const Database* db,
+                             RegistryOptions options)
+    : onto_(onto), db_(db), options_(std::move(options)) {
+  OMQE_CHECK(onto_ != nullptr && db_ != nullptr);
+  if (options_.max_estimated_chase_facts > 0) {
+    // Admission control, computed once: bound the chase at the DEEPEST cap
+    // the query-directed chase could adaptively saturate to (max_depth,
+    // not a query-derived minimum — the adaptive loop keeps raising the
+    // cap while the database part grows, so an ontology tame at a shallow
+    // depth can still explode on a later iteration). A bound that does not
+    // converge under the admission budget rejects every PREPARE — exactly
+    // the hostile shape (fuzzer seed 2208) where running the chase would
+    // grind toward the global fact budget.
+    ChaseEstimateOptions eopts;
+    eopts.null_depth = options_.prepare.chase.max_depth;
+    eopts.budget = options_.max_estimated_chase_facts;
+    admission_estimate_ = EstimateChaseSize(*db_, *onto_, eopts);
+  }
+}
+
+StatusOr<std::shared_ptr<const PreparedOMQ>> QueryRegistry::Prepare(
+    const std::string& name, const CQ& query) {
+  std::lock_guard<std::mutex> prepare_lock(prepare_mu_);
+  if (options_.max_estimated_chase_facts > 0 &&
+      admission_estimate_.exceeds_budget) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.prepare_failures;
+      ++stats_.rejected_by_estimate;
+    }
+    return Status::ResourceExhausted(
+        "chase-size estimate exceeds the admission budget (bound " +
+        std::to_string(admission_estimate_.fact_bound) + ", budget " +
+        std::to_string(options_.max_estimated_chase_facts) + ")");
+  }
+  auto prepared = PreparedOMQ::Prepare(MakeOMQ(*onto_, query), *db_,
+                                       options_.prepare);
+  if (!prepared.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.prepare_failures;
+    return prepared.status();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.prepares;
+  queries_[name] = prepared.value();
+  return std::move(prepared).value();
+}
+
+std::shared_ptr<const PreparedOMQ> QueryRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = queries_.find(name);
+  if (it == queries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+bool QueryRegistry::Evict(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queries_.erase(name) == 0) return false;
+  ++stats_.evictions;
+  return true;
+}
+
+size_t QueryRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queries_.size();
+}
+
+std::vector<std::string> QueryRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(queries_.size());
+  for (const auto& [name, _] : queries_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+RegistryStats QueryRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace omqe::server

@@ -1,0 +1,93 @@
+// QueryRegistry: named, refcounted prepared queries with a prepare/evict
+// lifecycle — the server-side owner of PreparedOMQ artifacts.
+//
+// One registry serves one (ontology, database) environment. Prepare() runs
+// the estimator pre-pass (chase/estimate.h) and rejects ontologies whose
+// chase-size bound blows the admission budget BEFORE paying for the chase,
+// then runs the full preprocessing phase and publishes the artifact under
+// its name. Get() hands out shared_ptr references; Evict() removes the name
+// but never invalidates live references — sessions opened before the evict
+// keep the artifact alive through their refcount and drain normally (the
+// same shared-ownership contract core/prepared.h gives sessions).
+//
+// All methods are thread-safe with one caveat: the preprocessing phase
+// reads AND writes the environment's shared unfrozen Vocabulary (arity
+// lookups on every row, fresh relations during normalization), so callers
+// that let other threads read the vocabulary concurrently — e.g. to render
+// rows — must hold their own exclusive vocabulary lock around Prepare
+// (OmqeServer::DoPrepare does). Prepare additionally serializes on a
+// dedicated mutex so two prepares never interleave; Get/Evict/stats take
+// only a short registry lock.
+#ifndef OMQE_SERVER_REGISTRY_H_
+#define OMQE_SERVER_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "chase/estimate.h"
+#include "core/prepared.h"
+
+namespace omqe::server {
+
+struct RegistryOptions {
+  PrepareOptions prepare;
+  /// Admission control: reject a PREPARE when the chase-size estimator's
+  /// bound does not converge under this many facts. 0 disables the pre-pass.
+  size_t max_estimated_chase_facts = 1u << 22;
+};
+
+struct RegistryStats {
+  uint64_t prepares = 0;            ///< successful Prepare calls
+  uint64_t prepare_failures = 0;    ///< failed Prepare calls (all causes)
+  uint64_t rejected_by_estimate = 0;///< of those, rejected by the pre-pass
+  uint64_t evictions = 0;
+  uint64_t hits = 0;                ///< Get() found the name
+  uint64_t misses = 0;              ///< Get() did not
+};
+
+class QueryRegistry {
+ public:
+  /// The environment must outlive the registry. The database is the input
+  /// instance every registered query is prepared against.
+  QueryRegistry(const Ontology* onto, const Database* db,
+                RegistryOptions options = {});
+
+  /// Estimator pre-pass + full preprocessing; publishes under `name`.
+  /// Re-preparing an existing name replaces the artifact (old sessions keep
+  /// the old one alive until they close).
+  StatusOr<std::shared_ptr<const PreparedOMQ>> Prepare(const std::string& name,
+                                                       const CQ& query);
+
+  /// The artifact for `name`, or nullptr when absent.
+  std::shared_ptr<const PreparedOMQ> Get(const std::string& name) const;
+
+  /// Removes `name`. Live sessions keep their reference. False if absent.
+  bool Evict(const std::string& name);
+
+  size_t size() const;
+  std::vector<std::string> Names() const;
+  RegistryStats stats() const;
+
+ private:
+  const Ontology* onto_;
+  const Database* db_;
+  RegistryOptions options_;
+  /// The admission estimate depends only on (db, ontology, options), all
+  /// fixed for the registry's lifetime — computed once in the constructor,
+  /// not on every PREPARE (which runs under the server's exclusive
+  /// vocabulary lock and must stay short).
+  ChaseEstimate admission_estimate_;
+
+  mutable std::mutex mu_;
+  std::mutex prepare_mu_;  // serializes the (vocab-mutating) prepare phase
+  std::unordered_map<std::string, std::shared_ptr<const PreparedOMQ>> queries_;
+  mutable RegistryStats stats_;  // hit/miss counters tick inside const Get()
+};
+
+}  // namespace omqe::server
+
+#endif  // OMQE_SERVER_REGISTRY_H_

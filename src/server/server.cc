@@ -1,0 +1,457 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+
+#include "base/str.h"
+#include "cq/parser.h"
+#include "server/protocol.h"
+
+namespace omqe::server {
+
+// ---------------------------------------------------------------------------
+// ThreadPool.
+// ---------------------------------------------------------------------------
+
+ThreadPool::ThreadPool(uint32_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (uint32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OMQE_CHECK(!stopping_);
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stopping and drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    job();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// OmqeServer.
+// ---------------------------------------------------------------------------
+
+OmqeServer::OmqeServer(Vocabulary* vocab, const Ontology* onto,
+                       const Database* db, ServerOptions options)
+    : vocab_(vocab),
+      options_(options),
+      registry_(onto, db, options.registry),
+      sessions_(options.limits),
+      pool_(options.threads) {
+  OMQE_CHECK(vocab_ != nullptr);
+  if (options_.limits.idle_timeout_ms > 0) {
+    // Sessions go idle without traffic, so reaping needs its own clock: a
+    // half-timeout cadence bounds overstay at 1.5x the configured limit.
+    reaper_ = std::thread([this] {
+      const auto period =
+          std::chrono::milliseconds(std::max<int64_t>(
+              1, options_.limits.idle_timeout_ms / 2));
+      std::unique_lock<std::mutex> lock(reaper_mu_);
+      while (!reaper_cv_.wait_for(lock, period,
+                                  [this] { return reaper_stop_; })) {
+        sessions_.ReapIdle();
+      }
+    });
+  }
+}
+
+OmqeServer::~OmqeServer() {
+  if (reaper_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(reaper_mu_);
+      reaper_stop_ = true;
+    }
+    reaper_cv_.notify_one();
+    reaper_.join();
+  }
+}
+
+void OmqeServer::DoPrepare(const Request& req, std::string* out) {
+  // Exclusive for the WHOLE prepare, not just the parse: ParseCQ interns
+  // query constants, and the preprocessing phase both reads the vocabulary
+  // on every row access (arities) and registers fresh relations during
+  // normalization — all of which must not run concurrently with another
+  // PREPARE's writes or a FETCH's shared-lock renders.
+  std::unique_lock<std::shared_mutex> lock(vocab_mu_);
+  StatusOr<CQ> query = ParseCQ(req.query_text, vocab_);
+  if (!query.ok()) {
+    *out += ErrLine(query.status().ToString()) + "\n";
+    return;
+  }
+  auto prepared = registry_.Prepare(req.name, query.value());
+  if (!prepared.ok()) {
+    *out += ErrLine(prepared.status().ToString()) + "\n";
+    return;
+  }
+  *out += OkLine("PREPARED " + req.name + " trees=" +
+                 std::to_string((*prepared)->num_progress_trees()) +
+                 " chase_facts=" +
+                 std::to_string((*prepared)->chase().db.TotalFacts())) +
+          "\n";
+}
+
+void OmqeServer::DoOpen(const Request& req, std::string* out) {
+  std::shared_ptr<const PreparedOMQ> prepared = registry_.Get(req.name);
+  if (prepared == nullptr) {
+    *out += ErrLine("unknown prepared query '" + req.name + "'") + "\n";
+    return;
+  }
+  auto sid = sessions_.Open(std::move(prepared), req.complete);
+  if (!sid.ok()) {
+    *out += ErrLine(sid.status().ToString()) + "\n";
+    return;
+  }
+  *out += OkLine("OPEN " + std::to_string(sid.value())) + "\n";
+}
+
+void OmqeServer::DoFetch(const Request& req, std::string* out) {
+  uint64_t n = req.count;
+  if (options_.max_fetch_batch > 0 && n > options_.max_fetch_batch) {
+    n = options_.max_fetch_batch;
+  }
+  std::vector<ValueTuple> rows;
+  bool done = false;
+  Status status = sessions_.Fetch(req.session, n, &rows, &done);
+  if (!status.ok()) {
+    *out += ErrLine(status.ToString()) + "\n";
+    return;
+  }
+  {
+    // Shared: rendering only reads the vocabulary's symbol tables. Hot
+    // path — append in place (no RowLine temporaries) and resolve
+    // constants through the allocation-free name ref.
+    std::shared_lock<std::shared_mutex> lock(vocab_mu_);
+    for (const ValueTuple& row : rows) {
+      out->append("ROW ");
+      for (uint32_t i = 0; i < row.size(); ++i) {
+        if (i) out->push_back(',');
+        Value v = row[i];
+        if (IsConstant(v)) {
+          out->append(vocab_->ConstantName(v));
+        } else if (v == kStar) {
+          out->push_back('*');
+        } else {
+          out->append(vocab_->ValueName(v));
+        }
+      }
+      out->push_back('\n');
+    }
+  }
+  *out += OkLine("FETCH " + std::to_string(rows.size()) +
+                 (done ? " done" : " more")) +
+          "\n";
+}
+
+void OmqeServer::DoStats(std::string* out) {
+  *out += StatLine(sessions_.StatsJson()) + "\n";
+  RegistryStats rs = registry_.stats();
+  std::string reg = "{\"bench\": \"server_registry\", \"smoke\": false, "
+                    "\"rows\": [{\"series\": \"registry\"";
+  auto field = [&reg](const char* key, uint64_t v) {
+    reg += ", \"";
+    reg += key;
+    reg += "\": ";
+    reg += std::to_string(v);
+  };
+  field("registered", registry_.size());
+  field("prepares", rs.prepares);
+  field("prepare_failures", rs.prepare_failures);
+  field("rejected_by_estimate", rs.rejected_by_estimate);
+  field("evictions", rs.evictions);
+  field("hits", rs.hits);
+  field("misses", rs.misses);
+  reg += "}]}";
+  *out += StatLine(reg) + "\n";
+  *out += OkLine("STATS") + "\n";
+}
+
+bool OmqeServer::HandleLine(std::string_view line, std::string* out) {
+  auto request = ParseRequest(line);
+  if (!request.ok()) {
+    *out += ErrLine(request.status().message()) + "\n";
+    return true;
+  }
+  const Request& req = request.value();
+  switch (req.verb) {
+    case Verb::kPrepare:
+      DoPrepare(req, out);
+      return true;
+    case Verb::kOpen:
+      DoOpen(req, out);
+      return true;
+    case Verb::kFetch:
+      DoFetch(req, out);
+      return true;
+    case Verb::kReset: {
+      Status s = sessions_.Reset(req.session);
+      *out += (s.ok() ? OkLine("RESET " + std::to_string(req.session))
+                      : ErrLine(s.ToString())) +
+              "\n";
+      return true;
+    }
+    case Verb::kClose: {
+      Status s = sessions_.Close(req.session);
+      *out += (s.ok() ? OkLine("CLOSE " + std::to_string(req.session))
+                      : ErrLine(s.ToString())) +
+              "\n";
+      return true;
+    }
+    case Verb::kEvict:
+      *out += (registry_.Evict(req.name)
+                   ? OkLine("EVICT " + req.name)
+                   : ErrLine("unknown prepared query '" + req.name + "'")) +
+              "\n";
+      return true;
+    case Verb::kStats:
+      DoStats(out);
+      return true;
+    case Verb::kQuit:
+      *out += OkLine("BYE") + "\n";
+      return false;
+    case Verb::kShutdown:
+      RequestShutdown();
+      *out += OkLine("SHUTDOWN") + "\n";
+      return false;
+  }
+  return true;  // unreachable
+}
+
+// ---------------------------------------------------------------------------
+// InProcessClient.
+// ---------------------------------------------------------------------------
+
+std::string InProcessClient::Roundtrip(std::string_view line) {
+  auto result = std::make_shared<std::promise<std::string>>();
+  std::future<std::string> future = result->get_future();
+  std::string request(line);
+  OmqeServer* server = server_;
+  server_->pool().Submit([server, request, result] {
+    std::string out;
+    server->HandleLine(request, &out);
+    result->set_value(std::move(out));
+  });
+  return future.get();
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Handles one request line on `fd`; returns false when the connection
+/// should close. Blank lines and '#' comments are skipped, not answered.
+bool HandleConnectionLine(OmqeServer* server, int fd, std::string_view line) {
+  std::string_view trimmed = Trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') return true;
+  std::string response;
+  bool open = server->HandleLine(trimmed, &response);
+  size_t written = 0;
+  while (written < response.size()) {
+    ssize_t w = ::write(fd, response.data() + written,
+                        response.size() - written);
+    if (w <= 0) return false;
+    written += static_cast<size_t>(w);
+  }
+  return open;
+}
+
+/// Reads protocol lines off `fd`, handling each, until QUIT/SHUTDOWN, EOF,
+/// or a server-wide shutdown. A final line arriving without a trailing
+/// newline before EOF is still executed and answered.
+void ServeConnection(OmqeServer* server, int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !server->shutdown_requested()) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // interrupted by a signal: not fatal
+      break;
+    }
+    if (ready == 0) continue;  // timeout: re-check shutdown
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      // EOF (or error): execute whatever is buffered as the last line.
+      if (n == 0 && open && !buffer.empty()) {
+        HandleConnectionLine(server, fd, buffer);
+      }
+      break;
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    size_t start = 0;
+    for (size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         nl = buffer.find('\n', start)) {
+      std::string_view line(buffer.data() + start, nl - start);
+      start = nl + 1;
+      open = HandleConnectionLine(server, fd, line);
+      if (!open) break;
+    }
+    buffer.erase(0, start);
+  }
+  ::close(fd);
+}
+
+/// A connection thread plus its completion flag, so the accept loop can
+/// join finished threads as it goes instead of accumulating one handle per
+/// connection for the life of the server.
+struct Connection {
+  std::thread thread;
+  std::shared_ptr<std::atomic<bool>> done;
+};
+
+}  // namespace
+
+Status ServeTcp(OmqeServer* server, uint16_t port,
+                std::function<void(uint16_t)> on_bound) {
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) return Status::Internal("socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    ::close(listen_fd);
+    return Status::Internal(std::string("bind() failed: ") +
+                            std::strerror(errno));
+  }
+  if (::listen(listen_fd, 64) < 0) {
+    ::close(listen_fd);
+    return Status::Internal("listen() failed");
+  }
+  if (on_bound != nullptr) {
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr), &len);
+    on_bound(ntohs(addr.sin_port));
+  }
+  // One thread per connection, NOT a pool job: a connection lives as long
+  // as the client keeps it open, and a long-lived job would pin a worker —
+  // `threads` idle keep-alive connections would starve every later one.
+  // The pool stays the execution vehicle for in-process clients.
+  std::vector<Connection> connections;
+  auto reap_finished = [&connections] {
+    for (size_t i = 0; i < connections.size();) {
+      if (connections[i].done->load(std::memory_order_acquire)) {
+        connections[i].thread.join();
+        connections[i] = std::move(connections.back());
+        connections.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  };
+  while (!server->shutdown_requested()) {
+    struct pollfd pfd = {listen_fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 200);
+    if (ready < 0) {
+      if (errno == EINTR) continue;  // interrupted by a signal: not fatal
+      // Real poll failure: stop serving. The flag makes the live
+      // connection loops exit, so the join below cannot hang.
+      server->RequestShutdown();
+      break;
+    }
+    reap_finished();  // connection churn must not accumulate dead handles
+    if (ready == 0) continue;  // timeout: re-check shutdown
+    int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    Connection c;
+    c.done = std::make_shared<std::atomic<bool>>(false);
+    c.thread = std::thread([server, conn, done = c.done] {
+      ServeConnection(server, conn);
+      done->store(true, std::memory_order_release);
+    });
+    connections.push_back(std::move(c));
+  }
+  ::close(listen_fd);
+  // Connection loops poll with a timeout and observe the shutdown flag, so
+  // this join completes within one poll interval of SHUTDOWN.
+  for (Connection& c : connections) c.thread.join();
+  return Status::OK();
+}
+
+StatusOr<std::string> TcpExchange(const std::string& host, uint16_t port,
+                                  const std::string& script) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal("socket() failed");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return Status::Internal(std::string("connect() failed: ") +
+                            std::strerror(errno));
+  }
+  std::string payload = script;
+  if (!payload.empty() && payload.back() != '\n') payload += '\n';
+  size_t written = 0;
+  while (written < payload.size()) {
+    ssize_t w = ::write(fd, payload.data() + written, payload.size() - written);
+    if (w <= 0) {
+      ::close(fd);
+      return Status::Internal("write() failed");
+    }
+    written += static_cast<size_t>(w);
+  }
+  ::shutdown(fd, SHUT_WR);
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0) {
+      ::close(fd);
+      return Status::Internal("read() failed");
+    }
+    if (n == 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+}  // namespace omqe::server

@@ -1,0 +1,155 @@
+// The query-serving server loop: one OmqeServer binds a QueryRegistry and a
+// SessionManager over a fixed (vocabulary, ontology, database) environment
+// and executes protocol requests (protocol.h).
+//
+// HandleLine() is the transport-agnostic core: one request line in, the
+// response block (data lines + terminator) out. It is safe to call from any
+// number of threads — PREPARE serializes on the registry's prepare mutex
+// (query parsing interns into the shared vocabulary), while FETCH/row
+// rendering takes a shared vocabulary lock so readers proceed in parallel.
+//
+// Three transports drive it:
+//   - InProcessClient: requests submitted to the server's ThreadPool and
+//     awaited — the client tests and bench_server use (same code path as a
+//     network worker, no sockets).
+//   - ServeTcp(): a POSIX accept loop; each connection gets its own thread
+//     running read-line/handle/write-block until QUIT/EOF (a connection
+//     lives arbitrarily long, so parking it on a pool worker would let
+//     `threads` idle connections starve all later ones). SHUTDOWN stops
+//     the accept loop, joins the connection threads, and returns.
+//   - stdio (examples/omqe_server --stdio): read stdin, write stdout.
+#ifndef OMQE_SERVER_SERVER_H_
+#define OMQE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "data/schema.h"
+#include "server/protocol.h"
+#include "server/registry.h"
+#include "server/session_manager.h"
+
+namespace omqe::server {
+
+/// Fixed-size worker pool. Jobs are run in submission order; the destructor
+/// drains outstanding jobs before joining.
+class ThreadPool {
+ public:
+  explicit ThreadPool(uint32_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> job);
+  uint32_t num_threads() const { return static_cast<uint32_t>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+struct ServerOptions {
+  uint32_t threads = 4;
+  SessionLimits limits;
+  RegistryOptions registry;
+  /// Cap on rows a single FETCH may return (protocol hygiene). 0 = none.
+  uint64_t max_fetch_batch = 100000;
+};
+
+class OmqeServer {
+ public:
+  /// The environment must outlive the server. `vocab` stays unfrozen (query
+  /// constants intern on PREPARE); all access is lock-disciplined here.
+  /// When limits.idle_timeout_ms > 0 a background reaper thread closes
+  /// idle sessions on a half-timeout cadence (stopped by the destructor).
+  OmqeServer(Vocabulary* vocab, const Ontology* onto, const Database* db,
+             ServerOptions options = {});
+  ~OmqeServer();
+
+  /// Executes one request line; appends response lines (each ending in \n)
+  /// to *out. Returns false when the connection should close (QUIT) or the
+  /// whole server should stop (SHUTDOWN; shutdown_requested() turns true).
+  bool HandleLine(std::string_view line, std::string* out);
+
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+  /// Programmatic equivalent of the SHUTDOWN verb (used by transports on
+  /// fatal errors so connection loops observe the stop and exit).
+  void RequestShutdown() { shutdown_.store(true, std::memory_order_release); }
+
+  QueryRegistry& registry() { return registry_; }
+  SessionManager& sessions() { return sessions_; }
+  ThreadPool& pool() { return pool_; }
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  void DoPrepare(const Request& req, std::string* out);
+  void DoOpen(const Request& req, std::string* out);
+  void DoFetch(const Request& req, std::string* out);
+  void DoStats(std::string* out);
+
+  Vocabulary* vocab_;
+  ServerOptions options_;
+  QueryRegistry registry_;
+  SessionManager sessions_;
+  ThreadPool pool_;
+  /// PREPARE writes the vocabulary (parse interns constants, preprocessing
+  /// reads arities and registers fresh relations); row rendering reads it.
+  /// Readers share; each PREPARE is exclusive for its whole duration.
+  mutable std::shared_mutex vocab_mu_;
+  std::atomic<bool> shutdown_{false};
+  // Idle-session reaper (only started when an idle timeout is configured).
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  bool reaper_stop_ = false;
+  std::thread reaper_;
+};
+
+/// A client whose requests run on the server's worker pool — the in-process
+/// stand-in for a network connection, used by server_test and bench_server.
+class InProcessClient {
+ public:
+  explicit InProcessClient(OmqeServer* server) : server_(server) {}
+
+  /// Submits `line` to the pool and blocks for the response block.
+  std::string Roundtrip(std::string_view line);
+
+ private:
+  OmqeServer* server_;
+};
+
+/// Serves the protocol on a loopback TCP port — one dedicated thread per
+/// connection (NOT a pool job: connections live arbitrarily long; see the
+/// header comment), finished connection threads reaped on every accept
+/// tick. Blocks until a SHUTDOWN request arrives, then joins the remaining
+/// connections and returns OK. `port` 0 picks an ephemeral port;
+/// `on_bound`, when set, is invoked with the bound port after listen()
+/// succeeds and before the first accept — the race-free way for callers
+/// (tests, scripts) to learn the port.
+Status ServeTcp(OmqeServer* server, uint16_t port,
+                std::function<void(uint16_t)> on_bound = nullptr);
+
+/// Connects to a running server, sends each line of `script`, and collects
+/// every response line. Returns an error if the connection fails; protocol
+/// ERR lines are the caller's to inspect. Used by omqe_server --client.
+StatusOr<std::string> TcpExchange(const std::string& host, uint16_t port,
+                                  const std::string& script);
+
+}  // namespace omqe::server
+
+#endif  // OMQE_SERVER_SERVER_H_

@@ -1,0 +1,194 @@
+#include "server/session_manager.h"
+
+#include <algorithm>
+
+#include "base/timer.h"
+
+namespace omqe::server {
+
+SessionManager::SessionManager(SessionLimits limits) : limits_(limits) {}
+
+StatusOr<uint64_t> SessionManager::Open(
+    std::shared_ptr<const PreparedOMQ> prepared, bool complete) {
+  if (prepared == nullptr) {
+    return Status::InvalidArgument("no prepared query");
+  }
+  if (complete && !prepared->for_complete()) {
+    return Status::InvalidArgument("query was not prepared for complete mode");
+  }
+  if (!complete && !prepared->for_partial()) {
+    return Status::InvalidArgument("query was not prepared for partial mode");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Limit check BEFORE construction, so a client hammering OPEN at the
+  // limit allocates nothing. Holding the manager lock across the
+  // construction is fine: session spin-up is O(1) (copy-on-write overlay).
+  if (limits_.max_sessions > 0 && sessions_.size() >= limits_.max_sessions) {
+    ++stats_.open_rejected;
+    return Status::ResourceExhausted("session limit reached");
+  }
+  auto session = std::make_shared<Session>();
+  if (complete) {
+    session->complete = std::make_unique<CompleteSession>(std::move(prepared));
+  } else {
+    session->partial = std::make_unique<EnumerationSession>(std::move(prepared));
+  }
+  session->last_used_ns = NowNanos();
+  uint64_t sid = next_sid_++;
+  sessions_.emplace(sid, std::move(session));
+  ++stats_.opened;
+  return sid;
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::Lookup(
+    uint64_t sid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sessions_.find(sid);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+Status SessionManager::Fetch(uint64_t sid, uint64_t n,
+                             std::vector<ValueTuple>* out, bool* done) {
+  std::shared_ptr<Session> session = Lookup(sid);
+  if (session == nullptr) return Status::InvalidArgument("unknown session");
+  uint64_t emitted = 0;
+  bool exhausted = false;
+  bool budget_hit = false;
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    // Stamp at start as well as end: a single fetch that outlasts the idle
+    // timeout must not look idle to a concurrent ReapIdle.
+    session->last_used_ns = NowNanos();
+    ValueTuple t;
+    while (emitted < n) {
+      if (limits_.max_rows > 0 && session->rows_emitted >= limits_.max_rows) {
+        budget_hit = true;
+        break;
+      }
+      bool more = session->partial != nullptr ? session->partial->Next(&t)
+                                              : session->complete->Next(&t);
+      if (!more) {
+        exhausted = true;
+        break;
+      }
+      out->push_back(t);
+      ++emitted;
+      ++session->rows_emitted;
+    }
+    session->last_used_ns = NowNanos();
+  }
+  *done = exhausted || budget_hit;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.fetch_calls;
+  stats_.rows += emitted;
+  if (budget_hit) ++stats_.budget_exhausted;
+  return Status::OK();
+}
+
+Status SessionManager::Reset(uint64_t sid) {
+  std::shared_ptr<Session> session = Lookup(sid);
+  if (session == nullptr) return Status::InvalidArgument("unknown session");
+  {
+    std::lock_guard<std::mutex> lock(session->mu);
+    if (session->partial != nullptr) {
+      session->partial->Reset();
+    } else {
+      session->complete->Reset();
+    }
+    session->rows_emitted = 0;
+    session->last_used_ns = NowNanos();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.resets;
+  return Status::OK();
+}
+
+Status SessionManager::Close(uint64_t sid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sessions_.erase(sid) == 0) return Status::InvalidArgument("unknown session");
+  ++stats_.closed;
+  return Status::OK();
+}
+
+size_t SessionManager::ReapIdle() {
+  if (limits_.idle_timeout_ms <= 0) return 0;
+  const int64_t cutoff = NowNanos() - limits_.idle_timeout_ms * 1'000'000;
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t reaped = 0;
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    // A session whose mutex is held is mid-fetch/reset — actively in use
+    // no matter what its start-of-fetch timestamp says — so skip it (the
+    // try_lock is safe: cursor work never waits on the manager lock).
+    // Otherwise a stale timestamp can only delay a reap by one cycle, and
+    // an in-flight open elsewhere keeps its shared_ptr, so erasing here
+    // never frees live state.
+    Session& s = *it->second;
+    bool idle = false;
+    if (s.mu.try_lock()) {
+      idle = s.last_used_ns.load(std::memory_order_relaxed) < cutoff;
+      s.mu.unlock();
+    }
+    if (idle) {
+      it = sessions_.erase(it);
+      ++reaped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.reaped += reaped;
+  return reaped;
+}
+
+StatusOr<LinkOverlay::Stats> SessionManager::OverlayStats(uint64_t sid) const {
+  std::shared_ptr<Session> session = Lookup(sid);
+  if (session == nullptr) return Status::InvalidArgument("unknown session");
+  std::lock_guard<std::mutex> lock(session->mu);
+  if (session->partial == nullptr) {
+    return Status::InvalidArgument("complete sessions have no link overlay");
+  }
+  return session->partial->overlay_stats();
+}
+
+size_t SessionManager::live_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
+SessionManagerStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string SessionManager::StatsJson() const {
+  SessionManagerStats s;
+  size_t live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+    live = sessions_.size();
+  }
+  // The BENCH baseline shape ({"bench", "smoke", "rows"}) so the server's
+  // counters flow through the same validation and diff tooling as every
+  // bench_*.json artifact.
+  std::string out = "{\"bench\": \"server\", \"smoke\": false, \"rows\": [";
+  out += "{\"series\": \"sessions\"";
+  auto field = [&out](const char* key, uint64_t v) {
+    out += ", \"";
+    out += key;
+    out += "\": ";
+    out += std::to_string(v);
+  };
+  field("live", live);
+  field("opened", s.opened);
+  field("closed", s.closed);
+  field("reaped", s.reaped);
+  field("fetch_calls", s.fetch_calls);
+  field("rows", s.rows);
+  field("resets", s.resets);
+  field("budget_exhausted", s.budget_exhausted);
+  field("open_rejected", s.open_rejected);
+  out += "}]}";
+  return out;
+}
+
+}  // namespace omqe::server

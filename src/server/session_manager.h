@@ -1,0 +1,113 @@
+// SessionManager: multiplexes many live enumeration cursors over the
+// registry's prepared queries.
+//
+// A managed session wraps one EnumerationSession (partial answers) or
+// CompleteSession (complete answers) plus serving state: a per-session
+// row budget, a last-use timestamp for idle reaping, and a private mutex so
+// two connections fetching on the same id serialize instead of racing.
+// Opening a session is O(1) — the core link overlay is copy-on-write, so
+// spin-up no longer scales with the prepared query's progress-tree count
+// (server_test asserts this through LinkOverlay::Stats).
+//
+// Locking: the id->session map is guarded by a short-lived manager mutex;
+// cursor stepping happens under the session's own mutex with the manager
+// lock released, so fetches on different sessions proceed in parallel.
+// Sessions are shared_ptr-owned: Close (or a concurrent reap) during an
+// in-flight Fetch is safe — the fetch finishes on its reference and the
+// storage dies with the last owner.
+//
+// StatsJson() exports the counters in the BENCH JSON format (the same
+// {"bench":..., "rows":[...]} shape every harness emits and CI validates),
+// so server metrics can be collected and diffed with the existing tooling.
+#ifndef OMQE_SERVER_SESSION_MANAGER_H_
+#define OMQE_SERVER_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/prepared.h"
+
+namespace omqe::server {
+
+struct SessionLimits {
+  /// Rows a session may emit across all fetches; 0 = unlimited. A session
+  /// at its budget reports done (budget_exhausted ticks) until Reset.
+  uint64_t max_rows = 0;
+  /// Sessions idle longer than this are eligible for ReapIdle; 0 = never.
+  int64_t idle_timeout_ms = 0;
+  /// Open() fails once this many sessions are live; 0 = unlimited.
+  size_t max_sessions = 0;
+};
+
+struct SessionManagerStats {
+  uint64_t opened = 0;
+  uint64_t closed = 0;            ///< explicit Close calls
+  uint64_t reaped = 0;            ///< closed by ReapIdle
+  uint64_t fetch_calls = 0;
+  uint64_t rows = 0;              ///< total rows emitted
+  uint64_t resets = 0;
+  uint64_t budget_exhausted = 0;  ///< fetches truncated by max_rows
+  uint64_t open_rejected = 0;     ///< Open refused by max_sessions
+};
+
+class SessionManager {
+ public:
+  explicit SessionManager(SessionLimits limits = {});
+
+  /// Opens a cursor over `prepared` (complete or partial mode; the artifact
+  /// must have the matching normalization). Returns the session id.
+  StatusOr<uint64_t> Open(std::shared_ptr<const PreparedOMQ> prepared,
+                          bool complete);
+
+  /// Steps the cursor up to `n` answers, appending to *out. *done is set
+  /// when the cursor is exhausted or the row budget is spent.
+  Status Fetch(uint64_t sid, uint64_t n, std::vector<ValueTuple>* out,
+               bool* done);
+
+  /// Restarts the cursor and its row budget (preprocessing is shared and
+  /// never repeated; the pruned overlay stays valid per the S' observation).
+  Status Reset(uint64_t sid);
+
+  Status Close(uint64_t sid);
+
+  /// Closes every session idle past the limit; returns how many.
+  size_t ReapIdle();
+
+  /// Copy-on-write counters of a live partial session's link overlay
+  /// (server_test's O(1)-open assertion). Null stats for unknown/complete.
+  StatusOr<LinkOverlay::Stats> OverlayStats(uint64_t sid) const;
+
+  size_t live_sessions() const;
+  SessionManagerStats stats() const;
+
+  /// The counters as one BENCH-format JSON document (bench name "server").
+  std::string StatsJson() const;
+
+ private:
+  struct Session {
+    std::mutex mu;
+    std::unique_ptr<EnumerationSession> partial;  // exactly one of the two
+    std::unique_ptr<CompleteSession> complete;
+    uint64_t rows_emitted = 0;
+    /// Atomic: ReapIdle reads it under the manager lock only, concurrently
+    /// with fetches that store it under the session lock.
+    std::atomic<int64_t> last_used_ns{0};
+  };
+
+  std::shared_ptr<Session> Lookup(uint64_t sid) const;
+
+  SessionLimits limits_;
+  mutable std::mutex mu_;
+  uint64_t next_sid_ = 1;
+  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
+  SessionManagerStats stats_;
+};
+
+}  // namespace omqe::server
+
+#endif  // OMQE_SERVER_SESSION_MANAGER_H_

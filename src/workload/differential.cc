@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "base/str.h"
+#include "chase/estimate.h"
 #include "core/complete_enum.h"
 #include "core/complete_first.h"
 #include "core/multiwild_enum.h"
@@ -104,6 +105,21 @@ DiffReport RunDifferential(const GeneratedCase& c, const DiffOptions& options) {
   // One prepare backs every cursor below — the production sharing path.
   PrepareOptions prepare;
   prepare.chase = options.chase;
+  if (options.estimator_budget) {
+    // Raise the chase budget only when the estimator proves it safe: a
+    // converged bound under the ceiling cannot blow past it, while a
+    // diverging estimate keeps the small default so hostile cases abort
+    // fast (and are reported as chase_skipped, not ground for minutes).
+    ChaseEstimateOptions eopts;
+    eopts.null_depth = options.chase.max_depth;
+    eopts.budget = options.estimator_ceiling;
+    ChaseEstimate est = EstimateChaseSize(*c.db, c.ontology, eopts);
+    if (est.converged && !est.exceeds_budget &&
+        est.fact_bound > prepare.chase.max_facts) {
+      prepare.chase.max_facts = est.fact_bound;
+      ck.report.budget_raised = true;
+    }
+  }
   auto prepared_or = PreparedOMQ::Prepare(omq, *c.db, prepare);
   if (!prepared_or.ok()) {
     if (prepared_or.status().code() == StatusCode::kResourceExhausted) {

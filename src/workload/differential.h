@@ -36,6 +36,13 @@ struct DiffOptions {
   uint32_t max_multiwild_arity = 4;
   /// Run the interleaved / staggered / reset multi-session checks.
   bool check_sessions = true;
+  /// Estimator pre-pass (chase/estimate.h): when the chase-size bound
+  /// converges under `estimator_ceiling`, the per-case chase budget is
+  /// raised to that bound — cases the 128k default would have skipped get
+  /// checked, while genuine blowups (guarded_random seed 2208 chases toward
+  /// 200M facts from 7 inputs) still abort at the small default budget.
+  bool estimator_budget = true;
+  size_t estimator_ceiling = 1u << 21;
 };
 
 /// Outcome of one differential run. `failure` names the first failing check
@@ -51,6 +58,8 @@ struct DiffReport {
   /// The chase blew the DiffOptions fact budget; no checks ran (ok stays
   /// true — an oversized chase is a resource decision, not a mismatch).
   bool chase_skipped = false;
+  /// The estimator pre-pass proved a larger budget safe and raised it.
+  bool budget_raised = false;
 };
 
 /// Cross-checks one materialized case against the oracle.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "chase/chase.h"
+#include "chase/estimate.h"
 #include "chase/query_directed.h"
 #include "eval/brute.h"
 #include "test_util.h"
@@ -222,6 +223,164 @@ TEST(ChaseTest, AdaptiveReservationMatchesAndReducesRehashes) {
   RelId v = on_world.vocab.FindRelation("V");
   EXPECT_EQ(da.NumRows(v), 0u);
   EXPECT_LE(da.DedupStats(v).capacity, 16u);
+}
+
+TEST(ChaseTest, FirstRoundReservationUsesEstimatorBound) {
+  // Guarded join body: A(x, y) guards {x, y}, so the estimator bounds the
+  // first-round creations of S by |A| — the old feed-sum heuristic would
+  // have reserved |A| + |B| (B is made much larger to expose the gap).
+  World w;
+  w.vocab.ReserveConstants(24000);
+  RelId a = w.vocab.RelationId("A", 2);
+  RelId b = w.vocab.RelationId("B", 1);
+  w.db.ReserveFacts(a, 4096);
+  w.db.ReserveFacts(b, 16384);
+  for (int i = 0; i < 4096; ++i) {
+    Value t[2] = {w.C("x" + std::to_string(i)), w.C("y" + std::to_string(i % 64))};
+    w.db.AddFact(a, t, 2);
+  }
+  // B shares the 64 y-values of A plus filler so |B| = 16384.
+  for (int i = 0; i < 16384; ++i) {
+    Value t[1] = {w.C(i < 64 ? "y" + std::to_string(i) : "b" + std::to_string(i))};
+    w.db.AddFact(b, t, 1);
+  }
+  Ontology onto = w.Onto("A(x, y), B(y) -> exists z. S(x, z)");
+
+  // The estimator's per-relation first-round bound: min over guard counts.
+  std::vector<size_t> bounds = FirstRoundCreationBounds(w.db, onto);
+  RelId s = w.vocab.FindRelation("S");
+  ASSERT_LT(s, bounds.size());
+  EXPECT_EQ(bounds[s], 4096u);
+
+  ChaseOptions opts;
+  opts.adaptive_reserve = true;
+  auto result = RunChase(w.db, onto, opts);
+  ASSERT_TRUE(result.ok());
+  const Database& chased = (*result)->db;
+  EXPECT_EQ(chased.NumRows(s), 4096u);
+  // Small guarded case: the estimator-sized reservation keeps the dedup
+  // table at <=1 rehash, and its capacity reflects the 4096-row bound, not
+  // the 20480-row feed sum (Reserve(4096) -> 8192 slots; a feed-sum
+  // reservation would have sized it to 32768).
+  EXPECT_LE(chased.DedupStats(s).rehashes, 1u);
+  EXPECT_LE(chased.DedupStats(s).capacity, 8192u);
+}
+
+TEST(ChaseEstimateTest, BoundsOfficeExampleTightly) {
+  OfficeExample ex;
+  ChaseEstimateOptions opts;
+  opts.null_depth = 4;
+  ChaseEstimate est = EstimateChaseSize(ex.db, ex.onto, opts);
+  EXPECT_TRUE(est.converged);
+  EXPECT_FALSE(est.exceeds_budget);
+  // The bound must dominate the actual capped chase...
+  ChaseOptions chase_opts;
+  chase_opts.null_depth = 4;
+  auto result = RunChase(ex.db, ex.onto, chase_opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(est.fact_bound, (*result)->db.TotalFacts());
+  EXPECT_GE(est.null_bound, static_cast<size_t>((*result)->db.NullHighWater()));
+  // ...while staying within a small constant factor on this linear chain
+  // (6 input facts chase to ~17; a sound estimate should not be orders of
+  // magnitude off).
+  EXPECT_LE(est.fact_bound, 100u);
+}
+
+TEST(ChaseEstimateTest, FlagsBranchingBlowupWithoutRunningChase) {
+  // Two existential TGDs feeding each other double the frontier each depth
+  // level — the shape behind guarded_random seed 2208 (7 input facts
+  // grinding toward the 200M-fact budget). The estimator must flag it from
+  // the structure alone.
+  World w;
+  Ontology onto = w.Onto(R"(
+    P(x) -> exists y, z. Q(x, y), Q(x, z), P(y), P(z)
+  )");
+  w.Load("P(a)");
+  ChaseEstimateOptions opts;
+  opts.null_depth = 24;
+  opts.budget = 1u << 20;
+  ChaseEstimate est = EstimateChaseSize(w.db, onto, opts);
+  EXPECT_TRUE(est.exceeds_budget);
+}
+
+TEST(ChaseEstimateTest, DominatesExistentialChainsThroughNullFreeHeads) {
+  // Every A_i head atom is null-free (frontier-only), so the real chase
+  // fires the whole chain at null depth 1 REGARDLESS of the cap — a
+  // per-depth wave count shorter than the chain would undercount. The
+  // class-stratified recurrence must dominate the chase even with a cap
+  // far below the chain length.
+  World w;
+  Ontology onto = w.Onto(R"(
+    A0(x) -> exists y. N1(x, y), A1(x)
+    A1(x) -> exists y. N2(x, y), A2(x)
+    A2(x) -> exists y. N3(x, y), A3(x)
+    A3(x) -> exists y. N4(x, y), A4(x)
+    A4(x) -> exists y. N5(x, y), A5(x)
+  )");
+  w.Load("A0(a) A0(b)");
+  ChaseEstimateOptions opts;
+  opts.null_depth = 2;  // far below the chain length of 5
+  ChaseEstimate est = EstimateChaseSize(w.db, onto, opts);
+  EXPECT_TRUE(est.converged);
+
+  ChaseOptions chase_opts;
+  chase_opts.null_depth = 2;
+  auto result = RunChase(w.db, onto, chase_opts);
+  ASSERT_TRUE(result.ok());
+  // The chase reaches the end of the chain (all nulls are depth 1).
+  RelId a5 = w.vocab.FindRelation("A5");
+  EXPECT_EQ((*result)->db.NumRows(a5), 2u);
+  EXPECT_GE(est.fact_bound, (*result)->db.TotalFacts());
+}
+
+TEST(ChaseEstimateTest, DominatesUnguardedBodiesSpanningClasses) {
+  // B facts exist only with depth-1 nulls while C facts are all null-free,
+  // so a per-class product would see zero joint matches for the unguarded
+  // body B(x, y), C(z); the totals-based bound must still dominate the
+  // |B| x |C| cross product the chase actually materializes.
+  World w;
+  Ontology onto = w.Onto(R"(
+    A(x) -> exists y. B(x, y)
+    B(x, y), C(z) -> D(x, z)
+  )");
+  for (int i = 0; i < 50; ++i) w.Load("A(a" + std::to_string(i) + ")");
+  for (int i = 0; i < 40; ++i) w.Load("C(c" + std::to_string(i) + ")");
+  ChaseEstimateOptions opts;
+  opts.null_depth = 4;
+  ChaseEstimate est = EstimateChaseSize(w.db, onto, opts);
+  EXPECT_TRUE(est.converged);
+
+  ChaseOptions chase_opts;
+  chase_opts.null_depth = 4;
+  auto result = RunChase(w.db, onto, chase_opts);
+  ASSERT_TRUE(result.ok());
+  RelId d_rel = w.vocab.FindRelation("D");
+  EXPECT_EQ((*result)->db.NumRows(d_rel), 50u * 40u);
+  EXPECT_GE(est.fact_bound, (*result)->db.TotalFacts());
+}
+
+TEST(ChaseEstimateTest, DepthCapBoundsLinearRecursion) {
+  // Person -> Parent -> Person recurses forever uncapped, but each level
+  // adds only one null per person: with the depth cap the estimate is small
+  // and converged, so admission control lets it through.
+  World w;
+  Ontology onto = w.Onto(R"(
+    Person(x) -> exists y. Parent(x, y)
+    Parent(x, y) -> Person(y)
+  )");
+  w.Load("Person(a) Person(b)");
+  ChaseEstimateOptions opts;
+  opts.null_depth = 6;
+  ChaseEstimate est = EstimateChaseSize(w.db, onto, opts);
+  EXPECT_TRUE(est.converged);
+  EXPECT_FALSE(est.exceeds_budget);
+  EXPECT_LE(est.fact_bound, 200u);
+
+  ChaseOptions chase_opts;
+  chase_opts.null_depth = 6;
+  auto result = RunChase(w.db, onto, chase_opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(est.fact_bound, (*result)->db.TotalFacts());
 }
 
 TEST(QueryDirectedChaseTest, AdaptiveDepthFindsStableDbPart) {

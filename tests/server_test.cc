@@ -1,0 +1,424 @@
+// The query-serving subsystem: protocol round-trips through the in-process
+// client, interleaved fetch correctness against the brute-force oracle,
+// registry eviction / session reset semantics, per-session budgets and idle
+// reaping, the O(1)-open contract (link-overlay copy counters), and a
+// threaded soak over one server — the new payload of the tsan preset.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <set>
+#include <thread>
+
+#include "eval/brute.h"
+#include "server/protocol.h"
+#include "server/registry.h"
+#include "server/server.h"
+#include "server/session_manager.h"
+#include "test_util.h"
+
+namespace omqe {
+namespace {
+
+using testing::SameTupleSet;
+using testing::World;
+
+/// The paper's office environment behind a live server.
+struct OfficeServer : World {
+  Ontology onto;
+  std::unique_ptr<server::OmqeServer> srv;
+
+  explicit OfficeServer(server::ServerOptions options = {}) {
+    onto = Onto(R"(
+      Researcher(x) -> exists y. HasOffice(x, y)
+      HasOffice(x, y) -> Office(y)
+      Office(x) -> exists y. InBuilding(x, y)
+    )");
+    Load(R"(
+      Researcher(mary) Researcher(john) Researcher(mike)
+      HasOffice(mary, room1) HasOffice(john, room4)
+      InBuilding(room1, main1)
+    )");
+    srv = std::make_unique<server::OmqeServer>(&vocab, &onto, &db, options);
+  }
+};
+
+constexpr char kOfficeQuery[] =
+    "q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)";
+
+using server::ResponseRows;
+using server::ResponseTerminator;
+
+TEST(ProtocolTest, ParsesEveryVerb) {
+  auto prepare = server::ParseRequest("PREPARE offices q(x) :- Office(x)");
+  ASSERT_TRUE(prepare.ok());
+  EXPECT_EQ(prepare->verb, server::Verb::kPrepare);
+  EXPECT_EQ(prepare->name, "offices");
+  EXPECT_EQ(prepare->query_text, "q(x) :- Office(x)");
+
+  auto open = server::ParseRequest("open offices complete");
+  ASSERT_TRUE(open.ok());
+  EXPECT_EQ(open->verb, server::Verb::kOpen);
+  EXPECT_TRUE(open->complete);
+
+  auto fetch = server::ParseRequest("FETCH 7 100");
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch->session, 7u);
+  EXPECT_EQ(fetch->count, 100u);
+
+  EXPECT_EQ(server::ParseRequest("RESET 3")->verb, server::Verb::kReset);
+  EXPECT_EQ(server::ParseRequest("CLOSE 3")->verb, server::Verb::kClose);
+  EXPECT_EQ(server::ParseRequest("EVICT offices")->verb, server::Verb::kEvict);
+  EXPECT_EQ(server::ParseRequest("STATS")->verb, server::Verb::kStats);
+  EXPECT_EQ(server::ParseRequest("QUIT")->verb, server::Verb::kQuit);
+  EXPECT_EQ(server::ParseRequest("SHUTDOWN")->verb, server::Verb::kShutdown);
+}
+
+TEST(ProtocolTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(server::ParseRequest("").ok());
+  EXPECT_FALSE(server::ParseRequest("# comment").ok());
+  EXPECT_FALSE(server::ParseRequest("NOSUCH 1").ok());
+  EXPECT_FALSE(server::ParseRequest("PREPARE").ok());
+  EXPECT_FALSE(server::ParseRequest("PREPARE name").ok());
+  EXPECT_FALSE(server::ParseRequest("PREPARE bad!name q(x) :- R(x)").ok());
+  EXPECT_FALSE(server::ParseRequest("OPEN offices sideways").ok());
+  EXPECT_FALSE(server::ParseRequest("FETCH 1").ok());
+  EXPECT_FALSE(server::ParseRequest("FETCH 1 0").ok());
+  EXPECT_FALSE(server::ParseRequest("FETCH one 5").ok());
+  EXPECT_FALSE(server::ParseRequest("CLOSE").ok());
+  EXPECT_FALSE(server::ParseRequest("STATS now").ok());
+}
+
+TEST(ServerTest, ProtocolRoundTripsThroughInProcessClient) {
+  OfficeServer w;
+  server::InProcessClient client(w.srv.get());
+
+  std::string r = client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery);
+  EXPECT_EQ(r, "OK PREPARED offices trees=8 chase_facts=19\n") << r;
+
+  r = client.Roundtrip("OPEN offices");
+  EXPECT_EQ(r, "OK OPEN 1\n") << r;
+
+  r = client.Roundtrip("FETCH 1 100");
+  EXPECT_EQ(ResponseRows(r).size(), 3u) << r;
+  EXPECT_EQ(ResponseTerminator(r), "OK FETCH 3 done");
+
+  r = client.Roundtrip("RESET 1");
+  EXPECT_EQ(r, "OK RESET 1\n");
+  r = client.Roundtrip("FETCH 1 2");
+  EXPECT_EQ(ResponseRows(r).size(), 2u);
+  EXPECT_EQ(ResponseTerminator(r), "OK FETCH 2 more");
+
+  r = client.Roundtrip("STATS");
+  EXPECT_NE(r.find("STAT {\"bench\": \"server\""), std::string::npos) << r;
+  EXPECT_NE(r.find("\"series\": \"registry\""), std::string::npos) << r;
+  EXPECT_EQ(ResponseTerminator(r), "OK STATS");
+
+  r = client.Roundtrip("CLOSE 1");
+  EXPECT_EQ(r, "OK CLOSE 1\n");
+
+  // Error paths: every failure is an ERR terminator, never a crash.
+  EXPECT_TRUE(server::IsError(client.Roundtrip("FETCH 1 5")));   // closed
+  EXPECT_TRUE(server::IsError(client.Roundtrip("CLOSE 1")));     // double close
+  EXPECT_TRUE(server::IsError(client.Roundtrip("OPEN absent"))); // unknown name
+  EXPECT_TRUE(server::IsError(client.Roundtrip("JUMP 1")));      // unknown verb
+  EXPECT_TRUE(server::IsError(client.Roundtrip("PREPARE p2 q(x :- broken")));
+}
+
+TEST(ServerTest, InterleavedFetchesMatchBruteForce) {
+  OfficeServer w;
+  server::InProcessClient client(w.srv.get());
+  ASSERT_FALSE(server::IsError(
+      client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+
+  // The oracle answer set, rendered exactly like the wire rows.
+  auto prepared = w.srv->registry().Get("offices");
+  ASSERT_NE(prepared, nullptr);
+  CQ query = w.Query(kOfficeQuery);
+  std::set<std::string> want;
+  for (const ValueTuple& t :
+       BruteMinimalPartialAnswers(query, prepared->chase().db)) {
+    want.insert(w.Render(t));
+  }
+  ASSERT_FALSE(want.empty());
+
+  // Three sessions, fetched in interleaved unequal batches; each must
+  // produce exactly the oracle set — pruning in one cursor never leaks.
+  std::vector<uint64_t> sids;
+  for (int i = 0; i < 3; ++i) {
+    std::string r = client.Roundtrip("OPEN offices");
+    uint64_t sid = 0;
+    ASSERT_TRUE(server::ParseOpenSession(r, &sid)) << r;
+    sids.push_back(sid);
+  }
+  std::vector<std::multiset<std::string>> got(sids.size());
+  std::vector<bool> done(sids.size(), false);
+  size_t batch = 1;
+  while (!(done[0] && done[1] && done[2])) {
+    for (size_t i = 0; i < sids.size(); ++i) {
+      if (done[i]) continue;
+      std::string r = client.Roundtrip("FETCH " + std::to_string(sids[i]) +
+                                       " " + std::to_string(batch));
+      ASSERT_FALSE(server::IsError(r)) << r;
+      for (const std::string& row : ResponseRows(r)) got[i].insert(row);
+      done[i] = server::FetchDone(r);
+    }
+    batch = batch % 3 + 1;  // vary batch sizes 1, 2, 3, 1, ...
+  }
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(std::set<std::string>(got[i].begin(), got[i].end()), want)
+        << "session " << i;
+    EXPECT_EQ(got[i].size(), want.size()) << "duplicates in session " << i;
+  }
+}
+
+TEST(ServerTest, EvictionKeepsLiveSessionsServing) {
+  OfficeServer w;
+  server::InProcessClient client(w.srv.get());
+  ASSERT_FALSE(server::IsError(
+      client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+  std::string r = client.Roundtrip("OPEN offices");
+  ASSERT_FALSE(server::IsError(r));
+
+  EXPECT_EQ(client.Roundtrip("EVICT offices"), "OK EVICT offices\n");
+  EXPECT_TRUE(server::IsError(client.Roundtrip("EVICT offices")));  // gone
+  EXPECT_TRUE(server::IsError(client.Roundtrip("OPEN offices")));   // gone
+
+  // The pre-evict session still drains the full answer set: its refcount
+  // keeps the artifact alive after the registry dropped the name.
+  r = client.Roundtrip("FETCH 1 100");
+  EXPECT_EQ(ResponseRows(r).size(), 3u) << r;
+  EXPECT_EQ(ResponseTerminator(r), "OK FETCH 3 done");
+}
+
+TEST(ServerTest, RowBudgetExhaustsAndResetRestores) {
+  server::ServerOptions options;
+  options.limits.max_rows = 2;
+  OfficeServer w(options);
+  server::InProcessClient client(w.srv.get());
+  ASSERT_FALSE(server::IsError(
+      client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+  ASSERT_FALSE(server::IsError(client.Roundtrip("OPEN offices")));
+
+  // 3 answers exist but the budget stops the session at 2.
+  std::string r = client.Roundtrip("FETCH 1 100");
+  EXPECT_EQ(ResponseRows(r).size(), 2u) << r;
+  EXPECT_EQ(ResponseTerminator(r), "OK FETCH 2 done");
+  r = client.Roundtrip("FETCH 1 100");
+  EXPECT_EQ(ResponseRows(r).size(), 0u);
+  EXPECT_EQ(ResponseTerminator(r), "OK FETCH 0 done");
+  EXPECT_GE(w.srv->sessions().stats().budget_exhausted, 1u);
+
+  // Reset restores the budget along with the cursor.
+  ASSERT_FALSE(server::IsError(client.Roundtrip("RESET 1")));
+  r = client.Roundtrip("FETCH 1 1");
+  EXPECT_EQ(ResponseRows(r).size(), 1u);
+  EXPECT_EQ(ResponseTerminator(r), "OK FETCH 1 more");
+}
+
+TEST(ServerTest, SessionLimitAndIdleReaping) {
+  server::SessionLimits limits;
+  limits.max_sessions = 2;
+  limits.idle_timeout_ms = 1;
+  server::SessionManager manager(limits);
+
+  World w;
+  Ontology onto = w.Onto("Researcher(x) -> exists y. HasOffice(x, y)");
+  w.Load("Researcher(mary)");
+  OMQ omq = MakeOMQ(onto, w.Query("q(x, y) :- HasOffice(x, y)"));
+  auto prepared = PreparedOMQ::Prepare(omq, w.db);
+  ASSERT_TRUE(prepared.ok());
+
+  ASSERT_TRUE(manager.Open(*prepared, /*complete=*/false).ok());
+  ASSERT_TRUE(manager.Open(*prepared, /*complete=*/false).ok());
+  EXPECT_FALSE(manager.Open(*prepared, /*complete=*/false).ok());
+  EXPECT_EQ(manager.stats().open_rejected, 1u);
+  EXPECT_EQ(manager.live_sessions(), 2u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(manager.ReapIdle(), 2u);
+  EXPECT_EQ(manager.live_sessions(), 0u);
+  EXPECT_EQ(manager.stats().reaped, 2u);
+  // Reaped ids behave exactly like closed ones.
+  std::vector<ValueTuple> rows;
+  bool done = false;
+  EXPECT_FALSE(manager.Fetch(1, 1, &rows, &done).ok());
+}
+
+TEST(ServerTest, BackgroundReaperClosesIdleSessions) {
+  server::ServerOptions options;
+  options.limits.idle_timeout_ms = 10;
+  OfficeServer w(options);
+  server::InProcessClient client(w.srv.get());
+  ASSERT_FALSE(server::IsError(
+      client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+  ASSERT_FALSE(server::IsError(client.Roundtrip("OPEN offices")));
+  ASSERT_EQ(w.srv->sessions().live_sessions(), 1u);
+
+  // The server's own reaper thread (no traffic needed) closes it.
+  for (int i = 0; i < 100 && w.srv->sessions().live_sessions() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(w.srv->sessions().live_sessions(), 0u);
+  EXPECT_GE(w.srv->sessions().stats().reaped, 1u);
+  EXPECT_TRUE(server::IsError(client.Roundtrip("FETCH 1 1")));
+}
+
+// The acceptance contract: opening a session is O(1) — the overlay copies
+// nothing at open, no matter how many progress trees the prepared query
+// has, and a drained cursor has touched at most what pruning required.
+TEST(ServerTest, SessionOpenIsO1InProgressTreeCount) {
+  for (uint32_t scale : {50u, 2000u}) {
+    World w;
+    Ontology onto = w.Onto(R"(
+      A(x) -> exists y. R(x, y)
+      R(x, y) -> B(y)
+      B(x) -> exists y. S(x, y)
+    )");
+    w.vocab.ReserveConstants(3 * scale + 16);
+    for (uint32_t i = 0; i < scale; ++i) {
+      std::string n = std::to_string(i);
+      w.Load("A(a" + n + ")");
+      if (i % 3 != 0) w.Load("R(a" + n + ", c" + n + ")");
+      if (i % 6 == 1) w.Load("S(c" + n + ", d" + n + ")");
+    }
+    OMQ omq = MakeOMQ(onto, w.Query("q(x, y, z) :- R(x, y), S(y, z)"));
+    auto prepared = PreparedOMQ::Prepare(omq, w.db);
+    ASSERT_TRUE(prepared.ok());
+
+    server::SessionManager manager;
+    auto sid = manager.Open(*prepared, /*complete=*/false);
+    ASSERT_TRUE(sid.ok());
+    auto at_open = manager.OverlayStats(*sid);
+    ASSERT_TRUE(at_open.ok());
+    // The counters, not timing: zero copied entries at open, at BOTH pool
+    // scales. The eager-copy design this replaces would have copied
+    // num_progress_trees() entries here.
+    EXPECT_EQ(at_open->touched_nodes, 0u) << "scale " << scale;
+    EXPECT_EQ(at_open->touched_heads, 0u) << "scale " << scale;
+    ASSERT_GT((*prepared)->num_progress_trees(),
+              static_cast<size_t>(scale));  // the contract is non-vacuous
+
+    // Drain, then verify the overlay only ever materialized pruned nodes.
+    std::vector<ValueTuple> rows;
+    bool done = false;
+    while (!done) {
+      ASSERT_TRUE(manager.Fetch(*sid, 64, &rows, &done).ok());
+    }
+    auto after = manager.OverlayStats(*sid);
+    ASSERT_TRUE(after.ok());
+    EXPECT_LE(after->touched_nodes, (*prepared)->num_progress_trees());
+    EXPECT_TRUE(SameTupleSet(
+        rows, BruteMinimalPartialAnswers(omq.query, (*prepared)->chase().db)));
+  }
+}
+
+// The tsan payload: many clients on the server's worker pool, mixing
+// PREPARE / OPEN / FETCH / RESET / CLOSE / EVICT / STATS over shared
+// registry and session-manager state.
+TEST(ServerTest, ThreadedSoakOverOneServer) {
+  server::ServerOptions options;
+  options.threads = 4;
+  OfficeServer w(options);
+  server::InProcessClient seed(w.srv.get());
+  ASSERT_FALSE(server::IsError(
+      seed.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+
+  constexpr int kClients = 8;
+  constexpr int kRoundsPerClient = 12;
+  std::vector<std::thread> clients;
+  std::vector<int> failures(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      server::InProcessClient client(w.srv.get());
+      for (int round = 0; round < kRoundsPerClient; ++round) {
+        std::string name = "q_" + std::to_string(c) + "_" + std::to_string(round);
+        if (server::IsError(client.Roundtrip("PREPARE " + name + " " +
+                                             kOfficeQuery))) {
+          ++failures[c];
+          continue;
+        }
+        std::string r = client.Roundtrip("OPEN " + name);
+        uint64_t sid = 0;
+        if (!server::ParseOpenSession(r, &sid)) {
+          ++failures[c];
+          continue;
+        }
+        size_t rows = 0;
+        bool done = false;
+        while (!done) {
+          std::string fr =
+              client.Roundtrip("FETCH " + std::to_string(sid) + " 2");
+          if (server::IsError(fr)) {
+            ++failures[c];
+            break;
+          }
+          rows += ResponseRows(fr).size();
+          done = server::FetchDone(fr);
+        }
+        if (rows != 3) ++failures[c];
+        client.Roundtrip("RESET " + std::to_string(sid));
+        client.Roundtrip("STATS");
+        client.Roundtrip("CLOSE " + std::to_string(sid));
+        client.Roundtrip("EVICT " + name);
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[c], 0) << "client " << c;
+  }
+  auto stats = w.srv->sessions().stats();
+  EXPECT_EQ(stats.opened, static_cast<uint64_t>(kClients * kRoundsPerClient));
+  EXPECT_EQ(stats.closed, stats.opened);
+  EXPECT_EQ(stats.rows, 3u * kClients * kRoundsPerClient);
+}
+
+TEST(ServerTest, EstimatorRejectsExplodingOntologyBeforeChase) {
+  World w;
+  // 4x-branching frontier: 4^depth nulls. The query's excursion depth
+  // (8 atoms, 9 variables -> cap ~11) puts the bound in the millions, so
+  // PREPARE must reject from the structure alone instead of grinding the
+  // chase toward the fact budget (fuzzer seed 2208's failure mode).
+  Ontology onto = w.Onto(
+      "P(x) -> exists y1, y2, y3, y4. "
+      "P(y1), P(y2), P(y3), P(y4), Q(x, y1)");
+  w.Load("P(a)");
+  server::RegistryOptions options;
+  options.max_estimated_chase_facts = 1u << 16;
+  server::QueryRegistry registry(&onto, &w.db, options);
+  auto result = registry.Prepare(
+      "boom", w.Query("q(x1, x2, x3, x4, x5, x6, x7, x8, x9) :- "
+                      "Q(x1, x2), Q(x2, x3), Q(x3, x4), Q(x4, x5), "
+                      "Q(x5, x6), Q(x6, x7), Q(x7, x8), Q(x8, x9)"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(registry.stats().rejected_by_estimate, 1u);
+  EXPECT_EQ(registry.size(), 0u);
+}
+
+TEST(ServerTest, TcpTransportServesAndShutsDown) {
+  OfficeServer w;
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  std::thread serving([&] {
+    Status s = server::ServeTcp(w.srv.get(), /*port=*/0, [&](uint16_t port) {
+      port_promise.set_value(port);
+    });
+    EXPECT_TRUE(s.ok()) << s.ToString();
+  });
+  uint16_t port = port_future.get();
+  ASSERT_NE(port, 0);
+
+  auto response = server::TcpExchange(
+      "127.0.0.1", port,
+      std::string("PREPARE offices ") + kOfficeQuery +
+          "\nOPEN offices\nFETCH 1 10\nCLOSE 1\nSHUTDOWN\n");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(ResponseRows(*response).size(), 3u) << *response;
+  EXPECT_NE(response->find("OK SHUTDOWN"), std::string::npos);
+  serving.join();
+  EXPECT_TRUE(w.srv->shutdown_requested());
+}
+
+}  // namespace
+}  // namespace omqe
