@@ -50,5 +50,68 @@ int main(int argc, char** argv) {
   }
   std::printf("\nExpected shape: both ns/fact columns stay flat as ||D|| "
               "doubles (linear preprocessing).\n");
+
+  // E2t: the chase's sharded match phase across worker lanes at the largest
+  // sweep size. Speedup is bounded by the machine's cores (a 1-core CI
+  // container shows ~1x throughout — the interesting signal there is that
+  // threading never LOSES more than the fork/join overhead); the rows also
+  // re-verify bit-identity against the 1-thread artifact, so the bench
+  // doubles as an end-to-end determinism check on real workload sizes.
+  bench::PrintHeader("E2t: chase thread sweep (largest office size)",
+                     "threads   chase_ms   speedup   identical");
+  {
+    const uint32_t n = smoke ? 500u : 160000u;
+    Vocabulary vocab;
+    Database db(&vocab);
+    OfficeParams params;
+    params.researchers = n;
+    GenerateOffice(params, &db);
+    OMQ omq = OfficeOMQ(&vocab);
+
+    double base_ms = 0;
+    std::shared_ptr<const ChaseResult> base;
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      QdcOptions options;
+      options.num_threads = threads;
+      Stopwatch watch;
+      auto chase = QueryDirectedChase(db, omq.ontology, omq.query, options);
+      double ms = watch.ElapsedSeconds() * 1e3;
+      if (!chase.ok()) return 1;
+      bool identical = true;
+      if (threads == 1) {
+        base_ms = ms;
+        base = *chase;
+      } else {
+        const Database& a = base->db;
+        const Database& b = (*chase)->db;
+        identical = a.TotalFacts() == b.TotalFacts() &&
+                    a.NullHighWater() == b.NullHighWater() &&
+                    base->blocks.size() == (*chase)->blocks.size();
+        for (RelId r = 0; identical && r < a.NumRelationSlots(); ++r) {
+          identical = a.NumRows(r) == b.NumRows(r);
+          for (uint32_t row = 0; identical && row < a.NumRows(r); ++row) {
+            for (uint32_t i = 0; i < a.Arity(r); ++i) {
+              identical &= a.Row(r, row)[i] == b.Row(r, row)[i];
+            }
+          }
+        }
+        if (!identical) {
+          std::fprintf(stderr, "FATAL: %u-thread chase differs from 1-thread\n",
+                       threads);
+          return 1;
+        }
+      }
+      std::printf("%7u   %8.1f   %7.2fx   %9s\n", threads, ms,
+                  ms > 0 ? base_ms / ms : 0.0, identical ? "yes" : "NO");
+      json.AddRow("E2t")
+          .Set("threads", threads)
+          .Set("facts", db.TotalFacts())
+          .Set("chase_ms", ms)
+          .Set("speedup", ms > 0 ? base_ms / ms : 0.0)
+          .Set("identical", 1);
+    }
+  }
+  std::printf("\nExpected shape: chase_ms shrinks with threads up to the "
+              "core count; identical stays yes everywhere.\n");
   return 0;
 }

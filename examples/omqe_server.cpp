@@ -18,6 +18,7 @@
 //   $ printf '...exchange...' | ./omqe_server --client --port=7411
 //   (e.g. the lines PREPARE q1 q(x,y) :- HasOffice(x,y) / OPEN q1 /
 //   FETCH 1 10 / CLOSE 1 / SHUTDOWN)
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -109,21 +110,39 @@ int main(int argc, char** argv) {
       return arg.substr(0, prefix.size()) == prefix ? argv[i] + prefix.size()
                                                     : nullptr;
     };
+    // Range-checked numeric flag: the protocol's strict ParseU64 plus a
+    // ceiling. The strtoul-then-cast this replaces silently wrapped —
+    // --port=65537 served port 1, --threads=4294967297 spawned one worker.
+    auto numeric = [&](const char* v, uint64_t max_value, uint64_t* out) {
+      uint64_t parsed = 0;
+      if (!server::ParseU64(v, &parsed) || parsed > max_value) {
+        std::fprintf(stderr, "%.*s expects an integer in [0, %llu], got '%s'\n",
+                     static_cast<int>(arg.size() - std::strlen(v)), argv[i],
+                     static_cast<unsigned long long>(max_value), v);
+        std::exit(2);
+      }
+      *out = parsed;
+      return parsed;
+    };
+    uint64_t n = 0;
     if (const char* v = value("--ontology=")) ontology_path = v;
     else if (const char* v = value("--data=")) data_path = v;
     else if (const char* v = value("--port=")) {
-      port = static_cast<uint16_t>(std::strtoul(v, nullptr, 10));
+      port = static_cast<uint16_t>(numeric(v, 65535, &n));
       have_port = true;
     } else if (const char* v = value("--host=")) host = v;
     else if (const char* v = value("--threads=")) {
-      options.threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+      options.threads = static_cast<uint32_t>(numeric(v, UINT32_MAX, &n));
+    } else if (const char* v = value("--prepare-threads=")) {
+      options.registry.prepare_threads =
+          static_cast<uint32_t>(numeric(v, 256, &n));
     } else if (const char* v = value("--max-rows=")) {
-      options.limits.max_rows = std::strtoull(v, nullptr, 10);
+      numeric(v, UINT64_MAX, &options.limits.max_rows);
     } else if (const char* v = value("--max-sessions=")) {
-      options.limits.max_sessions = std::strtoul(v, nullptr, 10);
+      options.limits.max_sessions = static_cast<uint32_t>(numeric(v, UINT32_MAX, &n));
     } else if (const char* v = value("--idle-timeout-ms=")) {
       options.limits.idle_timeout_ms =
-          static_cast<int64_t>(std::strtoll(v, nullptr, 10));
+          static_cast<int64_t>(numeric(v, INT64_MAX, &n));
     } else if (arg == "--client") {
       client = true;
     } else if (arg == "--stdio") {

@@ -1,0 +1,57 @@
+// Fixed-size worker pool, shared by the serving transports (long-lived
+// request jobs via Submit) and the chase engine's round-scoped sharding
+// (RunShards: a fork/join barrier over a fixed shard count).
+//
+// The pool is deliberately dumb: no work stealing, no priorities. Jobs run
+// in submission order; RunShards distributes shard ids through an atomic
+// ticket so an uneven shard costs at most one idle lane, and the calling
+// thread works too — a pool of N-1 workers plus the caller saturates N
+// cores without parking the caller on a condition variable until the tail.
+#ifndef OMQE_BASE_THREAD_POOL_H_
+#define OMQE_BASE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace omqe {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 is promoted to 1).
+  explicit ThreadPool(uint32_t threads);
+  /// Drains outstanding jobs, then joins.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one job; jobs start in submission order.
+  void Submit(std::function<void()> job);
+
+  /// Runs fn(shard) for every shard in [0, shards) across the workers AND
+  /// the calling thread, returning only when all shards finished (a
+  /// barrier: every write a shard made happens-before the return). fn must
+  /// not call Submit or RunShards on the same pool from inside a shard.
+  void RunShards(uint32_t shards, const std::function<void(uint32_t)>& fn);
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> jobs_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_THREAD_POOL_H_

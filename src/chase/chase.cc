@@ -1,8 +1,10 @@
 #include "chase/chase.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "base/flat_hash.h"
+#include "base/thread_pool.h"
 #include "chase/estimate.h"
 #include "horn/horn.h"
 
@@ -80,6 +82,29 @@ struct MatchPlan {
   std::vector<PlanStep> steps;
 };
 
+/// Per-shard output and scratch of one match phase (phase A of a delta
+/// round). A shard owns its instance exclusively while enumerating; the
+/// sequential merge (phase B) reads them in shard order. Buffers persist
+/// across rounds (cleared, not freed) so a steady-state round allocates
+/// nothing.
+struct ShardOut {
+  /// Per-round candidate dedup, keyed exactly like the engine's global
+  /// applied_ table (TGD id + body values). Only drops duplicates the
+  /// merge's global table would skip anyway — including re-suppressed
+  /// depth-capped applications, which re-emit in LATER rounds because this
+  /// table is cleared per round — so per-shard dedup never changes the
+  /// applied sequence, it only shrinks the buffers.
+  TupleMap<char> seen;
+  /// Candidate i is tgds[i] plus its body-variable values appended to
+  /// vals in ascending variable-id order (the dedup-key order, which is
+  /// also how the merge reconstructs the assignment from BodyVars bits).
+  std::vector<uint32_t> tgds;
+  std::vector<Value> vals;
+  // Scratch reused across candidates (no per-match allocation).
+  std::vector<Value> assign;
+  ValueTuple key;
+};
+
 class ChaseEngine {
  public:
   ChaseEngine(const Database& input, const Ontology& onto, const ChaseOptions& options)
@@ -105,24 +130,31 @@ class ChaseEngine {
       }
     }
 
+    // Every delta round runs the same two-phase pipeline regardless of
+    // thread count. Phase A (EnumerateRound) enumerates candidate body
+    // matches of the round's delta facts against the state as of the round
+    // boundary — strictly read-only, so the live indexes ARE the frozen
+    // prior-round state and shards can probe them concurrently. Phase B
+    // (ApplyCandidates) walks the per-shard candidate buffers in fixed
+    // shard order and applies them sequentially (global dedup, depth cap,
+    // null numbering, index maintenance). Because shards partition the
+    // delta contiguously and merge in order, the applied-candidate
+    // sequence is the 1-shard sequence for every thread count: fact order,
+    // null ids, blocks, and truncation come out bit-identical.
+    //
+    // A match between a delta fact and a fact created in the SAME round is
+    // not seen in this round (phase A reads the frozen state), but is
+    // rediscovered next round from the created fact's own delta plan — the
+    // semi-naive argument; the applied_ table fires each body assignment
+    // once either way, so the fixpoint fact set is unchanged.
     while (!delta_.empty()) {
       std::vector<FactRef> delta = std::move(delta_);
       delta_.clear();
-      if (options_.adaptive_reserve) ReserveForRound(delta.size());
-      for (const FactRef& f : delta) {
-        if (f.rel >= plans_by_rel_.size()) continue;
-        for (uint32_t plan_id : plans_by_rel_[f.rel]) {
-          const MatchPlan& plan = plans_[plan_id];
-          const TGD& tgd = onto_.tgds()[plan.tgd];
-          assign_.assign(tgd.num_vars(), kUnbound);
-          SmallVec<uint32_t, 8> bound;
-          if (!UnifyAtom(tgd.body()[plan.delta_atom], result_->db.Row(f),
-                         &assign_, &bound)) {
-            continue;
-          }
-          OMQE_RETURN_IF_ERROR(Backtrack(plan, 0, &assign_));
-        }
-      }
+      size_t round_est =
+          options_.adaptive_reserve ? ReserveForRound(delta.size()) : 0;
+      uint32_t shards = ShardCount(delta.size());
+      EnumerateRound(delta, shards, round_est);
+      OMQE_RETURN_IF_ERROR(ApplyCandidates(shards));
     }
 
     // Count the database part.
@@ -182,16 +214,23 @@ class ChaseEngine {
   /// estimator's per-relation creation bound (min over guard-atom counts
   /// per producing TGD, see chase/estimate.h — tighter than any feed sum,
   /// and zero for head relations nothing feeds); later rounds: the previous
-  /// round's measured growth scaled by the delta-size ratio — and pre-size
-  /// the relation plus its dynamic indexes once. The estimate is linear in
-  /// the facts that can actually fire, so memory stays within a constant
-  /// factor of the facts actually created.
-  void ReserveForRound(size_t delta_size) {
+  /// round's measured growth scaled by the delta-size ratio
+  /// (ScaleRoundGrowth — saturating, a plain product wraps on adversarial
+  /// round sizes and then either under-reserves or reserves garbage) — and
+  /// pre-size the relation plus its dynamic indexes once. The estimate is
+  /// linear in the facts that can actually fire, so memory stays within a
+  /// constant factor of the facts actually created.
+  ///
+  /// Returns the round's total projected creation (sum over head
+  /// relations, saturating at max_facts): the bound the sharded match
+  /// phase slices per worker for its candidate-buffer reservations.
+  size_t ReserveForRound(size_t delta_size) {
     const bool first = head_rows_before_.empty();
     if (first) {
       head_rows_before_.assign(head_rels_.size(), 0);
       first_round_bounds_ = FirstRoundCreationBounds(input_, onto_);
     }
+    size_t round_est = 0;
     for (size_t i = 0; i < head_rels_.size(); ++i) {
       RelId r = head_rels_[i];
       uint32_t rows = result_->db.NumRows(r);
@@ -206,21 +245,29 @@ class ChaseEngine {
                   : 0;
       } else {
         size_t growth = rows - head_rows_before_[i];
-        est = prev_delta_ == 0 ? growth : growth * delta_size / prev_delta_ + 1;
+        est = ScaleRoundGrowth(growth, delta_size, prev_delta_);
       }
       head_rows_before_[i] = rows;
+      // Anything past the fact budget is dead on arrival (the chase aborts
+      // before filling it), and ReserveFacts speaks uint32_t rows.
+      size_t usable = std::min(est, options_.max_facts);
+      round_est = round_est > options_.max_facts - usable
+                      ? options_.max_facts
+                      : round_est + usable;
       // Small projections are not worth a reservation: the default table
       // already covers them and repeated tiny reserves only churn.
-      if (est >= 64 && est <= options_.max_facts) {
+      if (est >= 64 && est <= options_.max_facts && est <= UINT32_MAX) {
         result_->db.ReserveFacts(r, static_cast<uint32_t>(est));
         if (r < rel_indexes_.size()) {
           for (uint32_t idx : rel_indexes_[r]) {
-            indexes_[idx].Reserve(static_cast<uint32_t>(rows + est));
+            indexes_[idx].Reserve(static_cast<uint32_t>(
+                std::min<size_t>(rows + est, UINT32_MAX)));
           }
         }
       }
     }
     prev_delta_ = delta_size;
+    return round_est;
   }
 
   void BuildPlans() {
@@ -335,19 +382,141 @@ class ChaseEngine {
     return true;
   }
 
-  Status Backtrack(const MatchPlan& plan, size_t step, std::vector<Value>* assign) {
-    if (step == plan.steps.size()) return Apply(plan.tgd, *assign);
+  /// Shards used for one round's match phase: the configured lanes when the
+  /// delta is big enough to amortize the fork/join, else 1 (tiny tail
+  /// rounds are common and a barrier costs more than the matching).
+  uint32_t ShardCount(size_t delta_size) const {
+    uint32_t threads = options_.num_threads == 0 ? 1 : options_.num_threads;
+    if (threads <= 1 || delta_size < kMinParallelDelta) return 1;
+    return threads;
+  }
+
+  ThreadPool* Pool() {
+    // Lazy: a num_threads=1 chase (the default, and every tail round's
+    // shards==1 case) never spawns a thread. The caller participates in
+    // RunShards, so the pool only needs num_threads - 1 workers.
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads - 1);
+    }
+    return pool_.get();
+  }
+
+  /// Phase A: enumerate the round's candidate matches into per-shard
+  /// buffers. No writes to the database, indexes, or any shared engine
+  /// state happen anywhere in this phase, so the live structures are
+  /// exactly the frozen prior-round state and every probe is a read.
+  void EnumerateRound(const std::vector<FactRef>& delta, uint32_t shards,
+                      size_t round_est) {
+    if (shard_out_.size() < shards) shard_out_.resize(shards);
+    // Candidates ~ firings, so the round creation bound (sliced with skew
+    // slack) pre-sizes the per-shard dedup tables; clamped the same way as
+    // relation reservations so a saturated estimate cannot bad_alloc.
+    size_t bound = ShardCreationBound(round_est, shards);
+    for (uint32_t s = 0; s < shards; ++s) {
+      ShardOut& out = shard_out_[s];
+      out.seen.clear();
+      out.tgds.clear();
+      out.vals.clear();
+      if (bound >= 64 && bound <= UINT32_MAX) out.seen.Reserve(bound);
+    }
+    auto run = [&](uint32_t s) {
+      size_t begin = delta.size() * s / shards;
+      size_t end = delta.size() * (s + 1) / shards;
+      EnumerateShard(delta, begin, end, &shard_out_[s]);
+    };
+    if (shards == 1) {
+      run(0);
+    } else {
+      Pool()->RunShards(shards, run);
+    }
+  }
+
+  void EnumerateShard(const std::vector<FactRef>& delta, size_t begin,
+                      size_t end, ShardOut* out) {
+    for (size_t i = begin; i < end; ++i) {
+      const FactRef& f = delta[i];
+      if (f.rel >= plans_by_rel_.size()) continue;
+      for (uint32_t plan_id : plans_by_rel_[f.rel]) {
+        const MatchPlan& plan = plans_[plan_id];
+        const TGD& tgd = onto_.tgds()[plan.tgd];
+        out->assign.assign(tgd.num_vars(), kUnbound);
+        SmallVec<uint32_t, 8> bound;
+        if (!UnifyAtom(tgd.body()[plan.delta_atom], result_->db.Row(f),
+                       &out->assign, &bound)) {
+          continue;
+        }
+        MatchBacktrack(plan, 0, out);
+      }
+    }
+  }
+
+  /// Read-only twin of the old in-place Backtrack: probes the (frozen)
+  /// indexes and emits complete body assignments as candidates instead of
+  /// firing them.
+  void MatchBacktrack(const MatchPlan& plan, size_t step, ShardOut* out) {
+    if (step == plan.steps.size()) {
+      EmitCandidate(plan.tgd, out);
+      return;
+    }
     const PlanStep& ps = plan.steps[step];
     const Atom& atom = onto_.tgds()[plan.tgd].body()[ps.atom];
     const DynIndex& index = indexes_[ps.index_id];
     ValueTuple key;
-    for (uint32_t p : index.key_positions()) key.push_back((*assign)[VarOf(atom.terms[p])]);
+    for (uint32_t p : index.key_positions()) {
+      key.push_back(out->assign[VarOf(atom.terms[p])]);
+    }
     for (uint32_t row = index.First(key.data()); row != UINT32_MAX;
          row = index.Next(row)) {
       SmallVec<uint32_t, 8> bound;
-      if (!UnifyAtom(atom, result_->db.Row(atom.rel, row), assign, &bound)) continue;
-      OMQE_RETURN_IF_ERROR(Backtrack(plan, step + 1, assign));
-      for (uint32_t b : bound) (*assign)[b] = kUnbound;
+      if (!UnifyAtom(atom, result_->db.Row(atom.rel, row), &out->assign,
+                     &bound)) {
+        continue;
+      }
+      MatchBacktrack(plan, step + 1, out);
+      for (uint32_t b : bound) out->assign[b] = kUnbound;
+    }
+  }
+
+  void EmitCandidate(uint32_t t, ShardOut* out) {
+    const TGD& tgd = onto_.tgds()[t];
+    ValueTuple& key = out->key;
+    key.clear();
+    key.push_back(t);
+    VarSet rest = tgd.BodyVars();
+    while (rest) {
+      uint32_t v = static_cast<uint32_t>(__builtin_ctzll(rest));
+      rest &= rest - 1;
+      key.push_back(out->assign[v]);
+    }
+    char& seen = out->seen.InsertOrGet(key.data(), key.size(), 0);
+    if (seen) return;
+    seen = 1;
+    out->tgds.push_back(t);
+    out->vals.insert(out->vals.end(), key.begin() + 1, key.end());
+  }
+
+  /// Phase B: the deterministic sequential merge. Walks the shards in
+  /// fixed order (shard 0's candidates first — the contiguous delta
+  /// partition makes this the 1-shard discovery order), reconstructs each
+  /// body assignment, and fires it through the unchanged Apply path:
+  /// global applied_ dedup, restricted-mode head check, depth cap, block
+  /// assignment, null invention, fact + index insertion, next delta.
+  Status ApplyCandidates(uint32_t shards) {
+    for (uint32_t s = 0; s < shards; ++s) {
+      ShardOut& out = shard_out_[s];
+      size_t off = 0;
+      for (size_t i = 0; i < out.tgds.size(); ++i) {
+        uint32_t t = out.tgds[i];
+        const TGD& tgd = onto_.tgds()[t];
+        assign_.assign(tgd.num_vars(), kUnbound);
+        VarSet rest = tgd.BodyVars();
+        while (rest) {
+          uint32_t v = static_cast<uint32_t>(__builtin_ctzll(rest));
+          rest &= rest - 1;
+          assign_[v] = out.vals[off++];
+        }
+        OMQE_RETURN_IF_ERROR(Apply(t, assign_));
+      }
     }
     return Status::OK();
   }
@@ -513,6 +682,13 @@ class ChaseEngine {
   // Scratch buffers reused across the delta loop (no per-fact allocation).
   std::vector<Value> assign_;
   ValueTuple apply_key_;
+
+  /// Below this delta size a round is matched on one shard: the fork/join
+  /// barrier costs more than matching a handful of facts, and tail rounds
+  /// of a converging chase are mostly this small.
+  static constexpr size_t kMinParallelDelta = 256;
+  std::vector<ShardOut> shard_out_;          // reused across rounds
+  std::unique_ptr<ThreadPool> pool_;         // lazily spawned, num_threads-1
 };
 
 }  // namespace

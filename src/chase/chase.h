@@ -55,6 +55,17 @@ struct ChaseOptions {
   /// estimate is linear in the delta size, so the reservation stays within a
   /// constant factor of the facts actually created.
   bool adaptive_reserve = true;
+  /// Worker lanes for the match phase of each delta round (<= 1: run the
+  /// pipeline inline on the calling thread). Every round is two phases:
+  /// workers enumerate body matches of the round's delta facts against the
+  /// frozen prior-round state (read-only probes, per-shard candidate
+  /// buffers and dedup tables), then the candidates are applied
+  /// sequentially in shard order. Because shards partition the delta
+  /// contiguously and merge in order, the applied-candidate sequence — and
+  /// with it fact order, null numbering, blocks, and the truncation flag —
+  /// is bit-identical for every thread count (the differential fuzzer's
+  /// parallel oracle enforces this).
+  uint32_t num_threads = 1;
 };
 
 /// A chase-like block: the null-free guard fact it hangs off (absent for

@@ -231,6 +231,30 @@ ChaseEstimate EstimateChaseSize(const Database& input, const Ontology& onto,
   return est;
 }
 
+size_t ScaleRoundGrowth(size_t growth, size_t delta_size, size_t prev_delta) {
+  if (prev_delta == 0) return growth;
+  size_t scaled;
+  if (!__builtin_mul_overflow(growth, delta_size, &scaled)) {
+    size_t est = scaled / prev_delta;
+    return est == SIZE_MAX ? est : est + 1;
+  }
+  // The exact product wraps: divide first. This loses at most prev_delta-1
+  // from the numerator, and the trailing +1 keeps the result nonzero, so
+  // the projection stays a usable (if slightly coarser) estimate instead of
+  // a wrapped one. If even the divided form overflows, the true estimate
+  // exceeds any reservable size — saturate and let the caller's budget
+  // clamp discard it.
+  size_t quotient = growth / prev_delta;
+  if (__builtin_mul_overflow(quotient, delta_size, &scaled)) return SIZE_MAX;
+  return scaled == SIZE_MAX ? scaled : scaled + 1;
+}
+
+size_t ShardCreationBound(size_t round_bound, uint32_t shards) {
+  if (shards <= 1) return round_bound;
+  size_t share = round_bound / shards;
+  return SatAdd(share, share / 2 + 16, SIZE_MAX);
+}
+
 std::vector<size_t> FirstRoundCreationBounds(const Database& input,
                                              const Ontology& onto) {
   constexpr size_t kCap = SIZE_MAX / 2;

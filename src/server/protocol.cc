@@ -44,6 +44,8 @@ bool ValidName(std::string_view name) {
   return true;
 }
 
+}  // namespace
+
 bool ParseU64(std::string_view token, uint64_t* out) {
   if (token.empty()) return false;
   uint64_t v = 0;
@@ -55,8 +57,6 @@ bool ParseU64(std::string_view token, uint64_t* out) {
   *out = v;
   return true;
 }
-
-}  // namespace
 
 StatusOr<Request> ParseRequest(std::string_view line) {
   std::string_view rest = Trim(line);

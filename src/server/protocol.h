@@ -68,6 +68,13 @@ struct Request {
 /// direct HandleLine/ParseRequest caller ever sees that error.
 StatusOr<Request> ParseRequest(std::string_view line);
 
+/// Strict decimal u64: digits only (no sign, no leading/trailing space),
+/// non-empty, rejects values past UINT64_MAX instead of wrapping — so
+/// `FETCH <sid> 99999999999999999999` is an ERR, never a truncated fetch.
+/// Shared by the request parser and the CLI front end (whose strtoul-based
+/// parsing silently wrapped out-of-range flag values).
+bool ParseU64(std::string_view token, uint64_t* out);
+
 /// Response builders (each returns a single line WITHOUT the trailing \n).
 std::string OkLine(std::string_view detail);
 std::string ErrLine(std::string_view message);

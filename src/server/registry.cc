@@ -11,6 +11,9 @@ QueryRegistry::QueryRegistry(const Ontology* onto, const Database* db,
                              RegistryOptions options)
     : onto_(onto), db_(db), options_(std::move(options)) {
   OMQE_CHECK(onto_ != nullptr && db_ != nullptr);
+  if (options_.prepare_threads > 0) {
+    options_.prepare.chase.num_threads = options_.prepare_threads;
+  }
   if (options_.max_estimated_chase_facts > 0) {
     // Admission control, computed once: bound the chase at the DEEPEST cap
     // the query-directed chase could adaptively saturate to (max_depth,

@@ -38,6 +38,12 @@ struct RegistryOptions {
   /// Admission control: reject a PREPARE when the chase-size estimator's
   /// bound does not converge under this many facts. 0 disables the pre-pass.
   size_t max_estimated_chase_facts = 1u << 22;
+  /// When > 0, overrides prepare.chase.num_threads: worker lanes for the
+  /// chase's sharded match phase during PREPARE. Purely a latency knob —
+  /// the chase result is bit-identical across thread counts, and the
+  /// admission estimate (which predates the chase and depends only on
+  /// counts) is unaffected.
+  uint32_t prepare_threads = 0;
 };
 
 struct RegistryStats {

@@ -24,7 +24,6 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -33,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "data/schema.h"
 #include "server/protocol.h"
 #include "server/registry.h"
@@ -40,27 +40,11 @@
 
 namespace omqe::server {
 
-/// Fixed-size worker pool. Jobs are run in submission order; the destructor
-/// drains outstanding jobs before joining.
-class ThreadPool {
- public:
-  explicit ThreadPool(uint32_t threads);
-  ~ThreadPool();
-  ThreadPool(const ThreadPool&) = delete;
-  ThreadPool& operator=(const ThreadPool&) = delete;
-
-  void Submit(std::function<void()> job);
-  uint32_t num_threads() const { return static_cast<uint32_t>(workers_.size()); }
-
- private:
-  void WorkerLoop();
-
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> jobs_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
-};
+/// The worker pool moved to base/thread_pool.h so the chase engine's
+/// round-scoped sharding and the serving transports share one
+/// implementation; the alias keeps existing server call sites spelled the
+/// same.
+using ThreadPool = ::omqe::ThreadPool;
 
 struct ServerOptions {
   uint32_t threads = 4;

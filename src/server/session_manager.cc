@@ -59,6 +59,7 @@ Status SessionManager::Fetch(uint64_t sid, uint64_t n,
     // Stamp at start as well as end: a single fetch that outlasts the idle
     // timeout must not look idle to a concurrent ReapIdle.
     session->last_used_ns = NowNanos();
+    session->used = true;
     ValueTuple t;
     while (emitted < n) {
       if (limits_.max_rows > 0 && session->rows_emitted >= limits_.max_rows) {
@@ -97,6 +98,7 @@ Status SessionManager::Reset(uint64_t sid) {
     }
     session->rows_emitted = 0;
     session->last_used_ns = NowNanos();
+    session->used = true;
   }
   std::lock_guard<std::mutex> lock(mu_);
   ++stats_.resets;
@@ -126,6 +128,15 @@ size_t SessionManager::ReapIdle() {
     bool idle = false;
     if (s.mu.try_lock()) {
       idle = s.last_used_ns.load(std::memory_order_relaxed) < cutoff;
+      // Never-used sessions are in the open-to-first-fetch window: with a
+      // short timeout the open stamp alone can be past the cutoff before
+      // the client's FETCH arrives, and reaping here turns a well-behaved
+      // open-then-fetch into "unknown session". Defer exactly once; a
+      // session still unfetched on the next cycle really is abandoned.
+      if (idle && !s.used && !s.reap_deferred) {
+        s.reap_deferred = true;
+        idle = false;
+      }
       s.mu.unlock();
     }
     if (idle) {

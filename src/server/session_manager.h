@@ -75,7 +75,14 @@ class SessionManager {
 
   Status Close(uint64_t sid);
 
-  /// Closes every session idle past the limit; returns how many.
+  /// Closes every session idle past the limit; returns how many. A session
+  /// that has never been fetched or reset is skipped the first time it is
+  /// seen past the cutoff: OPEN stamps the clock, but with a short timeout
+  /// the reaper could otherwise close the session in the window between the
+  /// OK OPEN response and the client's first FETCH — which then fails with
+  /// "unknown session" though the client did nothing wrong. One grace
+  /// cycle bounds the overstay at two reaper ticks while keeping the
+  /// open-then-fetch round trip safe at any timeout.
   size_t ReapIdle();
 
   /// Copy-on-write counters of a live partial session's link overlay
@@ -97,6 +104,12 @@ class SessionManager {
     /// Atomic: ReapIdle reads it under the manager lock only, concurrently
     /// with fetches that store it under the session lock.
     std::atomic<int64_t> last_used_ns{0};
+    /// The client has fetched or reset at least once (guarded by mu).
+    /// Until then the session is in its open-to-first-fetch window and
+    /// ReapIdle defers it one cycle (see ReapIdle's contract).
+    bool used = false;
+    /// ReapIdle already granted this never-used session its grace cycle.
+    bool reap_deferred = false;
   };
 
   std::shared_ptr<Session> Lookup(uint64_t sid) const;

@@ -490,5 +490,193 @@ TEST(ChaseTest, RestrictedModePreservesCertainAnswers) {
   EXPECT_LT((*r)->db.TotalFacts(), (*o)->db.TotalFacts());
 }
 
+// ---------------------------------------------------------------------------
+// Round-boundary reservation arithmetic (chase/estimate.h).
+// ---------------------------------------------------------------------------
+
+TEST(ChaseEstimateTest, ScaleRoundGrowthMatchesExactFormulaInRange) {
+  // In-range inputs reproduce growth * delta / prev + 1 exactly.
+  EXPECT_EQ(ScaleRoundGrowth(10, 20, 5), 41u);
+  EXPECT_EQ(ScaleRoundGrowth(0, 1000, 10), 1u);
+  EXPECT_EQ(ScaleRoundGrowth(7, 0, 3), 1u);
+  EXPECT_EQ(ScaleRoundGrowth(1, 1, 1), 2u);
+  // prev_delta == 0: carry the growth forward unscaled.
+  EXPECT_EQ(ScaleRoundGrowth(123, 456, 0), 123u);
+}
+
+TEST(ChaseEstimateTest, ScaleRoundGrowthSaturatesInsteadOfWrapping) {
+  // The pre-fix expression growth * delta / prev + 1 wraps the product for
+  // adversarially large rounds; a wrapped product then UNDER-reserves (the
+  // quotient of a tiny wrapped value), which is exactly the pathology the
+  // reservation exists to avoid. The fixed arithmetic must stay monotone:
+  // never below the honest quotient, saturating at SIZE_MAX.
+  const size_t half = SIZE_MAX / 2;
+  // 2^63 * 8 wraps in size_t; divide-first gives (2^63/2)*8 -> saturates.
+  EXPECT_EQ(ScaleRoundGrowth(half, 8, 2), SIZE_MAX);
+  // Exact product 2^70 wraps; divide-first recovers 2^50 + 1 exactly.
+  EXPECT_EQ(ScaleRoundGrowth(size_t{1} << 40, size_t{1} << 30, size_t{1} << 20),
+            (size_t{1} << 50) + 1);
+  // Sanity against the naive expression where it is still exact.
+  size_t g = 1u << 20, d = 1u << 10, p = 1u << 5;
+  EXPECT_EQ(ScaleRoundGrowth(g, d, p), g * d / p + 1);
+  // Never returns a small wrapped value on huge inputs.
+  EXPECT_GE(ScaleRoundGrowth(SIZE_MAX, SIZE_MAX, 3), SIZE_MAX / 3);
+}
+
+TEST(ChaseEstimateTest, ShardCreationBoundSlicesWithSlack) {
+  // One shard: the round bound passes through untouched.
+  EXPECT_EQ(ShardCreationBound(1000, 1), 1000u);
+  EXPECT_EQ(ShardCreationBound(1000, 0), 1000u);
+  // Multi-shard: an even share plus 50% skew slack plus a small floor.
+  EXPECT_EQ(ShardCreationBound(1000, 4), 250u + 125u + 16u);
+  EXPECT_EQ(ShardCreationBound(0, 8), 16u);
+  // Saturated round bounds stay saturated instead of wrapping.
+  EXPECT_EQ(ShardCreationBound(SIZE_MAX, 2), SIZE_MAX / 2 + SIZE_MAX / 4 + 16);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel match phase: bit-identity with the sequential path.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Full structural equality of two chase results: fact order per relation,
+/// null numbering, block structure, truncation — the num_threads contract.
+void ExpectChaseIdentical(const ChaseResult& a, const ChaseResult& b) {
+  EXPECT_EQ(a.truncated, b.truncated);
+  EXPECT_EQ(a.cap_used, b.cap_used);
+  EXPECT_EQ(a.db_part_facts, b.db_part_facts);
+  ASSERT_EQ(a.db.NullHighWater(), b.db.NullHighWater());
+  ASSERT_EQ(a.db.NumRelationSlots(), b.db.NumRelationSlots());
+  for (RelId r = 0; r < a.db.NumRelationSlots(); ++r) {
+    ASSERT_EQ(a.db.NumRows(r), b.db.NumRows(r)) << "relation " << r;
+    for (uint32_t row = 0; row < a.db.NumRows(r); ++row) {
+      const Value* ta = a.db.Row(r, row);
+      const Value* tb = b.db.Row(r, row);
+      for (uint32_t i = 0; i < a.db.Arity(r); ++i) {
+        ASSERT_EQ(ta[i], tb[i]) << "relation " << r << " row " << row
+                                << " position " << i;
+      }
+    }
+  }
+  ASSERT_EQ(a.null_block, b.null_block);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (size_t i = 0; i < a.blocks.size(); ++i) {
+    EXPECT_EQ(a.blocks[i].has_source, b.blocks[i].has_source);
+    EXPECT_EQ(a.blocks[i].source_rel, b.blocks[i].source_rel);
+    EXPECT_EQ(a.blocks[i].source_tuple, b.blocks[i].source_tuple);
+    ASSERT_EQ(a.blocks[i].facts.size(), b.blocks[i].facts.size());
+    for (size_t j = 0; j < a.blocks[i].facts.size(); ++j) {
+      EXPECT_EQ(a.blocks[i].facts[j].rel, b.blocks[i].facts[j].rel);
+      EXPECT_EQ(a.blocks[i].facts[j].row, b.blocks[i].facts[j].row);
+    }
+  }
+}
+
+/// A world big enough that the seed round (and at least one derived round)
+/// crosses the engine's minimum parallel delta, so >1 shards actually run.
+struct WideWorld : World {
+  Ontology onto;
+  WideWorld() {
+    onto = Onto(R"(
+      Researcher(x) -> exists y. HasOffice(x, y)
+      HasOffice(x, y) -> Office(y)
+      Office(x) -> exists y. InBuilding(x, y)
+      InBuilding(x, y) -> Building(y)
+    )");
+    std::string facts;
+    for (int i = 0; i < 600; ++i) {
+      facts += "Researcher(p" + std::to_string(i) + ") ";
+      if (i % 2 == 0) {
+        facts += "HasOffice(p" + std::to_string(i) + ", r" +
+                 std::to_string(i / 2) + ") ";
+      }
+    }
+    Load(facts);
+  }
+};
+
+}  // namespace
+
+TEST(ChaseTest, ParallelChaseBitIdenticalToSequential) {
+  WideWorld w;
+  ChaseOptions seq;
+  seq.num_threads = 1;
+  auto a = RunChase(w.db, w.onto, seq);
+  ASSERT_TRUE(a.ok());
+  for (uint32_t threads : {2u, 4u, 8u}) {
+    ChaseOptions par;
+    par.num_threads = threads;
+    auto b = RunChase(w.db, w.onto, par);
+    ASSERT_TRUE(b.ok());
+    ExpectChaseIdentical(**a, **b);
+  }
+}
+
+TEST(ChaseTest, ParallelChaseBitIdenticalUnderTruncation) {
+  // Truncation: the suppressed-application bookkeeping (seen left unset so
+  // deeper caps can re-fire) must survive sharding unchanged.
+  World w;
+  Ontology onto = w.Onto("Succ(x, y) -> exists z. Succ(y, z)");
+  std::string facts;
+  for (int i = 0; i < 400; ++i) {
+    facts += "Succ(a" + std::to_string(i) + ", b" + std::to_string(i) + ") ";
+  }
+  w.Load(facts);
+  ChaseOptions seq;
+  seq.null_depth = 3;
+  ChaseOptions par = seq;
+  par.num_threads = 4;
+  auto a = RunChase(w.db, onto, seq);
+  auto b = RunChase(w.db, onto, par);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE((*a)->truncated);
+  ExpectChaseIdentical(**a, **b);
+}
+
+TEST(ChaseTest, ParallelChaseBitIdenticalInRestrictedMode) {
+  // Restricted mode's HeadSatisfied probes the live instance during the
+  // sequential apply phase; sharding the match phase must not change which
+  // applications it suppresses.
+  WideWorld w;
+  ChaseOptions seq;
+  seq.mode = ChaseMode::kRestricted;
+  ChaseOptions par = seq;
+  par.num_threads = 4;
+  auto a = RunChase(w.db, w.onto, seq);
+  auto b = RunChase(w.db, w.onto, par);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectChaseIdentical(**a, **b);
+}
+
+TEST(ChaseTest, ParallelChaseRespectsFactBudget) {
+  // The budget abort happens in the sequential apply phase, so the parallel
+  // path reports the same error the sequential one does.
+  WideWorld w;
+  ChaseOptions par;
+  par.num_threads = 4;
+  // Big enough for the 900-fact seed, too small for the derived rounds, so
+  // the abort fires inside the sharded rounds' apply phase.
+  par.max_facts = 1000;
+  auto r = RunChase(w.db, w.onto, par);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ChaseTest, QueryDirectedChasePlumbsThreadCount) {
+  WideWorld w;
+  CQ q = w.Query("q(x, y) :- HasOffice(x, y)");
+  QdcOptions seq;
+  QdcOptions par;
+  par.num_threads = 4;
+  auto a = QueryDirectedChase(w.db, w.onto, q, seq);
+  auto b = QueryDirectedChase(w.db, w.onto, q, par);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectChaseIdentical(**a, **b);
+}
+
 }  // namespace
 }  // namespace omqe

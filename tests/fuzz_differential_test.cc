@@ -39,6 +39,33 @@ TEST_P(DifferentialFuzzTest, AllFamiliesAgreeWithOracle) {
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzzTest,
                          ::testing::Range<uint64_t>(0, kSeedsPerFamily));
 
+// Parallel-chase oracle: a bounded sweep re-running each case with the
+// sharded match phase (num_threads = 4) — the prepare backing all six
+// cross-checks uses the threaded chase, and an extra sequential chase is
+// compared bit-for-bit (fact order, null ids, blocks, truncation). Bounded
+// to a slice of the seed space because every case chases twice; the CI tsan
+// job runs this same test with 4 OS threads under the race detector.
+constexpr uint64_t kParallelSeeds = 40;
+
+class ParallelChaseFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelChaseFuzzTest, ParallelChaseBitIdenticalAcrossFamilies) {
+  DiffOptions options;
+  options.parallel_threads = 4;
+  for (GenFamily family : kAllFamilies) {
+    GenSpec spec = RandomSpec(family, GetParam());
+    DiffReport report = RunDifferentialSpec(spec, options);
+    ASSERT_TRUE(report.ok)
+        << "parallel-chase mismatch in check '" << report.check << "'\n"
+        << report.failure << "\nreplay spec:\n"
+        << SerializeSpec(spec);
+    EXPECT_TRUE(report.parallel_checked || report.chase_skipped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelChaseFuzzTest,
+                         ::testing::Range<uint64_t>(0, kParallelSeeds));
+
 // The regression corpus: minimized specs of previously-found mismatches and
 // hand-picked structural edge cases. Every file must replay clean.
 TEST(CorpusReplayTest, EveryCorpusSpecAgreesWithOracle) {

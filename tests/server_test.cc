@@ -88,6 +88,52 @@ TEST(ProtocolTest, RejectsMalformedRequests) {
   EXPECT_FALSE(server::ParseRequest("STATS now").ok());
 }
 
+TEST(ProtocolTest, NumericTokensNeverWrap) {
+  // Pins the strict-decimal contract on the hot FETCH path: the largest
+  // u64 round-trips exactly...
+  auto max = server::ParseRequest("FETCH 1 18446744073709551615");
+  ASSERT_TRUE(max.ok());
+  EXPECT_EQ(max->count, UINT64_MAX);
+  // ...and one past it is a parse error, never a truncated count. A
+  // wrapping parser would turn a 20-digit FETCH into a tiny batch and the
+  // client would silently believe the cursor drained.
+  EXPECT_FALSE(server::ParseRequest("FETCH 1 18446744073709551616").ok());
+  EXPECT_FALSE(server::ParseRequest("FETCH 1 99999999999999999999").ok());
+  EXPECT_FALSE(server::ParseRequest("FETCH 99999999999999999999 1").ok());
+  EXPECT_FALSE(server::ParseRequest("CLOSE 340282366920938463463374607").ok());
+  EXPECT_FALSE(server::ParseRequest("RESET 18446744073709551616").ok());
+  // Signs, hex, and trailing junk are not decimals.
+  EXPECT_FALSE(server::ParseRequest("FETCH 1 -2").ok());
+  EXPECT_FALSE(server::ParseRequest("FETCH 1 +2").ok());
+  EXPECT_FALSE(server::ParseRequest("FETCH 1 0x10").ok());
+  EXPECT_FALSE(server::ParseRequest("FETCH 1 2rows").ok());
+
+  uint64_t v = 7;
+  EXPECT_TRUE(server::ParseU64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(server::ParseU64("18446744073709551615", &v));
+  EXPECT_EQ(v, UINT64_MAX);
+  EXPECT_FALSE(server::ParseU64("18446744073709551616", &v));
+  EXPECT_FALSE(server::ParseU64("", &v));
+  EXPECT_FALSE(server::ParseU64(" 1", &v));
+  EXPECT_FALSE(server::ParseU64("1 ", &v));
+}
+
+TEST(ProtocolTest, WhitespaceOnlyAndPaddedLines) {
+  // Whitespace-only lines are empty requests, not a verb of spaces.
+  EXPECT_FALSE(server::ParseRequest("   ").ok());
+  EXPECT_FALSE(server::ParseRequest("\t\t").ok());
+  EXPECT_FALSE(server::ParseRequest(" \r\n").ok());
+  // Missing tokens surface as errors even when padding hides them.
+  EXPECT_FALSE(server::ParseRequest("FETCH   ").ok());
+  EXPECT_FALSE(server::ParseRequest("FETCH 1  \t ").ok());
+  // Generous padding and CRLF line endings still parse.
+  auto padded = server::ParseRequest("  \tFETCH  3   7 \r\n");
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(padded->session, 3u);
+  EXPECT_EQ(padded->count, 7u);
+}
+
 TEST(ServerTest, ProtocolRoundTripsThroughInProcessClient) {
   OfficeServer w;
   server::InProcessClient client(w.srv.get());
@@ -122,6 +168,20 @@ TEST(ServerTest, ProtocolRoundTripsThroughInProcessClient) {
   EXPECT_TRUE(server::IsError(client.Roundtrip("OPEN absent"))); // unknown name
   EXPECT_TRUE(server::IsError(client.Roundtrip("JUMP 1")));      // unknown verb
   EXPECT_TRUE(server::IsError(client.Roundtrip("PREPARE p2 q(x :- broken")));
+}
+
+TEST(ServerTest, OverflowingFetchCountIsAnErrNotAWrap) {
+  OfficeServer w;
+  server::InProcessClient client(w.srv.get());
+  ASSERT_FALSE(server::IsError(
+      client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+  ASSERT_FALSE(server::IsError(client.Roundtrip("OPEN offices")));
+  // A 20-digit count is rejected at the parser; the session is untouched
+  // and drains normally afterwards.
+  EXPECT_TRUE(server::IsError(client.Roundtrip("FETCH 1 99999999999999999999")));
+  std::string r = client.Roundtrip("FETCH 1 100");
+  EXPECT_EQ(ResponseRows(r).size(), 3u) << r;
+  EXPECT_EQ(ResponseTerminator(r), "OK FETCH 3 done");
 }
 
 TEST(ServerTest, InterleavedFetchesMatchBruteForce) {
@@ -235,6 +295,11 @@ TEST(ServerTest, SessionLimitAndIdleReaping) {
   EXPECT_EQ(manager.live_sessions(), 2u);
 
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Both sessions were never fetched, so the first pass past the cutoff
+  // defers them (the open-to-first-fetch grace cycle); the second pass
+  // finds them still unfetched and reaps.
+  EXPECT_EQ(manager.ReapIdle(), 0u);
+  EXPECT_EQ(manager.live_sessions(), 2u);
   EXPECT_EQ(manager.ReapIdle(), 2u);
   EXPECT_EQ(manager.live_sessions(), 0u);
   EXPECT_EQ(manager.stats().reaped, 2u);
@@ -242,6 +307,39 @@ TEST(ServerTest, SessionLimitAndIdleReaping) {
   std::vector<ValueTuple> rows;
   bool done = false;
   EXPECT_FALSE(manager.Fetch(1, 1, &rows, &done).ok());
+}
+
+TEST(ServerTest, ReapIdleGraceProtectsOpenToFirstFetchWindow) {
+  // Regression: with a 1 ms timeout, a client's OPEN -> FETCH round trip
+  // used to race the reaper — OPEN stamps the clock, the reaper fires
+  // before the first FETCH arrives, and the FETCH fails with "unknown
+  // session". The never-used grace cycle keeps the window open.
+  server::SessionLimits limits;
+  limits.idle_timeout_ms = 1;
+  server::SessionManager manager(limits);
+
+  World w;
+  Ontology onto = w.Onto("Researcher(x) -> exists y. HasOffice(x, y)");
+  w.Load("Researcher(mary)");
+  OMQ omq = MakeOMQ(onto, w.Query("q(x, y) :- HasOffice(x, y)"));
+  auto prepared = PreparedOMQ::Prepare(omq, w.db);
+  ASSERT_TRUE(prepared.ok());
+
+  auto sid = manager.Open(*prepared, /*complete=*/false);
+  ASSERT_TRUE(sid.ok());
+  // Well past the timeout, a reaper tick fires before the first fetch:
+  // the session must survive it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(manager.ReapIdle(), 0u);
+  std::vector<ValueTuple> rows;
+  bool done = false;
+  EXPECT_TRUE(manager.Fetch(*sid, 10, &rows, &done).ok());
+
+  // Once fetched, the grace is spent: the next idle period reaps on the
+  // FIRST pass — used sessions get no deferral.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(manager.ReapIdle(), 1u);
+  EXPECT_EQ(manager.live_sessions(), 0u);
 }
 
 TEST(ServerTest, BackgroundReaperClosesIdleSessions) {
