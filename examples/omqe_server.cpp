@@ -18,11 +18,17 @@
 //   $ printf '...exchange...' | ./omqe_server --client --port=7411
 //   (e.g. the lines PREPARE q1 q(x,y) :- HasOffice(x,y) / OPEN q1 /
 //   FETCH 1 10 / CLOSE 1 / SHUTDOWN)
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include "base/fault.h"
+#include "base/rng.h"
+#include "base/timer.h"
 #include "data/loader.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -65,15 +71,36 @@ std::string ReadAllStdin() {
   return text;
 }
 
-int RunClient(const std::string& host, uint16_t port) {
-  auto response = server::TcpExchange(host, port, ReadAllStdin());
-  if (!response.ok()) {
-    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
-    return 1;
+/// One exchange, retried up to `retries` extra times when the ONLY errors
+/// in the response are retryable (DEADLINE / OVERLOAD — see protocol.h's
+/// taxonomy). Exponential backoff with full jitter: attempt k sleeps a
+/// uniform draw from [0, backoff_ms * 2^k], so a thundering herd of shed
+/// clients decorrelates instead of reconverging on the same tick.
+int RunClient(const std::string& host, uint16_t port, uint32_t retries,
+              uint64_t backoff_ms) {
+  const std::string script = ReadAllStdin();
+  Rng rng(static_cast<uint64_t>(NowNanos()));
+  for (uint32_t attempt = 0;; ++attempt) {
+    auto response = server::TcpExchange(host, port, script);
+    if (!response.ok()) {
+      std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+      return 1;
+    }
+    if (attempt < retries && server::AnyRetryableError(response.value())) {
+      uint64_t ceiling = backoff_ms << std::min<uint32_t>(attempt, 16);
+      uint64_t sleep_ms = ceiling > 0 ? rng.Below(ceiling + 1) : 0;
+      std::fprintf(stderr,
+                   "omqe_server: retryable failure, attempt %u/%u, backing "
+                   "off %llu ms\n",
+                   attempt + 1, retries,
+                   static_cast<unsigned long long>(sleep_ms));
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+      continue;
+    }
+    std::fputs(response.value().c_str(), stdout);
+    // Any ERR terminator fails the exchange (the CI smoke contract).
+    return server::AnyError(response.value()) ? 1 : 0;
   }
-  std::fputs(response.value().c_str(), stdout);
-  // Any ERR terminator fails the exchange (the CI smoke contract).
-  return server::AnyError(response.value()) ? 1 : 0;
 }
 
 int RunStdio(server::OmqeServer* srv) {
@@ -103,6 +130,8 @@ int main(int argc, char** argv) {
   bool have_port = false;
   uint16_t port = 0;
   std::string host = "127.0.0.1";
+  uint64_t retries = 0;
+  uint64_t backoff_ms = 100;
   server::ServerOptions options;
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
@@ -143,6 +172,38 @@ int main(int argc, char** argv) {
     } else if (const char* v = value("--idle-timeout-ms=")) {
       options.limits.idle_timeout_ms =
           static_cast<int64_t>(numeric(v, INT64_MAX, &n));
+    } else if (const char* v = value("--prepare-deadline-ms=")) {
+      numeric(v, UINT64_MAX, &options.registry.prepare_deadline_ms);
+    } else if (const char* v = value("--fetch-deadline-ms=")) {
+      numeric(v, UINT64_MAX, &options.limits.fetch_deadline_ms);
+    } else if (const char* v = value("--write-timeout-ms=")) {
+      options.write_timeout_ms = static_cast<int64_t>(numeric(v, INT64_MAX, &n));
+    } else if (const char* v = value("--drain-deadline-ms=")) {
+      options.drain_deadline_ms = static_cast<int64_t>(numeric(v, INT64_MAX, &n));
+    } else if (const char* v = value("--max-line-bytes=")) {
+      options.max_line_bytes = static_cast<size_t>(numeric(v, UINT32_MAX, &n));
+    } else if (const char* v = value("--max-queue=")) {
+      options.max_queue = static_cast<size_t>(numeric(v, UINT32_MAX, &n));
+    } else if (const char* v = value("--retries=")) {
+      numeric(v, 100, &retries);
+    } else if (const char* v = value("--backoff-ms=")) {
+      numeric(v, 60'000, &backoff_ms);
+    } else if (const char* v = value("--fault=")) {
+      // --fault=<point>:<spec>, e.g. --fault=chase.round:n2 or
+      // --fault=socket.write:p0.01@7 — arms one injection point (fault.h).
+      std::string_view spec_arg = v;
+      size_t colon = spec_arg.rfind(':');
+      FaultSpec spec;
+      if (colon == std::string_view::npos || colon == 0 ||
+          !ParseFaultSpec(spec_arg.substr(colon + 1), &spec)) {
+        std::fprintf(stderr,
+                     "--fault expects <point>:<spec> with spec nK, pF, or "
+                     "pF@seed, got '%s'\n",
+                     v);
+        return 2;
+      }
+      FaultInjector::Instance().Arm(std::string(spec_arg.substr(0, colon)),
+                                    spec);
     } else if (arg == "--client") {
       client = true;
     } else if (arg == "--stdio") {
@@ -158,7 +219,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--client needs --port=N\n");
       return 2;
     }
-    return RunClient(host, port);
+    return RunClient(host, port, static_cast<uint32_t>(retries), backoff_ms);
   }
 
   Vocabulary vocab;

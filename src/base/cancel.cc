@@ -1,0 +1,15 @@
+#include "base/cancel.h"
+
+namespace omqe {
+
+Status CancelToken::CheckNow() const {
+  if (cancelled_.load(std::memory_order_acquire)) {
+    return Status::Cancelled("operation cancelled");
+  }
+  if (deadline_.expired()) {
+    return Status::DeadlineExceeded("deadline exceeded");
+  }
+  return Status::OK();
+}
+
+}  // namespace omqe

@@ -1,0 +1,97 @@
+#include "base/fault.h"
+
+#include <cstdlib>
+
+namespace omqe {
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();  // never destroyed
+  return *instance;
+}
+
+void FaultInjector::Arm(const std::string& point, const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& p = points_[point];
+  p.spec = spec;
+  p.rng = Rng(spec.seed);
+  p.evaluated = 0;
+  p.fired = 0;
+  armed_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  fired_total_.store(0, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::ShouldFireSlow(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  Point& p = it->second;
+  ++p.evaluated;
+  bool fire = false;
+  if (p.spec.nth > 0) {
+    fire = p.evaluated == p.spec.nth;
+  } else if (p.spec.probability > 0) {
+    fire = p.rng.Chance(p.spec.probability);
+  }
+  if (fire) {
+    ++p.fired;
+    fired_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+FaultInjector::PointStats FaultInjector::StatsFor(
+    const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return PointStats{};
+  return PointStats{it->second.evaluated, it->second.fired};
+}
+
+bool ParseFaultSpec(std::string_view text, FaultSpec* out) {
+  // "n<K>"         fire on the K-th evaluation (1-based), once
+  // "p<F>"         fire each evaluation with probability F
+  // "p<F>@<seed>"  same, with an explicit RNG seed
+  if (text.size() < 2) return false;
+  FaultSpec spec;
+  if (text[0] == 'n') {
+    uint64_t nth = 0;
+    for (char c : text.substr(1)) {
+      if (c < '0' || c > '9') return false;
+      nth = nth * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (nth == 0) return false;
+    spec.nth = nth;
+  } else if (text[0] == 'p') {
+    std::string_view rest = text.substr(1);
+    size_t at = rest.find('@');
+    std::string prob(rest.substr(0, at));
+    char* end = nullptr;
+    spec.probability = std::strtod(prob.c_str(), &end);
+    if (end == prob.c_str() || *end != '\0' || spec.probability <= 0 ||
+        spec.probability > 1) {
+      return false;
+    }
+    if (at != std::string_view::npos) {
+      uint64_t seed = 0;
+      std::string_view s = rest.substr(at + 1);
+      if (s.empty()) return false;
+      for (char c : s) {
+        if (c < '0' || c > '9') return false;
+        seed = seed * 10 + static_cast<uint64_t>(c - '0');
+      }
+      spec.seed = seed;
+    }
+  } else {
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+}  // namespace omqe

@@ -1,0 +1,103 @@
+// Deterministic fault injection for failure-path testing.
+//
+// Code under test declares named injection points with FaultFires("name");
+// nothing fires unless a test (or the --fault= CLI flag) arms the point
+// with a FaultSpec — either fire-on-the-Nth-evaluation (exact, replayable)
+// or a seeded Bernoulli probability (the same seed fires the same
+// evaluations on every run, so a probabilistic sweep is still replayed
+// deterministically). The points are compiled in unconditionally; the
+// disabled fast path is a single relaxed atomic load, cheap enough to sit
+// at chase round boundaries and socket read/write without moving the
+// benchmarks.
+//
+// Canonical point names (keep in sync with the README's robustness table):
+//   chase.round       a delta-round boundary of the chase engine
+//   registry.prepare  QueryRegistry::Prepare, before preprocessing
+//   session.fetch     SessionManager::Fetch, before stepping the cursor
+//   socket.read       the server connection loop's read path
+//   socket.write      the server connection loop's write path
+#ifndef OMQE_BASE_FAULT_H_
+#define OMQE_BASE_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "base/rng.h"
+
+namespace omqe {
+
+struct FaultSpec {
+  /// Per-evaluation firing probability (seeded, deterministic). Used when
+  /// nth == 0.
+  double probability = 0;
+  /// Fire exactly on the nth evaluation of the point (1-based), once.
+  uint64_t nth = 0;
+  uint64_t seed = 0x5eed;
+};
+
+/// Parses "n5", "p0.01", or "p0.01@42" (see fault.cc). False on junk.
+bool ParseFaultSpec(std::string_view text, FaultSpec* out);
+
+/// Process-wide injection-point registry. Thread-safe; the armed check is
+/// lock-free and the slow path only runs while a test has points armed.
+class FaultInjector {
+ public:
+  struct PointStats {
+    uint64_t evaluated = 0;
+    uint64_t fired = 0;
+  };
+
+  static FaultInjector& Instance();
+
+  /// Arms (or re-arms, resetting its counters) one injection point.
+  void Arm(const std::string& point, const FaultSpec& spec);
+  /// Disarms everything and zeroes all counters.
+  void Reset();
+
+  /// True when `point` is armed and its spec says this evaluation fails.
+  /// The disabled path (nothing armed anywhere) is one relaxed load.
+  bool Fires(const char* point) {
+    return armed_.load(std::memory_order_relaxed) && ShouldFireSlow(point);
+  }
+
+  /// Total injections fired across all points since the last Reset.
+  uint64_t fired() const {
+    return fired_total_.load(std::memory_order_relaxed);
+  }
+  PointStats StatsFor(const std::string& point) const;
+
+ private:
+  FaultInjector() = default;
+  bool ShouldFireSlow(const char* point);
+
+  struct Point {
+    FaultSpec spec;
+    Rng rng{0};
+    uint64_t evaluated = 0;
+    uint64_t fired = 0;
+  };
+
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> fired_total_{0};
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Point> points_;
+};
+
+/// The call sites' spelling: `if (FaultFires(kFaultChaseRound)) ...`.
+inline bool FaultFires(const char* point) {
+  return FaultInjector::Instance().Fires(point);
+}
+
+inline constexpr const char kFaultChaseRound[] = "chase.round";
+inline constexpr const char kFaultRegistryPrepare[] = "registry.prepare";
+inline constexpr const char kFaultSessionFetch[] = "session.fetch";
+inline constexpr const char kFaultSocketRead[] = "socket.read";
+inline constexpr const char kFaultSocketWrite[] = "socket.write";
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_FAULT_H_

@@ -11,6 +11,9 @@ const char* CodeName(StatusCode code) {
     case StatusCode::kNotSupported: return "NOT_SUPPORTED";
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -20,6 +20,9 @@ enum class StatusCode {
   kNotSupported,
   kResourceExhausted,
   kInternal,
+  kNotFound,
+  kDeadlineExceeded,
+  kCancelled,
 };
 
 /// Result of an operation that can fail. Cheap to copy when OK.
@@ -44,6 +47,15 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Cancelled(std::string m) {
+    return Status(StatusCode::kCancelled, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

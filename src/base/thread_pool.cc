@@ -7,7 +7,8 @@
 
 namespace omqe {
 
-ThreadPool::ThreadPool(uint32_t threads) {
+ThreadPool::ThreadPool(uint32_t threads, size_t max_pending)
+    : max_pending_(max_pending) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
   for (uint32_t i = 0; i < threads; ++i) {
@@ -31,6 +32,22 @@ void ThreadPool::Submit(std::function<void()> job) {
     jobs_.push_back(std::move(job));
   }
   cv_.notify_one();
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OMQE_CHECK(!stopping_);
+    if (max_pending_ > 0 && jobs_.size() >= max_pending_) return false;
+    jobs_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+size_t ThreadPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return jobs_.size();
 }
 
 void ThreadPool::WorkerLoop() {

@@ -22,15 +22,27 @@ namespace omqe {
 
 class ThreadPool {
  public:
-  /// Spawns `threads` workers (0 is promoted to 1).
-  explicit ThreadPool(uint32_t threads);
+  /// Spawns `threads` workers (0 is promoted to 1). `max_pending` bounds
+  /// the queue TrySubmit honors: 0 means unbounded, otherwise TrySubmit
+  /// rejects once that many jobs are waiting — the server's overload-shed
+  /// mechanism (a rejected request answers ERR OVERLOAD instead of queueing
+  /// behind work it will time out waiting for).
+  explicit ThreadPool(uint32_t threads, size_t max_pending = 0);
   /// Drains outstanding jobs, then joins.
   ~ThreadPool();
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues one job; jobs start in submission order.
+  /// Enqueues one job; jobs start in submission order. Never rejects —
+  /// internal work (RunShards helpers) must not be shed.
   void Submit(std::function<void()> job);
+
+  /// Bounded enqueue: false (job not queued) when max_pending jobs are
+  /// already waiting. With max_pending == 0 this is Submit.
+  bool TrySubmit(std::function<void()> job);
+
+  /// Jobs waiting to start (excludes jobs currently running).
+  size_t pending() const;
 
   /// Runs fn(shard) for every shard in [0, shards) across the workers AND
   /// the calling thread, returning only when all shards finished (a
@@ -45,9 +57,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> jobs_;
+  size_t max_pending_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

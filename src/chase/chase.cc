@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "base/fault.h"
 #include "base/flat_hash.h"
 #include "base/thread_pool.h"
 #include "chase/estimate.h"
@@ -95,6 +96,10 @@ struct ShardOut {
   /// table is cleared per round — so per-shard dedup never changes the
   /// applied sequence, it only shrinks the buffers.
   TupleMap<char> seen;
+  /// Set when a strided cancel checkpoint failed mid-enumeration: the
+  /// shard stops emitting and the round boundary reports the abort. The
+  /// partially filled buffers are never applied.
+  bool aborted = false;
   /// Candidate i is tgds[i] plus its body-variable values appended to
   /// vals in ascending variable-id order (the dedup-key order, which is
   /// also how the merge reconstructs the assignment from BodyVars bits).
@@ -148,12 +153,21 @@ class ChaseEngine {
     // semi-naive argument; the applied_ table fires each body assignment
     // once either way, so the fixpoint fact set is unchanged.
     while (!delta_.empty()) {
+      // Round-boundary checkpoints: cooperative cancellation/deadline and
+      // the chase.round fault point. Aborting here (or mid-round below)
+      // simply unwinds the engine — the half-built result is owned by this
+      // call and dies with it, so no caller ever observes partial state.
+      OMQE_RETURN_IF_ERROR(CheckCancelNow(options_.cancel));
+      if (FaultFires(kFaultChaseRound)) {
+        return Status::Internal("injected fault at chase.round");
+      }
       std::vector<FactRef> delta = std::move(delta_);
       delta_.clear();
       size_t round_est =
           options_.adaptive_reserve ? ReserveForRound(delta.size()) : 0;
       uint32_t shards = ShardCount(delta.size());
       EnumerateRound(delta, shards, round_est);
+      OMQE_RETURN_IF_ERROR(CheckCancelNow(options_.cancel));
       OMQE_RETURN_IF_ERROR(ApplyCandidates(shards));
     }
 
@@ -417,6 +431,7 @@ class ChaseEngine {
       out.seen.clear();
       out.tgds.clear();
       out.vals.clear();
+      out.aborted = false;
       if (bound >= 64 && bound <= UINT32_MAX) out.seen.Reserve(bound);
     }
     auto run = [&](uint32_t s) {
@@ -434,6 +449,14 @@ class ChaseEngine {
   void EnumerateShard(const std::vector<FactRef>& delta, size_t begin,
                       size_t end, ShardOut* out) {
     for (size_t i = begin; i < end; ++i) {
+      // Per-fact cancel checkpoint (strided clock inside the token). The
+      // token is shared across shards; a concurrent Cancel() or an expired
+      // deadline stops every worker within one fact's matching work.
+      if (options_.cancel != nullptr &&
+          (out->aborted || !options_.cancel->Check().ok())) {
+        out->aborted = true;
+        return;
+      }
       const FactRef& f = delta[i];
       if (f.rel >= plans_by_rel_.size()) continue;
       for (uint32_t plan_id : plans_by_rel_[f.rel]) {
@@ -454,6 +477,7 @@ class ChaseEngine {
   /// indexes and emits complete body assignments as candidates instead of
   /// firing them.
   void MatchBacktrack(const MatchPlan& plan, size_t step, ShardOut* out) {
+    if (out->aborted) return;  // a cancel checkpoint fired mid-join
     if (step == plan.steps.size()) {
       EmitCandidate(plan.tgd, out);
       return;
@@ -478,6 +502,13 @@ class ChaseEngine {
   }
 
   void EmitCandidate(uint32_t t, ShardOut* out) {
+    // A single delta fact can join-explode, so the per-fact checkpoint in
+    // EnumerateShard is not enough: check per candidate too (one compare
+    // when no token is set; the token strides its own clock reads).
+    if (options_.cancel != nullptr && !options_.cancel->Check().ok()) {
+      out->aborted = true;
+      return;
+    }
     const TGD& tgd = onto_.tgds()[t];
     ValueTuple& key = out->key;
     key.clear();
@@ -506,6 +537,10 @@ class ChaseEngine {
       ShardOut& out = shard_out_[s];
       size_t off = 0;
       for (size_t i = 0; i < out.tgds.size(); ++i) {
+        // Checkpoint every application: apply-heavy rounds are the other
+        // place a deadline must land promptly, and the null-token cost is
+        // one compare.
+        OMQE_RETURN_IF_ERROR(CheckCancel(options_.cancel));
         uint32_t t = out.tgds[i];
         const TGD& tgd = onto_.tgds()[t];
         assign_.assign(tgd.num_vars(), kUnbound);

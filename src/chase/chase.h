@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "base/cancel.h"
 #include "data/database.h"
 #include "tgd/tgd.h"
 
@@ -66,6 +67,13 @@ struct ChaseOptions {
   /// is bit-identical for every thread count (the differential fuzzer's
   /// parallel oracle enforces this).
   uint32_t num_threads = 1;
+  /// Optional cooperative cancellation / deadline. Checked at every
+  /// delta-round boundary, every candidate application, and (strided)
+  /// inside the phase-A shard workers, so a cancel or an expired deadline
+  /// aborts the chase with Status::Cancelled / DeadlineExceeded within a
+  /// bounded amount of work. Null (the default) costs one pointer compare
+  /// per checkpoint. The token is read-only here; the caller owns it.
+  const CancelToken* cancel = nullptr;
 };
 
 /// A chase-like block: the null-free guard fact it hangs off (absent for

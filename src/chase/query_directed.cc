@@ -28,6 +28,7 @@ StatusOr<std::shared_ptr<ChaseResult>> QueryDirectedChase(
   ChaseOptions chase_options;
   chase_options.max_facts = options.max_facts;
   chase_options.num_threads = options.num_threads;
+  chase_options.cancel = options.cancel;
   uint32_t depth = options.min_depth_override != 0
                        ? options.min_depth_override
                        : std::max(MinNullDepthFor(q) + options.extra_depth, 1u);
@@ -38,6 +39,7 @@ StatusOr<std::shared_ptr<ChaseResult>> QueryDirectedChase(
   if (!(*prev)->truncated) return Seal(std::move(prev).value());
 
   for (uint32_t k = depth + 1; k <= options.max_depth; ++k) {
+    OMQE_RETURN_IF_ERROR(CheckCancelNow(options.cancel));
     chase_options.null_depth = k;
     auto cur = RunChase(db, onto, chase_options);
     if (!cur.ok()) return cur.status();

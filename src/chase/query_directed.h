@@ -32,6 +32,10 @@ struct QdcOptions {
   /// bit-identical across thread counts, so this is purely a latency knob
   /// for PREPARE-time saturation.
   uint32_t num_threads = 1;
+  /// Optional cooperative cancellation / deadline, forwarded into every
+  /// underlying chase run and checked between adaptive-saturation
+  /// iterations. Null (the default) disables all checks. Caller-owned.
+  const CancelToken* cancel = nullptr;
 };
 
 /// The returned ChaseResult is a shared immutable artifact: its database is

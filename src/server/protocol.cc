@@ -155,8 +155,61 @@ std::string OkLine(std::string_view detail) {
   return out;
 }
 
-std::string ErrLine(std::string_view message) {
-  return "ERR " + std::string(message);
+std::string_view ErrCodeName(ErrCode code) {
+  switch (code) {
+    case ErrCode::kBadReq:
+      return "BADREQ";
+    case ErrCode::kNotFound:
+      return "NOTFOUND";
+    case ErrCode::kDeadline:
+      return "DEADLINE";
+    case ErrCode::kOverload:
+      return "OVERLOAD";
+    case ErrCode::kCancelled:
+      return "CANCELLED";
+    case ErrCode::kInternal:
+      return "INTERNAL";
+  }
+  return "INTERNAL";
+}
+
+bool IsRetryable(ErrCode code) {
+  return code == ErrCode::kDeadline || code == ErrCode::kOverload;
+}
+
+ErrCode ErrCodeFor(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kNotSupported:
+      return ErrCode::kBadReq;
+    case StatusCode::kNotFound:
+      return ErrCode::kNotFound;
+    case StatusCode::kDeadlineExceeded:
+      return ErrCode::kDeadline;
+    case StatusCode::kResourceExhausted:
+      return ErrCode::kOverload;
+    case StatusCode::kCancelled:
+      return ErrCode::kCancelled;
+    case StatusCode::kOk:
+    case StatusCode::kInternal:
+      return ErrCode::kInternal;
+  }
+  return ErrCode::kInternal;
+}
+
+std::string ErrLine(ErrCode code, std::string_view message) {
+  std::string out = "ERR ";
+  out += ErrCodeName(code);
+  if (!message.empty()) {
+    out += ' ';
+    out += message;
+  }
+  return out;
+}
+
+std::string ErrLineFor(const Status& status) {
+  return ErrLine(ErrCodeFor(status), status.message());
 }
 
 std::string RowLine(std::string_view rendered_tuple) {
@@ -222,6 +275,37 @@ bool AnyError(std::string_view response) {
   bool any = false;
   ForEachLine(response, [&any](std::string_view line) { any |= IsError(line); });
   return any;
+}
+
+bool ParseErrCode(std::string_view line, ErrCode* code) {
+  constexpr std::string_view kPrefix = "ERR ";
+  if (!StartsWith(line, kPrefix)) return false;
+  std::string_view rest = line.substr(kPrefix.size());
+  std::string_view token = NextToken(&rest);
+  for (ErrCode c : {ErrCode::kBadReq, ErrCode::kNotFound, ErrCode::kDeadline,
+                    ErrCode::kOverload, ErrCode::kCancelled,
+                    ErrCode::kInternal}) {
+    if (token == ErrCodeName(c)) {
+      *code = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool AnyRetryableError(std::string_view response) {
+  bool retryable = false;
+  bool fatal = false;
+  ForEachLine(response, [&retryable, &fatal](std::string_view line) {
+    if (!IsError(line)) return;
+    ErrCode code;
+    if (ParseErrCode(line, &code) && IsRetryable(code)) {
+      retryable = true;
+    } else {
+      fatal = true;
+    }
+  });
+  return retryable && !fatal;
 }
 
 }  // namespace omqe::server

@@ -17,7 +17,7 @@
 // exactly one terminator line:
 //
 //   OK <detail...>                success terminator
-//   ERR <message>                 failure terminator
+//   ERR <code> <message>          failure terminator (structured; see below)
 //   ROW <v1>,<v2>,...             one answer tuple (FETCH data line)
 //   STAT <json>                   registry/session counters (STATS data line,
 //                                 one line of BENCH-format JSON)
@@ -25,6 +25,27 @@
 // FETCH's terminator is "OK FETCH <k> more|done": <k> rows were emitted and
 // the cursor either has more answers or is exhausted (end of enumeration,
 // or the session's row budget was spent).
+//
+// Error taxonomy. <code> is one of the ErrCode names; clients branch on the
+// code, never the free-text message:
+//
+//   code       retryable  meaning
+//   ---------  ---------  -------------------------------------------------
+//   BADREQ     no         malformed request: unknown verb, bad arguments,
+//                         unparsable query, oversized line
+//   NOTFOUND   no         no prepared query / session with that name or id
+//   DEADLINE   yes        the request's deadline expired before completion
+//                         (retry observes the same deadline budget afresh)
+//   OVERLOAD   yes        shed before starting: the worker queue was full
+//                         (retry after backoff; the server did no work)
+//   CANCELLED  no         the request was cancelled (e.g. server shutdown
+//                         revoked an in-flight PREPARE)
+//   INTERNAL   no         invariant failure or injected fault; not retried
+//                         because the same input likely fails the same way
+//
+// Retryable means the failure is about server state at that moment, not
+// about the request itself — an identical resend can succeed. The bundled
+// client retries DEADLINE/OVERLOAD with exponential backoff + jitter.
 //
 // This header is transport-agnostic: parsing/serialization only. The server
 // loop (server.h) maps request lines to registry/session-manager calls; the
@@ -75,9 +96,34 @@ StatusOr<Request> ParseRequest(std::string_view line);
 /// parsing silently wrapped out-of-range flag values).
 bool ParseU64(std::string_view token, uint64_t* out);
 
+/// Wire error codes (see the taxonomy table above).
+enum class ErrCode {
+  kBadReq,
+  kNotFound,
+  kDeadline,
+  kOverload,
+  kCancelled,
+  kInternal,
+};
+
+/// The wire name of `code` ("BADREQ", "DEADLINE", ...).
+std::string_view ErrCodeName(ErrCode code);
+
+/// True when an identical resend of the failed request can succeed
+/// (DEADLINE, OVERLOAD).
+bool IsRetryable(ErrCode code);
+
+/// Maps a Status from the registry / session manager / parser onto the wire
+/// taxonomy. InvalidArgument, ParseError and NotSupported are the caller's
+/// fault (BADREQ); ResourceExhausted means shed or over budget (OVERLOAD);
+/// everything unclassified degrades to INTERNAL.
+ErrCode ErrCodeFor(const Status& status);
+
 /// Response builders (each returns a single line WITHOUT the trailing \n).
 std::string OkLine(std::string_view detail);
-std::string ErrLine(std::string_view message);
+std::string ErrLine(ErrCode code, std::string_view message);
+/// ErrLine with the code derived from `status` via ErrCodeFor.
+std::string ErrLineFor(const Status& status);
 std::string RowLine(std::string_view rendered_tuple);
 std::string StatLine(std::string_view json);
 
@@ -102,6 +148,13 @@ bool FetchDone(std::string_view response);
 bool ParseOpenSession(std::string_view response, uint64_t* sid);
 /// True when any line of the block is an ERR terminator.
 bool AnyError(std::string_view response);
+/// Extracts the code of an "ERR <code> ..." line; false when `line` is not
+/// an ERR line or carries an unknown/legacy code (callers should treat such
+/// errors as fatal, i.e. non-retryable).
+bool ParseErrCode(std::string_view line, ErrCode* code);
+/// True when the block contains an ERR terminator whose code is retryable
+/// (DEADLINE / OVERLOAD) and no fatal one — the client's retry predicate.
+bool AnyRetryableError(std::string_view response);
 
 }  // namespace omqe::server
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/fault.h"
 #include "base/str.h"
 #include "core/omq.h"
 
@@ -33,6 +34,11 @@ QueryRegistry::QueryRegistry(const Ontology* onto, const Database* db,
 StatusOr<std::shared_ptr<const PreparedOMQ>> QueryRegistry::Prepare(
     const std::string& name, const CQ& query) {
   std::lock_guard<std::mutex> prepare_lock(prepare_mu_);
+  if (FaultFires(kFaultRegistryPrepare)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.prepare_failures;
+    return Status::Internal("injected fault at registry.prepare");
+  }
   if (options_.max_estimated_chase_facts > 0 &&
       admission_estimate_.exceeds_budget) {
     {
@@ -45,17 +51,52 @@ StatusOr<std::shared_ptr<const PreparedOMQ>> QueryRegistry::Prepare(
         std::to_string(admission_estimate_.fact_bound) + ", budget " +
         std::to_string(options_.max_estimated_chase_facts) + ")");
   }
-  auto prepared = PreparedOMQ::Prepare(MakeOMQ(*onto_, query), *db_,
-                                       options_.prepare);
-  if (!prepared.ok()) {
+  // Arm a per-call token: the deadline (if configured) plus the handle
+  // CancelInFlight flags on shutdown. Published under mu_ BEFORE the chase
+  // starts and cleared under mu_ before this frame unwinds, so a concurrent
+  // CancelInFlight can never touch a dead stack slot.
+  uint64_t deadline_ms;
+  {
     std::lock_guard<std::mutex> lock(mu_);
+    deadline_ms = options_.prepare_deadline_ms;
+  }
+  CancelToken token(deadline_ms > 0
+                        ? Deadline::AfterMillis(static_cast<int64_t>(deadline_ms))
+                        : Deadline::Never());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    in_flight_ = &token;
+  }
+  PrepareOptions popts = options_.prepare;
+  popts.chase.cancel = &token;
+  auto prepared =
+      PreparedOMQ::Prepare(MakeOMQ(*onto_, query), *db_, popts);
+  std::lock_guard<std::mutex> lock(mu_);
+  in_flight_ = nullptr;
+  if (!prepared.ok()) {
     ++stats_.prepare_failures;
+    if (prepared.status().code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.deadline_exceeded;
+    } else if (prepared.status().code() == StatusCode::kCancelled) {
+      ++stats_.cancelled;
+    }
+    // A failed prepare publishes nothing: `name` keeps whatever artifact it
+    // had (possibly none) and stays re-preparable.
     return prepared.status();
   }
-  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.prepares;
   queries_[name] = prepared.value();
   return std::move(prepared).value();
+}
+
+void QueryRegistry::CancelInFlight() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ != nullptr) in_flight_->Cancel();
+}
+
+void QueryRegistry::set_prepare_deadline_ms(uint64_t ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  options_.prepare_deadline_ms = ms;
 }
 
 std::shared_ptr<const PreparedOMQ> QueryRegistry::Get(

@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/cancel.h"
 #include "chase/estimate.h"
 #include "core/prepared.h"
 
@@ -44,6 +45,12 @@ struct RegistryOptions {
   /// admission estimate (which predates the chase and depends only on
   /// counts) is unaffected.
   uint32_t prepare_threads = 0;
+  /// Per-PREPARE deadline in milliseconds (0 = none). The preprocessing
+  /// phase runs under a CancelToken with this deadline; on expiry the chase
+  /// aborts cooperatively, Prepare returns DeadlineExceeded, and the name is
+  /// left exactly as it was (a previously published artifact survives, a
+  /// new name stays absent and re-preparable).
+  uint64_t prepare_deadline_ms = 0;
 };
 
 struct RegistryStats {
@@ -53,6 +60,8 @@ struct RegistryStats {
   uint64_t evictions = 0;
   uint64_t hits = 0;                ///< Get() found the name
   uint64_t misses = 0;              ///< Get() did not
+  uint64_t deadline_exceeded = 0;   ///< prepares aborted by their deadline
+  uint64_t cancelled = 0;           ///< prepares revoked by CancelInFlight
 };
 
 class QueryRegistry {
@@ -78,6 +87,16 @@ class QueryRegistry {
   std::vector<std::string> Names() const;
   RegistryStats stats() const;
 
+  /// Requests cooperative cancellation of the Prepare currently running (if
+  /// any): its CancelToken is flagged and it returns Cancelled at the next
+  /// chase checkpoint. Used by server shutdown so drain is not held hostage
+  /// by a long saturation. Safe from any thread; a no-op when idle.
+  void CancelInFlight();
+
+  /// Replaces the per-PREPARE deadline at runtime (0 = none). Takes effect
+  /// for the next Prepare call; the in-flight one (if any) keeps its token.
+  void set_prepare_deadline_ms(uint64_t ms);
+
  private:
   const Ontology* onto_;
   const Database* db_;
@@ -92,6 +111,11 @@ class QueryRegistry {
   std::mutex prepare_mu_;  // serializes the (vocab-mutating) prepare phase
   std::unordered_map<std::string, std::shared_ptr<const PreparedOMQ>> queries_;
   mutable RegistryStats stats_;  // hit/miss counters tick inside const Get()
+  /// Token of the Prepare currently holding prepare_mu_ (guarded by mu_, so
+  /// CancelInFlight never races the token's stack lifetime: the pointer is
+  /// published under mu_ before the chase starts and cleared under mu_
+  /// before Prepare's frame unwinds).
+  CancelToken* in_flight_ = nullptr;
 };
 
 }  // namespace omqe::server

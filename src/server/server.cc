@@ -1,6 +1,7 @@
 #include "server/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -10,9 +11,13 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <ctime>
 #include <future>
 
+#include "base/cancel.h"
+#include "base/fault.h"
 #include "base/str.h"
+#include "base/timer.h"
 #include "cq/parser.h"
 #include "server/protocol.h"
 
@@ -28,7 +33,7 @@ OmqeServer::OmqeServer(Vocabulary* vocab, const Ontology* onto,
       options_(options),
       registry_(onto, db, options.registry),
       sessions_(options.limits),
-      pool_(options.threads) {
+      pool_(options.threads, options.max_queue) {
   OMQE_CHECK(vocab_ != nullptr);
   if (options_.limits.idle_timeout_ms > 0) {
     // Sessions go idle without traffic, so reaping needs its own clock: a
@@ -66,12 +71,12 @@ void OmqeServer::DoPrepare(const Request& req, std::string* out) {
   std::unique_lock<std::shared_mutex> lock(vocab_mu_);
   StatusOr<CQ> query = ParseCQ(req.query_text, vocab_);
   if (!query.ok()) {
-    *out += ErrLine(query.status().ToString()) + "\n";
+    *out += ErrLineFor(query.status()) + "\n";
     return;
   }
   auto prepared = registry_.Prepare(req.name, query.value());
   if (!prepared.ok()) {
-    *out += ErrLine(prepared.status().ToString()) + "\n";
+    *out += ErrLineFor(prepared.status()) + "\n";
     return;
   }
   *out += OkLine("PREPARED " + req.name + " trees=" +
@@ -84,12 +89,14 @@ void OmqeServer::DoPrepare(const Request& req, std::string* out) {
 void OmqeServer::DoOpen(const Request& req, std::string* out) {
   std::shared_ptr<const PreparedOMQ> prepared = registry_.Get(req.name);
   if (prepared == nullptr) {
-    *out += ErrLine("unknown prepared query '" + req.name + "'") + "\n";
+    *out += ErrLine(ErrCode::kNotFound,
+                    "unknown prepared query '" + req.name + "'") +
+            "\n";
     return;
   }
   auto sid = sessions_.Open(std::move(prepared), req.complete);
   if (!sid.ok()) {
-    *out += ErrLine(sid.status().ToString()) + "\n";
+    *out += ErrLineFor(sid.status()) + "\n";
     return;
   }
   *out += OkLine("OPEN " + std::to_string(sid.value())) + "\n";
@@ -104,7 +111,7 @@ void OmqeServer::DoFetch(const Request& req, std::string* out) {
   bool done = false;
   Status status = sessions_.Fetch(req.session, n, &rows, &done);
   if (!status.ok()) {
-    *out += ErrLine(status.ToString()) + "\n";
+    *out += ErrLineFor(status) + "\n";
     return;
   }
   {
@@ -153,13 +160,38 @@ void OmqeServer::DoStats(std::string* out) {
   field("misses", rs.misses);
   reg += "}]}";
   *out += StatLine(reg) + "\n";
+  // The robustness counters (deadlines, sheds, faults) as a third STAT
+  // line, same BENCH shape — robustness_test asserts against these.
+  SessionManagerStats ss = sessions_.stats();
+  std::string rob = "{\"bench\": \"server_robustness\", \"smoke\": false, "
+                    "\"rows\": [{\"series\": \"robustness\"";
+  auto rfield = [&rob](const char* key, uint64_t v) {
+    rob += ", \"";
+    rob += key;
+    rob += "\": ";
+    rob += std::to_string(v);
+  };
+  rfield("prepare_deadline_exceeded", rs.deadline_exceeded);
+  rfield("prepare_cancelled", rs.cancelled);
+  rfield("fetch_deadline_hits", ss.fetch_deadline_hits);
+  rfield("shed_requests",
+         wire_stats_.shed_requests.load(std::memory_order_relaxed));
+  rfield("write_timeout_closes",
+         wire_stats_.write_timeout_closes.load(std::memory_order_relaxed));
+  rfield("oversized_lines",
+         wire_stats_.oversized_lines.load(std::memory_order_relaxed));
+  rfield("forced_closes",
+         wire_stats_.forced_closes.load(std::memory_order_relaxed));
+  rfield("faults_fired", FaultInjector::Instance().fired());
+  rob += "}]}";
+  *out += StatLine(rob) + "\n";
   *out += OkLine("STATS") + "\n";
 }
 
 bool OmqeServer::HandleLine(std::string_view line, std::string* out) {
   auto request = ParseRequest(line);
   if (!request.ok()) {
-    *out += ErrLine(request.status().message()) + "\n";
+    *out += ErrLine(ErrCode::kBadReq, request.status().message()) + "\n";
     return true;
   }
   const Request& req = request.value();
@@ -176,21 +208,22 @@ bool OmqeServer::HandleLine(std::string_view line, std::string* out) {
     case Verb::kReset: {
       Status s = sessions_.Reset(req.session);
       *out += (s.ok() ? OkLine("RESET " + std::to_string(req.session))
-                      : ErrLine(s.ToString())) +
+                      : ErrLineFor(s)) +
               "\n";
       return true;
     }
     case Verb::kClose: {
       Status s = sessions_.Close(req.session);
       *out += (s.ok() ? OkLine("CLOSE " + std::to_string(req.session))
-                      : ErrLine(s.ToString())) +
+                      : ErrLineFor(s)) +
               "\n";
       return true;
     }
     case Verb::kEvict:
       *out += (registry_.Evict(req.name)
                    ? OkLine("EVICT " + req.name)
-                   : ErrLine("unknown prepared query '" + req.name + "'")) +
+                   : ErrLine(ErrCode::kNotFound,
+                             "unknown prepared query '" + req.name + "'")) +
               "\n";
       return true;
     case Verb::kStats:
@@ -200,7 +233,7 @@ bool OmqeServer::HandleLine(std::string_view line, std::string* out) {
       *out += OkLine("BYE") + "\n";
       return false;
     case Verb::kShutdown:
-      RequestShutdown();
+      BeginShutdown();
       *out += OkLine("SHUTDOWN") + "\n";
       return false;
   }
@@ -216,11 +249,20 @@ std::string InProcessClient::Roundtrip(std::string_view line) {
   std::future<std::string> future = result->get_future();
   std::string request(line);
   OmqeServer* server = server_;
-  server_->pool().Submit([server, request, result] {
+  bool queued = server_->pool().TrySubmit([server, request, result] {
     std::string out;
     server->HandleLine(request, &out);
     result->set_value(std::move(out));
   });
+  if (!queued) {
+    // Shed at the door: the pool's bounded queue is full, so answer
+    // OVERLOAD now instead of parking this request behind work it would
+    // time out waiting on. Retryable by contract — no server state changed.
+    server_->wire_stats().shed_requests.fetch_add(1, std::memory_order_relaxed);
+    return ErrLine(ErrCode::kOverload,
+                   "worker queue full, retry after backoff") +
+           "\n";
+  }
   return future.get();
 }
 
@@ -230,6 +272,47 @@ std::string InProcessClient::Roundtrip(std::string_view line) {
 
 namespace {
 
+/// Writes all of `data` to the non-blocking `fd`, polling POLLOUT in short
+/// slices while the socket's send buffer is full. False closes the
+/// connection: a real write error, an injected socket.write fault, or —
+/// the case this function exists for — a reader stalled past the write
+/// timeout (a kernel buffer that stays full means the client stopped
+/// reading; without the deadline that client pins this connection thread
+/// forever). Slices stay short so a server-wide shutdown is observed
+/// within ~100ms even mid-stall.
+bool SendAll(OmqeServer* server, int fd, std::string_view data) {
+  const int64_t timeout_ms = server->options().write_timeout_ms;
+  const Deadline deadline =
+      timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms) : Deadline::Never();
+  size_t written = 0;
+  while (written < data.size()) {
+    if (FaultFires(kFaultSocketWrite)) return false;
+    ssize_t w = ::write(fd, data.data() + written, data.size() - written);
+    if (w > 0) {
+      written += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      if (deadline.expired()) {
+        server->wire_stats().write_timeout_closes.fetch_add(
+            1, std::memory_order_relaxed);
+        return false;
+      }
+      if (server->shutdown_requested()) return false;
+      int64_t slice = 100;
+      if (!deadline.never()) {
+        slice = std::min<int64_t>(
+            slice, std::max<int64_t>(deadline.remaining_ms(), 1));
+      }
+      struct pollfd pfd = {fd, POLLOUT, 0};
+      ::poll(&pfd, 1, static_cast<int>(slice));
+      continue;
+    }
+    return false;  // EPIPE / reset / forced shutdown
+  }
+  return true;
+}
+
 /// Handles one request line on `fd`; returns false when the connection
 /// should close. Blank lines and '#' comments are skipped, not answered.
 bool HandleConnectionLine(OmqeServer* server, int fd, std::string_view line) {
@@ -237,19 +320,16 @@ bool HandleConnectionLine(OmqeServer* server, int fd, std::string_view line) {
   if (trimmed.empty() || trimmed[0] == '#') return true;
   std::string response;
   bool open = server->HandleLine(trimmed, &response);
-  size_t written = 0;
-  while (written < response.size()) {
-    ssize_t w = ::write(fd, response.data() + written,
-                        response.size() - written);
-    if (w <= 0) return false;
-    written += static_cast<size_t>(w);
-  }
+  if (!SendAll(server, fd, response)) return false;
   return open;
 }
 
 /// Reads protocol lines off `fd`, handling each, until QUIT/SHUTDOWN, EOF,
-/// or a server-wide shutdown. A final line arriving without a trailing
-/// newline before EOF is still executed and answered.
+/// a protocol violation (a line past max_line_bytes), or a server-wide
+/// shutdown. A final line arriving without a trailing newline before EOF is
+/// still executed and answered. The fd is NOT closed here — ServeTcp owns
+/// it, so its drain path can force-::shutdown a straggler without racing
+/// fd-number reuse.
 void ServeConnection(OmqeServer* server, int fd) {
   std::string buffer;
   char chunk[4096];
@@ -262,7 +342,11 @@ void ServeConnection(OmqeServer* server, int fd) {
       break;
     }
     if (ready == 0) continue;  // timeout: re-check shutdown
+    if (FaultFires(kFaultSocketRead)) break;  // injected: drop the connection
     ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+      continue;  // non-blocking fd: poll readiness can be spurious
+    }
     if (n <= 0) {
       // EOF (or error): execute whatever is buffered as the last line.
       if (n == 0 && open && !buffer.empty()) {
@@ -280,16 +364,33 @@ void ServeConnection(OmqeServer* server, int fd) {
       if (!open) break;
     }
     buffer.erase(0, start);
+    // Input-buffer bound: what remains is one line still missing its '\n'.
+    // Past the cap it can only grow, so answer BADREQ and hang up rather
+    // than buffer without limit for a client that never sends a newline.
+    const size_t cap = server->options().max_line_bytes;
+    if (open && cap > 0 && buffer.size() > cap) {
+      server->wire_stats().oversized_lines.fetch_add(1,
+                                                     std::memory_order_relaxed);
+      SendAll(server, fd,
+              ErrLine(ErrCode::kBadReq,
+                      "line too long (max " + std::to_string(cap) + " bytes)") +
+                  "\n");
+      break;
+    }
   }
-  ::close(fd);
+  // FIN now (the client's read unblocks immediately); the fd itself is
+  // closed by ServeTcp when it reaps this thread.
+  ::shutdown(fd, SHUT_WR);
 }
 
-/// A connection thread plus its completion flag, so the accept loop can
-/// join finished threads as it goes instead of accumulating one handle per
-/// connection for the life of the server.
+/// A connection thread plus its completion flag and fd, so the accept loop
+/// can join finished threads as it goes (instead of accumulating one handle
+/// per connection for the life of the server) and the drain path can
+/// force-close stragglers.
 struct Connection {
   std::thread thread;
   std::shared_ptr<std::atomic<bool>> done;
+  int fd = -1;
 };
 
 }  // namespace
@@ -329,6 +430,7 @@ Status ServeTcp(OmqeServer* server, uint16_t port,
     for (size_t i = 0; i < connections.size();) {
       if (connections[i].done->load(std::memory_order_acquire)) {
         connections[i].thread.join();
+        ::close(connections[i].fd);
         connections[i] = std::move(connections.back());
         connections.pop_back();
       } else {
@@ -350,8 +452,18 @@ Status ServeTcp(OmqeServer* server, uint16_t port,
     if (ready == 0) continue;  // timeout: re-check shutdown
     int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) continue;
+    // Non-blocking: the write path (SendAll) polls POLLOUT with a deadline
+    // instead of blocking forever in write() on a stalled reader, and the
+    // read path tolerates a spurious wakeup.
+    int flags = ::fcntl(conn, F_GETFL, 0);
+    if (flags >= 0) ::fcntl(conn, F_SETFL, flags | O_NONBLOCK);
+    if (server->options().sndbuf_bytes > 0) {
+      int sndbuf = server->options().sndbuf_bytes;
+      ::setsockopt(conn, SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+    }
     Connection c;
     c.done = std::make_shared<std::atomic<bool>>(false);
+    c.fd = conn;
     c.thread = std::thread([server, conn, done = c.done] {
       ServeConnection(server, conn);
       done->store(true, std::memory_order_release);
@@ -359,9 +471,32 @@ Status ServeTcp(OmqeServer* server, uint16_t port,
     connections.push_back(std::move(c));
   }
   ::close(listen_fd);
-  // Connection loops poll with a timeout and observe the shutdown flag, so
-  // this join completes within one poll interval of SHUTDOWN.
-  for (Connection& c : connections) c.thread.join();
+  // Drain: connection loops poll with a 200ms timeout and observe the
+  // shutdown flag, so normally every thread exits within one interval. A
+  // straggler (e.g. stalled mid-write against a dead reader) gets until the
+  // drain deadline, then its socket is force-shut — which pops its poll and
+  // fails its next read/write — and the join completes.
+  const int64_t drain_ms = server->options().drain_deadline_ms;
+  const Deadline drain =
+      drain_ms > 0 ? Deadline::AfterMillis(drain_ms) : Deadline::Never();
+  bool forced = false;
+  while (!connections.empty()) {
+    reap_finished();
+    if (connections.empty()) break;
+    if (!forced && drain.expired()) {
+      forced = true;
+      for (Connection& c : connections) {
+        server->wire_stats().forced_closes.fetch_add(1,
+                                                     std::memory_order_relaxed);
+        ::shutdown(c.fd, SHUT_RDWR);
+      }
+    }
+    struct timespec ts = {0, 10'000'000};  // 10ms
+    ::nanosleep(&ts, nullptr);
+  }
+  // Every connection is gone; close out the sessions they left behind so a
+  // clean SHUTDOWN releases the prepared-artifact references it holds.
+  server->sessions().CloseAll();
   return Status::OK();
 }
 

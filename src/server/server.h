@@ -52,6 +52,38 @@ struct ServerOptions {
   RegistryOptions registry;
   /// Cap on rows a single FETCH may return (protocol hygiene). 0 = none.
   uint64_t max_fetch_batch = 100000;
+  /// Overload shedding: pool jobs allowed to wait beyond the ones running.
+  /// When the queue is full, InProcessClient requests are rejected up front
+  /// with ERR OVERLOAD instead of queueing behind work they would time out
+  /// waiting for. 0 = unbounded (no shedding).
+  size_t max_queue = 0;
+  /// Per-connection input-buffer bound: a request line longer than this
+  /// answers ERR BADREQ and closes the connection (a text protocol has no
+  /// business carrying megabyte lines; an unbounded buffer is a memory DoS
+  /// waiting for a client that never sends '\n'). 0 = unbounded.
+  size_t max_line_bytes = 1u << 20;
+  /// Per-response write timeout (ms): a connection whose reader stalls past
+  /// this while the server has response bytes pending is closed (a stalled
+  /// reader must not pin a connection thread forever). 0 = no timeout.
+  int64_t write_timeout_ms = 10'000;
+  /// SHUTDOWN drain budget (ms): connections still alive past this after
+  /// the accept loop stops are force-closed (::shutdown on the socket).
+  /// 0 = wait indefinitely.
+  int64_t drain_deadline_ms = 5'000;
+  /// When > 0, shrink each accepted connection's SO_SNDBUF to this many
+  /// bytes. A latency/robustness test knob: with a tiny send buffer a
+  /// non-reading client stalls the writer within one response block, making
+  /// the write timeout deterministic to exercise.
+  int sndbuf_bytes = 0;
+};
+
+/// Transport/robustness counters. Atomics, not mutex-guarded: they tick on
+/// connection threads and the pool's submit path concurrently.
+struct WireStats {
+  std::atomic<uint64_t> shed_requests{0};       ///< rejected with OVERLOAD
+  std::atomic<uint64_t> write_timeout_closes{0};///< stalled readers closed
+  std::atomic<uint64_t> oversized_lines{0};     ///< BADREQ line-too-long
+  std::atomic<uint64_t> forced_closes{0};       ///< drain-deadline shutdowns
 };
 
 class OmqeServer {
@@ -76,9 +108,20 @@ class OmqeServer {
   /// fatal errors so connection loops observe the stop and exit).
   void RequestShutdown() { shutdown_.store(true, std::memory_order_release); }
 
+  /// Graceful-shutdown entry point (the SHUTDOWN verb): raises the shutdown
+  /// flag AND revokes the in-flight PREPARE (if any) so drain is not held
+  /// hostage by a long chase saturation. Connection drain itself — waiting
+  /// out live connections up to drain_deadline_ms, then force-closing — is
+  /// ServeTcp's job, since it owns the connection threads.
+  void BeginShutdown() {
+    RequestShutdown();
+    registry_.CancelInFlight();
+  }
+
   QueryRegistry& registry() { return registry_; }
   SessionManager& sessions() { return sessions_; }
   ThreadPool& pool() { return pool_; }
+  WireStats& wire_stats() { return wire_stats_; }
   const ServerOptions& options() const { return options_; }
 
  private:
@@ -96,6 +139,7 @@ class OmqeServer {
   /// reads arities and registers fresh relations); row rendering reads it.
   /// Readers share; each PREPARE is exclusive for its whole duration.
   mutable std::shared_mutex vocab_mu_;
+  WireStats wire_stats_;
   std::atomic<bool> shutdown_{false};
   // Idle-session reaper (only started when an idle timeout is configured).
   std::mutex reaper_mu_;
@@ -110,7 +154,10 @@ class InProcessClient {
  public:
   explicit InProcessClient(OmqeServer* server) : server_(server) {}
 
-  /// Submits `line` to the pool and blocks for the response block.
+  /// Submits `line` to the pool and blocks for the response block. When the
+  /// pool's bounded queue (ServerOptions::max_queue) is full the request is
+  /// shed: an "ERR OVERLOAD ..." block comes back immediately and the
+  /// server did no work on it.
   std::string Roundtrip(std::string_view line);
 
  private:

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/cancel.h"
+#include "base/fault.h"
 #include "base/timer.h"
 
 namespace omqe::server {
@@ -50,10 +52,20 @@ std::shared_ptr<SessionManager::Session> SessionManager::Lookup(
 Status SessionManager::Fetch(uint64_t sid, uint64_t n,
                              std::vector<ValueTuple>* out, bool* done) {
   std::shared_ptr<Session> session = Lookup(sid);
-  if (session == nullptr) return Status::InvalidArgument("unknown session");
+  if (session == nullptr) return Status::NotFound("unknown session");
+  if (FaultFires(kFaultSessionFetch)) {
+    // Fire BEFORE stepping the cursor: an injected fetch fault must never
+    // consume answers the client will not see.
+    return Status::Internal("injected fault at session.fetch");
+  }
+  const Deadline deadline =
+      limits_.fetch_deadline_ms > 0
+          ? Deadline::AfterMillis(static_cast<int64_t>(limits_.fetch_deadline_ms))
+          : Deadline::Never();
   uint64_t emitted = 0;
   bool exhausted = false;
   bool budget_hit = false;
+  bool deadline_hit = false;
   {
     std::lock_guard<std::mutex> lock(session->mu);
     // Stamp at start as well as end: a single fetch that outlasts the idle
@@ -64,6 +76,13 @@ Status SessionManager::Fetch(uint64_t sid, uint64_t n,
     while (emitted < n) {
       if (limits_.max_rows > 0 && session->rows_emitted >= limits_.max_rows) {
         budget_hit = true;
+        break;
+      }
+      // Deadline checkpoint every 128 rows: the rows already gathered are
+      // returned (they left the cursor; dropping them would silently skip
+      // answers) and *done stays false so the client simply re-fetches.
+      if (!deadline.never() && (emitted & 127) == 0 && deadline.expired()) {
+        deadline_hit = true;
         break;
       }
       bool more = session->partial != nullptr ? session->partial->Next(&t)
@@ -83,12 +102,13 @@ Status SessionManager::Fetch(uint64_t sid, uint64_t n,
   ++stats_.fetch_calls;
   stats_.rows += emitted;
   if (budget_hit) ++stats_.budget_exhausted;
+  if (deadline_hit) ++stats_.fetch_deadline_hits;
   return Status::OK();
 }
 
 Status SessionManager::Reset(uint64_t sid) {
   std::shared_ptr<Session> session = Lookup(sid);
-  if (session == nullptr) return Status::InvalidArgument("unknown session");
+  if (session == nullptr) return Status::NotFound("unknown session");
   {
     std::lock_guard<std::mutex> lock(session->mu);
     if (session->partial != nullptr) {
@@ -107,9 +127,17 @@ Status SessionManager::Reset(uint64_t sid) {
 
 Status SessionManager::Close(uint64_t sid) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (sessions_.erase(sid) == 0) return Status::InvalidArgument("unknown session");
+  if (sessions_.erase(sid) == 0) return Status::NotFound("unknown session");
   ++stats_.closed;
   return Status::OK();
+}
+
+size_t SessionManager::CloseAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = sessions_.size();
+  sessions_.clear();
+  stats_.closed += n;
+  return n;
 }
 
 size_t SessionManager::ReapIdle() {
@@ -152,7 +180,7 @@ size_t SessionManager::ReapIdle() {
 
 StatusOr<LinkOverlay::Stats> SessionManager::OverlayStats(uint64_t sid) const {
   std::shared_ptr<Session> session = Lookup(sid);
-  if (session == nullptr) return Status::InvalidArgument("unknown session");
+  if (session == nullptr) return Status::NotFound("unknown session");
   std::lock_guard<std::mutex> lock(session->mu);
   if (session->partial == nullptr) {
     return Status::InvalidArgument("complete sessions have no link overlay");
@@ -198,6 +226,7 @@ std::string SessionManager::StatsJson() const {
   field("resets", s.resets);
   field("budget_exhausted", s.budget_exhausted);
   field("open_rejected", s.open_rejected);
+  field("fetch_deadline_hits", s.fetch_deadline_hits);
   out += "}]}";
   return out;
 }

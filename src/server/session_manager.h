@@ -42,6 +42,12 @@ struct SessionLimits {
   int64_t idle_timeout_ms = 0;
   /// Open() fails once this many sessions are live; 0 = unlimited.
   size_t max_sessions = 0;
+  /// Per-Fetch wall-clock deadline in milliseconds; 0 = none. A fetch past
+  /// its deadline returns the rows gathered so far with *done = false (a
+  /// partial batch, NOT an error: the rows were already consumed from the
+  /// cursor and dropping them would silently skip answers). The client sees
+  /// a short batch and re-FETCHes; fetch_deadline_hits counts occurrences.
+  uint64_t fetch_deadline_ms = 0;
 };
 
 struct SessionManagerStats {
@@ -53,6 +59,7 @@ struct SessionManagerStats {
   uint64_t resets = 0;
   uint64_t budget_exhausted = 0;  ///< fetches truncated by max_rows
   uint64_t open_rejected = 0;     ///< Open refused by max_sessions
+  uint64_t fetch_deadline_hits = 0;  ///< fetches cut short by the deadline
 };
 
 class SessionManager {
@@ -84,6 +91,10 @@ class SessionManager {
   /// cycle bounds the overstay at two reaper ticks while keeping the
   /// open-then-fetch round trip safe at any timeout.
   size_t ReapIdle();
+
+  /// Closes every live session (server drain). Returns how many. In-flight
+  /// fetches finish on their shared_ptr references as usual.
+  size_t CloseAll();
 
   /// Copy-on-write counters of a live partial session's link overlay
   /// (server_test's O(1)-open assertion). Null stats for unknown/complete.

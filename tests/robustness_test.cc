@@ -1,0 +1,761 @@
+// Robustness of the serving stack under deadlines, cancellation, overload,
+// and injected faults (PR 7):
+//   - a PREPARE that exceeds its deadline answers ERR DEADLINE within 2x the
+//     deadline, publishes nothing, and leaves the name re-preparable — the
+//     acceptance contract;
+//   - cooperative chase cancellation aborts cleanly at 1/2/4 worker threads
+//     (the ASan/TSan payload for the token plumbing);
+//   - fetch deadlines return partial batches without ever losing or
+//     duplicating rows;
+//   - the fault-injection sweep drives every declared point and checks the
+//     differential oracle: each request either completes correctly or fails
+//     with a clean error — never a silently truncated success;
+//   - wire-level garbage (oversized lines, binary junk, partial lines) is
+//     answered with the BADREQ taxonomy, not a crash;
+//   - overload sheds with a retryable OVERLOAD, and a stalled reader trips
+//     the write timeout instead of pinning a connection thread forever.
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "base/cancel.h"
+#include "base/fault.h"
+#include "base/timer.h"
+#include "chase/chase.h"
+#include "core/omq.h"
+#include "core/prepared.h"
+#include "eval/brute.h"
+#include "server/protocol.h"
+#include "server/registry.h"
+#include "server/server.h"
+#include "server/session_manager.h"
+#include "test_util.h"
+
+namespace omqe {
+namespace {
+
+using server::ResponseRows;
+using server::ResponseTerminator;
+using testing::World;
+
+/// Clears the process-wide fault injector around every test that arms it,
+/// so a failing assertion cannot leak an armed point into later tests.
+struct FaultGuard {
+  FaultGuard() { FaultInjector::Instance().Reset(); }
+  ~FaultGuard() { FaultInjector::Instance().Reset(); }
+};
+
+// ---------------------------------------------------------------------------
+// Shared environments.
+// ---------------------------------------------------------------------------
+
+/// The paper's office environment behind a live server (same shape as
+/// server_test's fixture).
+struct OfficeServer : World {
+  Ontology onto;
+  std::unique_ptr<server::OmqeServer> srv;
+
+  explicit OfficeServer(server::ServerOptions options = {}) {
+    onto = Onto(R"(
+      Researcher(x) -> exists y. HasOffice(x, y)
+      HasOffice(x, y) -> Office(y)
+      Office(x) -> exists y. InBuilding(x, y)
+    )");
+    Load(R"(
+      Researcher(mary) Researcher(john) Researcher(mike)
+      HasOffice(mary, room1) HasOffice(john, room4)
+      InBuilding(room1, main1)
+    )");
+    srv = std::make_unique<server::OmqeServer>(&vocab, &onto, &db, options);
+  }
+};
+
+constexpr char kOfficeQuery[] =
+    "q(x1, x2, x3) :- HasOffice(x1, x2), InBuilding(x2, x3)";
+
+/// An environment whose PREPARE-time chase runs for seconds: a 2x-branching
+/// existential frontier over 128 seeds, driven to depth ~15 by a 12-atom
+/// path query. Every test that prepares the heavy query arms a deadline or
+/// a cancel, so the chase never runs to completion — the size only has to
+/// dominate the deadline with a wide margin on fast hardware.
+struct HeavyServer : World {
+  Ontology onto;
+  std::unique_ptr<server::OmqeServer> srv;
+
+  explicit HeavyServer(server::ServerOptions options = {}) {
+    onto = Onto("P(x) -> exists y1, y2. P(y1), P(y2), E(x, y1)");
+    for (int i = 0; i < 128; ++i) Load("P(s" + std::to_string(i) + ")");
+    // The admission estimator would (correctly) reject this ontology from
+    // structure alone; disable it — these tests are about what happens when
+    // the expensive phase actually runs.
+    options.registry.max_estimated_chase_facts = 0;
+    srv = std::make_unique<server::OmqeServer>(&vocab, &onto, &db, options);
+  }
+};
+
+constexpr char kHeavyQuery[] =
+    "q(x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13) :- "
+    "E(x1, x2), E(x2, x3), E(x3, x4), E(x4, x5), E(x5, x6), E(x6, x7), "
+    "E(x7, x8), E(x8, x9), E(x9, x10), E(x10, x11), E(x11, x12), "
+    "E(x12, x13)";
+
+/// The oracle rows of the office query, rendered like the wire.
+std::set<std::string> OfficeOracle(OfficeServer* w) {
+  auto prepared = w->srv->registry().Get("offices");
+  EXPECT_NE(prepared, nullptr);
+  std::set<std::string> want;
+  for (const ValueTuple& t : BruteMinimalPartialAnswers(
+           w->Query(kOfficeQuery), prepared->chase().db)) {
+    want.insert(w->Render(t));
+  }
+  return want;
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket helpers for the wire-level tests.
+// ---------------------------------------------------------------------------
+
+int ConnectLoopback(uint16_t port, int rcvbuf_bytes = 0) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  if (rcvbuf_bytes > 0) {
+    // Must be set BEFORE connect to affect the advertised window.
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf_bytes,
+                 sizeof(rcvbuf_bytes));
+  }
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+      0)
+      << std::strerror(errno);
+  return fd;
+}
+
+bool SendRaw(int fd, std::string_view data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t w = ::send(fd, data.data() + written, data.size() - written,
+                       MSG_NOSIGNAL);
+    if (w <= 0) return false;
+    written += static_cast<size_t>(w);
+  }
+  return true;
+}
+
+std::string RecvAll(int fd) {
+  std::string out;
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    out.append(chunk, static_cast<size_t>(n));
+  }
+  return out;
+}
+
+/// ServeTcp on its own thread; the constructor blocks until the ephemeral
+/// port is bound.
+struct TcpServer {
+  explicit TcpServer(server::OmqeServer* srv) : srv_(srv) {
+    std::future<uint16_t> bound = port_.get_future();
+    thread_ = std::thread([this] {
+      Status s = server::ServeTcp(srv_, /*port=*/0,
+                                  [this](uint16_t p) { port_.set_value(p); });
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    });
+    port = bound.get();
+    EXPECT_NE(port, 0);
+  }
+
+  /// Sends SHUTDOWN (unless the server is already stopping) and joins.
+  ~TcpServer() {
+    if (!srv_->shutdown_requested()) {
+      server::TcpExchange("127.0.0.1", port, "SHUTDOWN\n");
+    }
+    thread_.join();
+  }
+
+  uint16_t port = 0;
+
+ private:
+  server::OmqeServer* srv_;
+  std::promise<uint16_t> port_;
+  std::thread thread_;
+};
+
+// ---------------------------------------------------------------------------
+// Primitives: CancelToken, fault specs, error taxonomy.
+// ---------------------------------------------------------------------------
+
+TEST(CancelTokenTest, CancelAndDeadlineSemantics) {
+  CancelToken fresh;
+  EXPECT_TRUE(fresh.Check().ok());
+  EXPECT_TRUE(fresh.CheckNow().ok());
+  EXPECT_TRUE(CheckCancel(nullptr).ok());  // null token: always OK
+
+  fresh.Cancel();
+  EXPECT_TRUE(fresh.cancelled());
+  EXPECT_EQ(fresh.Check().code(), StatusCode::kCancelled);
+  EXPECT_EQ(fresh.CheckNow().code(), StatusCode::kCancelled);
+
+  // ms <= 0 builds an already-expired deadline (callers gate on their own
+  // "0 disables" convention before constructing one).
+  CancelToken expired(Deadline::AfterMillis(0));
+  EXPECT_EQ(expired.CheckNow().code(), StatusCode::kDeadlineExceeded);
+  // The strided Check consults the clock on its very first call (tick 0),
+  // so even a hot loop observes an expired deadline promptly.
+  EXPECT_EQ(expired.Check().code(), StatusCode::kDeadlineExceeded);
+
+  Deadline never = Deadline::Never();
+  EXPECT_TRUE(never.never());
+  EXPECT_FALSE(never.expired());
+  EXPECT_EQ(never.remaining_ms(), INT64_MAX);
+  Deadline later = Deadline::AfterMillis(60'000);
+  EXPECT_FALSE(later.expired());
+  EXPECT_GT(later.remaining_ms(), 0);
+  EXPECT_LE(later.remaining_ms(), 60'000);
+}
+
+TEST(FaultSpecTest, ParsesAndRejects) {
+  FaultSpec spec;
+  ASSERT_TRUE(ParseFaultSpec("n5", &spec));
+  EXPECT_EQ(spec.nth, 5u);
+  ASSERT_TRUE(ParseFaultSpec("p0.25", &spec));
+  EXPECT_DOUBLE_EQ(spec.probability, 0.25);
+  ASSERT_TRUE(ParseFaultSpec("p0.5@1234", &spec));
+  EXPECT_DOUBLE_EQ(spec.probability, 0.5);
+  EXPECT_EQ(spec.seed, 1234u);
+
+  EXPECT_FALSE(ParseFaultSpec("", &spec));
+  EXPECT_FALSE(ParseFaultSpec("n0", &spec));
+  EXPECT_FALSE(ParseFaultSpec("nxyz", &spec));
+  EXPECT_FALSE(ParseFaultSpec("p", &spec));
+  EXPECT_FALSE(ParseFaultSpec("p1.5", &spec));
+  EXPECT_FALSE(ParseFaultSpec("p0.5@", &spec));
+  EXPECT_FALSE(ParseFaultSpec("q0.5", &spec));
+}
+
+TEST(ErrTaxonomyTest, CodesNamesRetryabilityAndParsing) {
+  using server::ErrCode;
+  EXPECT_TRUE(server::IsRetryable(ErrCode::kDeadline));
+  EXPECT_TRUE(server::IsRetryable(ErrCode::kOverload));
+  EXPECT_FALSE(server::IsRetryable(ErrCode::kBadReq));
+  EXPECT_FALSE(server::IsRetryable(ErrCode::kNotFound));
+  EXPECT_FALSE(server::IsRetryable(ErrCode::kCancelled));
+  EXPECT_FALSE(server::IsRetryable(ErrCode::kInternal));
+
+  EXPECT_EQ(server::ErrCodeFor(Status::InvalidArgument("x")),
+            ErrCode::kBadReq);
+  EXPECT_EQ(server::ErrCodeFor(Status::ParseError("x")), ErrCode::kBadReq);
+  EXPECT_EQ(server::ErrCodeFor(Status::NotSupported("x")), ErrCode::kBadReq);
+  EXPECT_EQ(server::ErrCodeFor(Status::NotFound("x")), ErrCode::kNotFound);
+  EXPECT_EQ(server::ErrCodeFor(Status::DeadlineExceeded("x")),
+            ErrCode::kDeadline);
+  EXPECT_EQ(server::ErrCodeFor(Status::ResourceExhausted("x")),
+            ErrCode::kOverload);
+  EXPECT_EQ(server::ErrCodeFor(Status::Cancelled("x")), ErrCode::kCancelled);
+  EXPECT_EQ(server::ErrCodeFor(Status::Internal("x")), ErrCode::kInternal);
+
+  // Wire round-trip.
+  std::string line = server::ErrLine(ErrCode::kDeadline, "too slow");
+  EXPECT_EQ(line, "ERR DEADLINE too slow");
+  ErrCode code;
+  ASSERT_TRUE(server::ParseErrCode(line, &code));
+  EXPECT_EQ(code, ErrCode::kDeadline);
+  EXPECT_FALSE(server::ParseErrCode("OK FETCH 3 done", &code));
+  EXPECT_FALSE(server::ParseErrCode("ERR legacy-message", &code));
+
+  // The client's retry predicate: retryable-only blocks retry; any fatal
+  // code (or a legacy/unknown one) pins the failure.
+  EXPECT_TRUE(server::AnyRetryableError("ERR DEADLINE x\n"));
+  EXPECT_TRUE(server::AnyRetryableError("ROW a,b\nERR OVERLOAD shed\n"));
+  EXPECT_FALSE(server::AnyRetryableError("OK FETCH 2 done\n"));
+  EXPECT_FALSE(server::AnyRetryableError("ERR BADREQ nope\n"));
+  EXPECT_FALSE(server::AnyRetryableError("ERR DEADLINE x\nERR BADREQ y\n"));
+  EXPECT_FALSE(server::AnyRetryableError("ERR legacy-message\n"));
+}
+
+// ---------------------------------------------------------------------------
+// The tentpole acceptance: PREPARE deadlines.
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, PrepareDeadlineAnswersWithinTwiceTheDeadline) {
+  constexpr uint64_t kDeadlineMs = 250;
+  server::ServerOptions options;
+  options.registry.prepare_deadline_ms = kDeadlineMs;
+  HeavyServer w(options);
+  server::InProcessClient client(w.srv.get());
+
+  int64_t start = NowNanos();
+  std::string r =
+      client.Roundtrip(std::string("PREPARE heavy ") + kHeavyQuery);
+  int64_t elapsed_ms = (NowNanos() - start) / 1'000'000;
+
+  // ERR DEADLINE, and promptly: the chase checkpoints every candidate, so
+  // the abort lands within 2x the deadline even under sanitizers.
+  ASSERT_TRUE(server::IsError(r)) << r;
+  server::ErrCode code;
+  ASSERT_TRUE(server::ParseErrCode(ResponseTerminator(r), &code)) << r;
+  EXPECT_EQ(code, server::ErrCode::kDeadline) << r;
+  EXPECT_LT(elapsed_ms, static_cast<int64_t>(2 * kDeadlineMs)) << r;
+
+  // Nothing was published and no pool thread is pinned: the server keeps
+  // answering, the name stays absent, and its sessions are untouched.
+  EXPECT_EQ(w.srv->registry().Get("heavy"), nullptr);
+  EXPECT_EQ(w.srv->registry().size(), 0u);
+  EXPECT_EQ(w.srv->registry().stats().deadline_exceeded, 1u);
+  EXPECT_TRUE(server::IsError(client.Roundtrip("OPEN heavy")));
+
+  // Re-preparable: lift the deadline and publish a tractable query under
+  // the SAME name.
+  w.srv->registry().set_prepare_deadline_ms(0);
+  std::string again = client.Roundtrip("PREPARE heavy q(x) :- P(x)");
+  ASSERT_FALSE(server::IsError(again)) << again;
+  EXPECT_NE(w.srv->registry().Get("heavy"), nullptr);
+
+  // The robustness STAT line carries the deadline counter.
+  std::string stats = client.Roundtrip("STATS");
+  EXPECT_NE(stats.find("\"series\": \"robustness\""), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"prepare_deadline_exceeded\": 1"), std::string::npos)
+      << stats;
+}
+
+TEST(RobustnessTest, ShutdownCancelsInFlightPrepare) {
+  HeavyServer w;  // no deadline: only the cancel can stop this PREPARE
+  server::InProcessClient client(w.srv.get());
+  auto pending = std::async(std::launch::async, [&] {
+    return client.Roundtrip(std::string("PREPARE heavy ") + kHeavyQuery);
+  });
+  // Give the pool worker time to enter the chase, then revoke it the way
+  // the SHUTDOWN verb does.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  w.srv->BeginShutdown();
+  std::string r = pending.get();
+  ASSERT_TRUE(server::IsError(r)) << r;
+  server::ErrCode code;
+  ASSERT_TRUE(server::ParseErrCode(ResponseTerminator(r), &code)) << r;
+  EXPECT_EQ(code, server::ErrCode::kCancelled) << r;
+  EXPECT_EQ(w.srv->registry().Get("heavy"), nullptr);
+  EXPECT_EQ(w.srv->registry().stats().cancelled, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Chase cancellation under the sharded match phase (ASan/TSan payload).
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, ChaseCancellationAbortsCleanlyAcrossThreadCounts) {
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    World w;
+    Ontology onto = w.Onto("P(x) -> exists y1, y2. P(y1), P(y2), E(x, y1)");
+    for (int i = 0; i < 8; ++i) w.Load("P(s" + std::to_string(i) + ")");
+
+    // Deadline-driven abort: deterministic (the chase runs for far longer
+    // than 30ms at depth 22).
+    {
+      ChaseOptions options;
+      options.null_depth = 22;
+      options.num_threads = threads;
+      CancelToken token(Deadline::AfterMillis(30));
+      options.cancel = &token;
+      auto result = RunChase(w.db, onto, options);
+      ASSERT_FALSE(result.ok()) << "threads=" << threads;
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+          << "threads=" << threads;
+    }
+
+    // Cross-thread Cancel() mid-run: the shard workers observe the flag at
+    // their per-fact / per-candidate checkpoints and unwind without
+    // applying any partially enumerated round.
+    {
+      ChaseOptions options;
+      options.null_depth = 22;
+      options.num_threads = threads;
+      CancelToken token;
+      options.cancel = &token;
+      std::thread canceller([&token] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        token.Cancel();
+      });
+      auto result = RunChase(w.db, onto, options);
+      canceller.join();
+      ASSERT_FALSE(result.ok()) << "threads=" << threads;
+      EXPECT_EQ(result.status().code(), StatusCode::kCancelled)
+          << "threads=" << threads;
+    }
+
+    // A null token changes nothing: the same options without a cancel
+    // complete at a modest depth, bit-identical across thread counts
+    // (spot-checked via fact totals; the fuzzer owns the full oracle).
+    {
+      ChaseOptions options;
+      options.null_depth = 6;
+      options.num_threads = threads;
+      auto result = RunChase(w.db, onto, options);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      ChaseOptions seq = options;
+      seq.num_threads = 1;
+      auto expect = RunChase(w.db, onto, seq);
+      ASSERT_TRUE(expect.ok());
+      EXPECT_EQ((*result)->db.TotalFacts(), (*expect)->db.TotalFacts());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch deadlines: partial batches, never lost rows.
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, FetchDeadlineReturnsPartialBatchesWithoutLosingRows) {
+  constexpr int kRows = 100000;
+  World w;
+  Ontology onto = w.Onto("HasOffice(x, y) -> Office(y)");
+  std::string facts;
+  facts.reserve(static_cast<size_t>(kRows) * 24);
+  for (int i = 0; i < kRows; ++i) {
+    facts += "HasOffice(p" + std::to_string(i) + ", o" + std::to_string(i) +
+             ")\n";
+  }
+  w.Load(facts);
+  OMQ omq = MakeOMQ(onto, w.Query("q(x, y) :- HasOffice(x, y)"));
+  PrepareOptions popts;
+  popts.for_partial = false;  // complete-mode cursor is all this test needs
+  auto prepared = PreparedOMQ::Prepare(omq, w.db, popts);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  server::SessionLimits limits;
+  limits.fetch_deadline_ms = 1;
+  server::SessionManager manager(limits);
+  auto sid = manager.Open(*prepared, /*complete=*/true);
+  ASSERT_TRUE(sid.ok());
+
+  // One giant fetch cannot finish inside 1ms, so it must come back as a
+  // partial batch: rows so far, done=false, counter ticked. The rows left
+  // the cursor — an implementation that errored instead would lose them.
+  std::vector<ValueTuple> first;
+  bool done = true;
+  ASSERT_TRUE(manager.Fetch(*sid, kRows, &first, &done).ok());
+  EXPECT_FALSE(done);
+  EXPECT_LT(first.size(), static_cast<size_t>(kRows));
+  EXPECT_GE(first.size(), 128u);  // the checkpoint stride guarantees progress
+  EXPECT_GE(manager.stats().fetch_deadline_hits, 1u);
+
+  // Draining to done collects every row exactly once: the deadline slices
+  // the stream, it never drops or duplicates.
+  std::vector<ValueTuple> rows = first;
+  while (!done) {
+    std::vector<ValueTuple> batch;
+    ASSERT_TRUE(manager.Fetch(*sid, kRows, &batch, &done).ok());
+    rows.insert(rows.end(), batch.begin(), batch.end());
+  }
+  ASSERT_EQ(rows.size(), static_cast<size_t>(kRows));
+  std::set<std::string> distinct;
+  for (const ValueTuple& t : rows) distinct.insert(w.Render(t));
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kRows));
+  EXPECT_EQ(distinct.count("p0,o0"), 1u);
+  EXPECT_EQ(distinct.count("p" + std::to_string(kRows - 1) + ",o" +
+                           std::to_string(kRows - 1)),
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection sweep with the differential oracle.
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, FaultSweepInProcessPointsFailCleanAndRecover) {
+  FaultGuard guard;
+  OfficeServer w;
+  server::InProcessClient client(w.srv.get());
+  FaultSpec once;
+  ASSERT_TRUE(ParseFaultSpec("n1", &once));
+
+  // chase.round / registry.prepare: the armed PREPARE fails with a clean
+  // INTERNAL error, publishes nothing, and the next (disarmed) PREPARE of
+  // the same name succeeds and serves the exact oracle rows.
+  for (const char* point : {kFaultChaseRound, kFaultRegistryPrepare}) {
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Arm(point, once);
+    std::string r =
+        client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery);
+    ASSERT_TRUE(server::IsError(r)) << point << ": " << r;
+    server::ErrCode code;
+    ASSERT_TRUE(server::ParseErrCode(ResponseTerminator(r), &code)) << r;
+    EXPECT_EQ(code, server::ErrCode::kInternal) << point << ": " << r;
+    EXPECT_EQ(w.srv->registry().Get("offices"), nullptr) << point;
+    EXPECT_EQ(FaultInjector::Instance().StatsFor(point).fired, 1u) << point;
+
+    FaultInjector::Instance().Reset();
+    ASSERT_FALSE(server::IsError(
+        client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)))
+        << point;
+    std::string open = client.Roundtrip("OPEN offices");
+    uint64_t sid = 0;
+    ASSERT_TRUE(server::ParseOpenSession(open, &sid)) << open;
+    std::string fetched =
+        client.Roundtrip("FETCH " + std::to_string(sid) + " 100");
+    ASSERT_FALSE(server::IsError(fetched)) << fetched;
+    std::set<std::string> got;
+    for (const std::string& row : ResponseRows(fetched)) got.insert(row);
+    EXPECT_EQ(got, OfficeOracle(&w)) << point;
+    client.Roundtrip("CLOSE " + std::to_string(sid));
+    client.Roundtrip("EVICT offices");
+  }
+
+  // session.fetch fires BEFORE the cursor steps, so the failed fetch
+  // consumes nothing: the retry streams the complete answer set.
+  FaultInjector::Instance().Reset();
+  ASSERT_FALSE(server::IsError(
+      client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+  std::string open = client.Roundtrip("OPEN offices");
+  uint64_t sid = 0;
+  ASSERT_TRUE(server::ParseOpenSession(open, &sid)) << open;
+  FaultInjector::Instance().Arm(kFaultSessionFetch, once);
+  std::string failed = client.Roundtrip("FETCH " + std::to_string(sid) + " 2");
+  ASSERT_TRUE(server::IsError(failed)) << failed;
+  EXPECT_EQ(ResponseRows(failed).size(), 0u) << failed;
+  std::string retried =
+      client.Roundtrip("FETCH " + std::to_string(sid) + " 100");
+  ASSERT_FALSE(server::IsError(retried)) << retried;
+  std::set<std::string> got;
+  for (const std::string& row : ResponseRows(retried)) got.insert(row);
+  EXPECT_EQ(got, OfficeOracle(&w));
+}
+
+TEST(RobustnessTest, FaultSweepSocketPointsDropConnectionNeverLie) {
+  FaultGuard guard;
+  FaultSpec once;
+  ASSERT_TRUE(ParseFaultSpec("n1", &once));
+
+  // Fresh server per point so session ids are deterministic: with
+  // socket.read armed the OPEN is never processed and the clean exchange
+  // gets sid 1; with socket.write armed the armed OPEN created sid 1 (the
+  // response was lost, its cursor never stepped) and the clean exchange's
+  // FETCH 1 streams that untouched cursor.
+  const std::string script = "OPEN offices\nFETCH 1 10\nCLOSE 1\nQUIT\n";
+  for (const char* point : {kFaultSocketRead, kFaultSocketWrite}) {
+    OfficeServer w;
+    server::InProcessClient local(w.srv.get());
+    ASSERT_FALSE(server::IsError(
+        local.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+    std::set<std::string> want = OfficeOracle(&w);
+    TcpServer tcp(w.srv.get());
+
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Arm(point, once);
+    auto dropped = server::TcpExchange("127.0.0.1", tcp.port, script);
+    // The connection was dropped mid-exchange. The invariant is "complete
+    // or cleanly errored, never silently truncated": any FETCH terminator
+    // that did get through must carry the true row count.
+    if (dropped.ok()) {
+      std::string terminator = ResponseTerminator(*dropped);
+      if (terminator.rfind("OK FETCH", 0) == 0) {
+        EXPECT_EQ(ResponseRows(*dropped).size(), want.size())
+            << point << ": " << *dropped;
+      }
+    }
+    EXPECT_GE(FaultInjector::Instance().StatsFor(point).fired, 1u) << point;
+
+    // The server survived: a disarmed exchange on a fresh connection
+    // serves the full oracle set.
+    FaultInjector::Instance().Reset();
+    auto clean = server::TcpExchange("127.0.0.1", tcp.port, script);
+    ASSERT_TRUE(clean.ok()) << point << ": " << clean.status().ToString();
+    std::set<std::string> got;
+    for (const std::string& row : ResponseRows(*clean)) got.insert(row);
+    EXPECT_EQ(got, want) << point << ": " << *clean;
+  }
+}
+
+TEST(RobustnessTest, SeededFaultProbabilityReplaysDeterministically) {
+  FaultGuard guard;
+  FaultSpec spec;
+  ASSERT_TRUE(ParseFaultSpec("p0.5@99", &spec));
+
+  // Two identical runs under the same seed must make identical decisions —
+  // evaluation counts AND fired counts — so a probabilistic sweep that
+  // found a bug is replayable bit-for-bit.
+  auto run_once = [&]() -> std::pair<FaultInjector::PointStats, bool> {
+    World w;
+    Ontology onto = w.Onto(R"(
+      Researcher(x) -> exists y. HasOffice(x, y)
+      HasOffice(x, y) -> Office(y)
+      Office(x) -> exists y. InBuilding(x, y)
+    )");
+    w.Load("Researcher(mary) Researcher(john) HasOffice(mary, room1)");
+    FaultInjector::Instance().Reset();
+    FaultInjector::Instance().Arm(kFaultChaseRound, spec);
+    ChaseOptions options;
+    auto result = RunChase(w.db, onto, options);
+    return {FaultInjector::Instance().StatsFor(kFaultChaseRound),
+            result.ok()};
+  };
+  auto [first, first_ok] = run_once();
+  auto [second, second_ok] = run_once();
+  EXPECT_GT(first.evaluated, 0u);
+  EXPECT_EQ(first.evaluated, second.evaluated);
+  EXPECT_EQ(first.fired, second.fired);
+  EXPECT_EQ(first_ok, second_ok);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level garbage.
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, OversizedLineAnswersBadReqAndCloses) {
+  server::ServerOptions options;
+  options.max_line_bytes = 1024;
+  OfficeServer w(options);
+  TcpServer tcp(w.srv.get());
+
+  // 2 KiB with no newline: past the cap the buffer can only grow, so the
+  // server answers BADREQ and hangs up instead of buffering forever.
+  int fd = ConnectLoopback(tcp.port);
+  ASSERT_TRUE(SendRaw(fd, std::string(2048, 'A')));
+  std::string response = RecvAll(fd);  // ERR, then EOF: connection closed
+  ::close(fd);
+  EXPECT_NE(response.find("ERR BADREQ"), std::string::npos) << response;
+  EXPECT_NE(response.find("line too long"), std::string::npos) << response;
+  EXPECT_GE(w.srv->wire_stats().oversized_lines.load(), 1u);
+
+  // The server itself keeps serving new connections.
+  auto after = server::TcpExchange("127.0.0.1", tcp.port, "STATS\nQUIT\n");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->find("OK STATS"), std::string::npos) << *after;
+}
+
+TEST(RobustnessTest, BinaryJunkAndPartialLinesOverTcp) {
+  OfficeServer w;
+  TcpServer tcp(w.srv.get());
+
+  // Binary junk is one malformed request: ERR BADREQ, connection stays up
+  // and the next lines execute normally.
+  {
+    std::string script;
+    script += '\x01';
+    script += '\xff';
+    script += "\x7f garbage \x02\nSTATS\nQUIT\n";
+    auto r = server::TcpExchange("127.0.0.1", tcp.port, script);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r->find("ERR BADREQ"), std::string::npos) << *r;
+    EXPECT_NE(r->find("OK STATS"), std::string::npos) << *r;
+    EXPECT_NE(r->find("OK BYE"), std::string::npos) << *r;
+  }
+
+  // A request split across writes (and across the server's reads) is still
+  // one line: nothing executes until the '\n' arrives.
+  {
+    int fd = ConnectLoopback(tcp.port);
+    ASSERT_TRUE(SendRaw(fd, "STA"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(SendRaw(fd, "TS\nQU"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(SendRaw(fd, "IT\n"));
+    ::shutdown(fd, SHUT_WR);
+    std::string response = RecvAll(fd);
+    ::close(fd);
+    EXPECT_NE(response.find("OK STATS"), std::string::npos) << response;
+    EXPECT_NE(response.find("OK BYE"), std::string::npos) << response;
+    EXPECT_EQ(response.find("ERR"), std::string::npos) << response;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Overload shedding and the write timeout.
+// ---------------------------------------------------------------------------
+
+TEST(RobustnessTest, OverloadShedsWithRetryableOverload) {
+  server::ServerOptions options;
+  options.threads = 1;
+  options.max_queue = 1;
+  OfficeServer w(options);
+  server::InProcessClient client(w.srv.get());
+
+  // Pin the single worker on a latch, wait until it has dequeued the job,
+  // then fill the one queue slot with a pending request. The next request
+  // must be shed at the door.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  w.srv->pool().Submit([gate] { gate.wait(); });
+  while (w.srv->pool().pending() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto queued = std::async(std::launch::async,
+                           [&] { return client.Roundtrip("STATS"); });
+  while (w.srv->pool().pending() != 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::string shed = client.Roundtrip("STATS");
+  ASSERT_TRUE(server::IsError(shed)) << shed;
+  server::ErrCode code;
+  ASSERT_TRUE(server::ParseErrCode(ResponseTerminator(shed), &code)) << shed;
+  EXPECT_EQ(code, server::ErrCode::kOverload) << shed;
+  EXPECT_TRUE(server::AnyRetryableError(shed)) << shed;
+  EXPECT_EQ(w.srv->wire_stats().shed_requests.load(), 1u);
+
+  // Release the worker: the queued request completes untouched by the shed,
+  // and its STATS snapshot carries the shed counter.
+  release.set_value();
+  std::string ok = queued.get();
+  ASSERT_FALSE(server::IsError(ok)) << ok;
+  EXPECT_NE(ok.find("\"shed_requests\": 1"), std::string::npos) << ok;
+}
+
+TEST(RobustnessTest, WriteTimeoutClosesStalledReader) {
+  constexpr int kRows = 8000;
+  server::ServerOptions options;
+  options.write_timeout_ms = 150;
+  options.sndbuf_bytes = 4096;     // tiny server-side send buffer...
+  options.drain_deadline_ms = 2000;
+
+  World w;
+  Ontology onto = w.Onto("HasOffice(x, y) -> Office(y)");
+  std::string facts;
+  for (int i = 0; i < kRows; ++i) {
+    facts += "HasOffice(person" + std::to_string(i) + ", office" +
+             std::to_string(i) + ")\n";
+  }
+  w.Load(facts);
+  server::OmqeServer srv(&w.vocab, &onto, &w.db, options);
+  server::InProcessClient local(&srv);
+  ASSERT_FALSE(
+      server::IsError(local.Roundtrip("PREPARE big q(x, y) :- HasOffice(x, y)")));
+
+  TcpServer tcp(&srv);
+  // ...against a tiny client-side receive window, and a client that never
+  // reads: a ~200 KiB response block must stall the writer.
+  int fd = ConnectLoopback(tcp.port, /*rcvbuf_bytes=*/4096);
+  ASSERT_TRUE(SendRaw(fd, "OPEN big complete\nFETCH 1 100000\n"));
+  bool closed = false;
+  for (int i = 0; i < 200 && !closed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    closed = srv.wire_stats().write_timeout_closes.load() >= 1;
+  }
+  EXPECT_TRUE(closed) << "write timeout never fired";
+  ::close(fd);
+
+  // The connection thread was released (not pinned): a normal client is
+  // served immediately afterwards.
+  auto after = server::TcpExchange("127.0.0.1", tcp.port, "STATS\nQUIT\n");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(after->find("\"write_timeout_closes\": 1"), std::string::npos)
+      << *after;
+}
+
+}  // namespace
+}  // namespace omqe

@@ -157,6 +157,19 @@ TEST(ServerTest, ProtocolRoundTripsThroughInProcessClient) {
   r = client.Roundtrip("STATS");
   EXPECT_NE(r.find("STAT {\"bench\": \"server\""), std::string::npos) << r;
   EXPECT_NE(r.find("\"series\": \"registry\""), std::string::npos) << r;
+  // The robustness STAT line (PR 7) rides along: its counters are all zero
+  // on this healthy exchange, but the fields must be present so dashboards
+  // never learn about them only during an incident.
+  EXPECT_NE(r.find("STAT {\"bench\": \"server_robustness\""), std::string::npos)
+      << r;
+  EXPECT_NE(r.find("\"series\": \"robustness\""), std::string::npos) << r;
+  for (const char* field :
+       {"\"prepare_deadline_exceeded\": 0", "\"prepare_cancelled\": 0",
+        "\"fetch_deadline_hits\": 0", "\"shed_requests\": 0",
+        "\"write_timeout_closes\": 0", "\"oversized_lines\": 0",
+        "\"forced_closes\": 0", "\"faults_fired\": 0"}) {
+    EXPECT_NE(r.find(field), std::string::npos) << field << "\n" << r;
+  }
   EXPECT_EQ(ResponseTerminator(r), "OK STATS");
 
   r = client.Roundtrip("CLOSE 1");
