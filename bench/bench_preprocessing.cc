@@ -2,11 +2,14 @@
 // preprocessing phase — runs in time linear in ||D||. Sweeps the office
 // workload over doubling sizes; linearity shows as a flat ns/fact column.
 #include <cstdio>
+#include <string>
 
 #include "base/timer.h"
 #include "bench_util.h"
+#include "chase/chase.h"
 #include "chase/query_directed.h"
 #include "core/partial_enum.h"
+#include "tgd/parser.h"
 #include "workload/office.h"
 
 using namespace omqe;
@@ -113,5 +116,97 @@ int main(int argc, char** argv) {
   }
   std::printf("\nExpected shape: chase_ms shrinks with threads up to the "
               "core count; identical stays yes everywhere.\n");
+
+  // E2a: apply-heavy thread sweep. The office workload is match-dominated
+  // (few existentials fire), so E2t mostly measures phase A. This series
+  // chases an invention-dense chain ontology — every round invents nulls
+  // for most candidates — so phase B (claim / prefix-sum / materialize)
+  // carries the round. apply_ms comes from the engine's own phase timer
+  // (ChaseStats::apply_nanos), match_ms from match_nanos; their sum tracks
+  // but does not equal chase_ms (reserve + delta bookkeeping sit outside
+  // both). Single-core CI containers show ~1x speedup; the regression
+  // signal there is apply_ms staying within a few percent of the 1-thread
+  // row (fork/join + claim-table overhead), plus the bit-identity check.
+  bench::PrintHeader("E2a: apply-heavy thread sweep (invention-dense chain)",
+                     "threads   chase_ms   match_ms   apply_ms   speedup   "
+                     "identical");
+  {
+    Vocabulary vocab;
+    Database db(&vocab);
+    Ontology onto = MustParseOntology(R"(
+      A(x), B(x) -> exists y, z. C(x, y, z), Link(y, z)
+      C(x, y, z) -> exists w. D(y, w)
+      A(x) -> exists y. D(x, y)
+      D(x, y) -> E(y)
+      E(x) -> exists y. D(x, y)
+    )", &vocab);
+    const uint32_t seed_pairs = smoke ? 200u : 20000u;
+    {
+      RelId rel_a = vocab.RelationId("A", 1);
+      RelId rel_b = vocab.RelationId("B", 1);
+      for (uint32_t i = 0; i < seed_pairs; ++i) {
+        Value c = vocab.ConstantId("a" + std::to_string(i));
+        db.AddFact(rel_a, &c, 1);
+        db.AddFact(rel_b, &c, 1);
+      }
+    }
+
+    double base_ms = 0;
+    std::unique_ptr<ChaseResult> base;
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      ChaseOptions options;
+      options.null_depth = 3;
+      options.num_threads = threads;
+      Stopwatch watch;
+      auto chase = RunChase(db, onto, options);
+      double ms = watch.ElapsedSeconds() * 1e3;
+      if (!chase.ok()) return 1;
+      const ChaseStats& stats = (*chase)->stats;
+      bool identical = true;
+      if (threads == 1) {
+        base_ms = ms;
+        base = std::move(*chase);
+      } else {
+        const Database& a = base->db;
+        const Database& b = (*chase)->db;
+        identical = a.TotalFacts() == b.TotalFacts() &&
+                    a.NullHighWater() == b.NullHighWater() &&
+                    base->blocks.size() == (*chase)->blocks.size() &&
+                    base->truncated == (*chase)->truncated;
+        for (RelId r = 0; identical && r < a.NumRelationSlots(); ++r) {
+          identical = a.NumRows(r) == b.NumRows(r);
+          for (uint32_t row = 0; identical && row < a.NumRows(r); ++row) {
+            for (uint32_t i = 0; i < a.Arity(r); ++i) {
+              identical &= a.Row(r, row)[i] == b.Row(r, row)[i];
+            }
+          }
+        }
+        if (!identical) {
+          std::fprintf(stderr,
+                       "FATAL: %u-thread apply differs from 1-thread\n",
+                       threads);
+          return 1;
+        }
+      }
+      double match_ms = static_cast<double>(stats.match_nanos) / 1e6;
+      double apply_ms = static_cast<double>(stats.apply_nanos) / 1e6;
+      std::printf("%7u   %8.1f   %8.1f   %8.1f   %7.2fx   %9s\n", threads, ms,
+                  match_ms, apply_ms, ms > 0 ? base_ms / ms : 0.0,
+                  identical ? "yes" : "NO");
+      json.AddRow("E2a")
+          .Set("threads", threads)
+          .Set("seed_pairs", seed_pairs)
+          .Set("chase_ms", ms)
+          .Set("match_ms", match_ms)
+          .Set("apply_ms", apply_ms)
+          .Set("nulls_invented", stats.nulls_invented)
+          .Set("parallel_rounds", stats.parallel_rounds)
+          .Set("speedup", ms > 0 ? base_ms / ms : 0.0)
+          .Set("identical", 1);
+    }
+  }
+  std::printf("\nExpected shape: apply_ms dominates match_ms and shrinks "
+              "with threads up to the core count; identical stays yes "
+              "everywhere.\n");
   return 0;
 }

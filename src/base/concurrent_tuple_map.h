@@ -1,0 +1,339 @@
+// Thread-safe tuple-keyed hash map for the chase's shared application-dedup
+// table (the parallel apply phase's claim arbitration).
+//
+// Layout: the key space is split across a fixed power-of-two number of
+// independent *stripes* by the high bits of the key hash. Each stripe is a
+// small open-addressing table (linear probing, arena-backed keys — the same
+// scheme as TupleMap) guarded by its own spinlock, and grows *independently*
+// when it fills: a growth event re-probes only that stripe's entries while
+// every other stripe stays fully available. This is the property we borrow
+// from the elastic-hashing line of work (Farach-Colton, Krapivin & Kuszmaul
+// 2025; see SNIPPETS.md): insertions never reorder entries across the whole
+// structure, and the worst-case work any single operation can be charged is
+// one stripe's rehash, not the table's — so a concurrent phase never
+// stalls the world behind a doubling. Stats() reports `rehashes` as the MAX
+// over stripes for exactly this reason: it bounds the re-probe work on any
+// one probe path, which is what the per-round reservation tests pin.
+//
+// Concurrency contract (two modes, both TSan-clean):
+//   - Quiescent mode: InsertOrGet / Find / clear / Reserve from one thread
+//     at a time (phases separated by a fork/join barrier). InsertOrGet
+//     returns a reference that stays valid until the key's stripe next
+//     grows — the sequential chase apply path's single-probe idiom.
+//   - Concurrent mode: FetchMin / Load / Store from any number of threads.
+//     Each locks the key's stripe for the duration of the operation, so
+//     read-modify-writes are atomic per key and later quiescent readers
+//     (after a barrier) see every write.
+//
+// FetchMin is the claim primitive of the deterministic parallel apply:
+// every shard stamps its candidates with their *global sequential ordinal*,
+// and fetch-min arbitration makes the surviving claimant of a duplicated
+// key the lowest ordinal — the candidate the sequential merge would have
+// fired — independent of thread interleaving.
+//
+// No erase; algorithms that conceptually remove entries store a sentinel
+// (the chase stores its not-applied sentinel back into suppressed slots).
+#ifndef OMQE_BASE_CONCURRENT_TUPLE_MAP_H_
+#define OMQE_BASE_CONCURRENT_TUPLE_MAP_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/flat_hash.h"
+#include "base/hash.h"
+#include "base/status.h"
+
+namespace omqe {
+
+/// Tiny test-and-set lock for per-stripe critical sections a few dozen
+/// nanoseconds long. A full std::mutex is overkill there: stripes make
+/// contention rare, and the hold time never spans an allocation except on
+/// stripe growth. After a bounded busy-wait the loop yields the timeslice:
+/// on an oversubscribed machine (8 lanes on a 1-core CI container) the
+/// holder may be preempted mid-section, and spinning through its whole
+/// quantum turns a 20ns critical section into a multi-millisecond stall.
+class SpinLock {
+ public:
+  void lock() {
+    int spins = 0;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      if (++spins < 64) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      } else {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+template <typename V>
+class ConcurrentTupleMap {
+  static constexpr uint32_t kEmptyLen = 0xffffffffu;
+
+  struct Slot {
+    uint32_t offset = 0;
+    uint32_t len = kEmptyLen;
+    V value{};
+  };
+
+  struct Stripe {
+    SpinLock mu;
+    std::vector<Slot> slots;
+    std::vector<uint32_t> arena;
+    size_t size = 0;
+    size_t rehashes = 0;
+  };
+
+ public:
+  /// `stripes` is rounded up to a power of two. 64 keeps the collision
+  /// probability of 8 worker lanes on one lock under 2% per op while the
+  /// per-stripe footprint stays a few cache lines.
+  explicit ConcurrentTupleMap(size_t stripes = 64) {
+    size_t n = 1;
+    while (n < stripes) n <<= 1;
+    stripes_ = std::vector<Stripe>(n);
+    // n == 1 would make the shift 64 (undefined); the mask in StripeFor
+    // already sends everything to stripe 0 there.
+    shift_ = n == 1 ? 63 : 64 - static_cast<unsigned>(__builtin_ctzll(n));
+    for (Stripe& s : stripes_) s.slots.resize(16);
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const Stripe& s : stripes_) total += s.size;
+    return total;
+  }
+
+  /// Quiescent: drops all entries but keeps slot and arena capacity.
+  void clear() {
+    for (Stripe& s : stripes_) {
+      std::fill(s.slots.begin(), s.slots.end(), Slot());
+      s.arena.clear();
+      s.size = 0;
+    }
+  }
+
+  /// Sizes every stripe so `entries` total entries (plus 25% per-stripe skew
+  /// slack — hash distribution across stripes is only even in expectation)
+  /// insert without growth, and reserves `key_words` of arena likewise.
+  /// Quiescent; never shrinks. A stripe that does grow later re-probes only
+  /// its own entries (see the header comment), so an under-slack round pays
+  /// at most one stripe-local rehash.
+  void Reserve(size_t entries, size_t key_words = 0) {
+    size_t per = entries / stripes_.size();
+    per += per / 4 + 8;
+    size_t words = key_words / stripes_.size();
+    words += words / 4;
+    for (Stripe& s : stripes_) {
+      size_t cap = RoundUp(per + per / 3 + 1);
+      if (cap > s.slots.size()) Grow(s, cap);
+      if (words > s.arena.capacity()) s.arena.reserve(words);
+    }
+  }
+
+  /// Quiescent lookup: pointer to the stored value, or nullptr.
+  V* Find(const uint32_t* key, uint32_t len) {
+    uint64_t h = HashSpan32(key, len);
+    Stripe& s = StripeFor(h);
+    size_t i = Probe(s, key, len, h);
+    return s.slots[i].len == kEmptyLen ? nullptr : &s.slots[i].value;
+  }
+
+  /// Quiescent insert-or-get; single probe. The reference is valid until
+  /// the key's stripe next grows.
+  V& InsertOrGet(const uint32_t* key, uint32_t len, const V& v) {
+    uint64_t h = HashSpan32(key, len);
+    Stripe& s = StripeFor(h);
+    MaybeGrow(s);
+    size_t i = Probe(s, key, len, h);
+    if (s.slots[i].len == kEmptyLen) {
+      Insert(s, i, key, len, v);
+    }
+    return s.slots[i].value;
+  }
+
+  /// Hash for the *H variants. A caller that touches the same key in more
+  /// than one phase (the parallel apply claims in step 1 and finalizes in
+  /// step 1b) hashes once and passes the value through instead of paying
+  /// HashSpan32 per probe.
+  static uint64_t Hash(const uint32_t* key, uint32_t len) {
+    return HashSpan32(key, len);
+  }
+
+  /// Concurrent claim: inserts the key with `init` if absent, then lowers
+  /// the stored value to min(stored, v). Returns the value BEFORE the min
+  /// (so `init` on first touch). Atomic per key; the arbitration result
+  /// over any set of concurrent FetchMin calls is their minimum, which is
+  /// interleaving-independent — the deterministic-claim primitive.
+  V FetchMin(const uint32_t* key, uint32_t len, const V& v, const V& init) {
+    return FetchMinH(key, len, Hash(key, len), v, init);
+  }
+
+  /// FetchMin with a caller-supplied Hash(key, len).
+  V FetchMinH(const uint32_t* key, uint32_t len, uint64_t h, const V& v,
+              const V& init) {
+    Stripe& s = StripeFor(h);
+    std::lock_guard<SpinLock> lock(s.mu);
+    MaybeGrow(s);
+    size_t i = Probe(s, key, len, h);
+    if (s.slots[i].len == kEmptyLen) {
+      Insert(s, i, key, len, init);
+    }
+    V prev = s.slots[i].value;
+    if (v < prev) s.slots[i].value = v;
+    return prev;
+  }
+
+  /// Concurrent conditional finalize: when the key is present with value
+  /// `expect`, replaces it with `desired` and returns true; otherwise the
+  /// table is untouched and the return is false. One locked probe — the
+  /// parallel apply fuses its winner check (stored claim == own ordinal)
+  /// with the applied/suppressed marking through this. `h` must be
+  /// Hash(key, len).
+  bool ExchangeIfEqualH(const uint32_t* key, uint32_t len, uint64_t h,
+                        const V& expect, const V& desired) {
+    Stripe& s = StripeFor(h);
+    std::lock_guard<SpinLock> lock(s.mu);
+    size_t i = Probe(s, key, len, h);
+    if (s.slots[i].len == kEmptyLen || s.slots[i].value != expect) {
+      return false;
+    }
+    s.slots[i].value = desired;
+    return true;
+  }
+
+  /// Concurrent read: the stored value, or `absent` when the key is not
+  /// present.
+  V Load(const uint32_t* key, uint32_t len, const V& absent) {
+    uint64_t h = HashSpan32(key, len);
+    Stripe& s = StripeFor(h);
+    std::lock_guard<SpinLock> lock(s.mu);
+    size_t i = Probe(s, key, len, h);
+    return s.slots[i].len == kEmptyLen ? absent : s.slots[i].value;
+  }
+
+  /// Concurrent write: overwrites (inserting if absent).
+  void Store(const uint32_t* key, uint32_t len, const V& v) {
+    uint64_t h = HashSpan32(key, len);
+    Stripe& s = StripeFor(h);
+    std::lock_guard<SpinLock> lock(s.mu);
+    MaybeGrow(s);
+    size_t i = Probe(s, key, len, h);
+    if (s.slots[i].len == kEmptyLen) {
+      Insert(s, i, key, len, v);
+    } else {
+      s.slots[i].value = v;
+    }
+  }
+
+  /// Quiescent. size/capacity aggregate over stripes; max_probe/mean_probe
+  /// are global; `rehashes` is the MAX over stripes — the growth work any
+  /// single probe path can have been charged, which is what "at most one
+  /// rehash per round" means for an elastically-striped table.
+  HashStats Stats() const {
+    HashStats stats;
+    size_t total_probe = 0;
+    for (const Stripe& s : stripes_) {
+      stats.capacity += s.slots.size();
+      stats.rehashes = std::max(stats.rehashes, s.rehashes);
+      size_t mask = s.slots.size() - 1;
+      for (size_t i = 0; i < s.slots.size(); ++i) {
+        if (s.slots[i].len == kEmptyLen) continue;
+        size_t home =
+            HashSpan32(s.arena.data() + s.slots[i].offset, s.slots[i].len) &
+            mask;
+        size_t probe = (i - home) & mask;
+        total_probe += probe;
+        stats.max_probe = std::max(stats.max_probe, probe);
+        ++stats.size;
+      }
+    }
+    if (stats.size > 0) {
+      stats.mean_probe =
+          static_cast<double>(total_probe) / static_cast<double>(stats.size);
+    }
+    return stats;
+  }
+
+  size_t num_stripes() const { return stripes_.size(); }
+
+ private:
+  /// Stripe selection from the TOP hash bits (Probe homes on the low bits,
+  /// so the two stay independent). The mask only matters for 1 stripe.
+  Stripe& StripeFor(uint64_t h) {
+    return stripes_[(h >> shift_) & (stripes_.size() - 1)];
+  }
+
+  static size_t RoundUp(size_t n) {
+    size_t c = 16;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  bool KeyEquals(const Stripe& s, const Slot& slot, const uint32_t* key,
+                 uint32_t len) const {
+    if (slot.len != len) return false;
+    if (len == 0) return true;  // memcmp forbids null even for n == 0
+    return std::memcmp(s.arena.data() + slot.offset, key,
+                       len * sizeof(uint32_t)) == 0;
+  }
+
+  /// `h` must be HashSpan32(key, len): the stripe id comes from its TOP
+  /// bits and the home slot from its low bits, so the two selections stay
+  /// independent; callers hash once per operation.
+  size_t Probe(const Stripe& s, const uint32_t* key, uint32_t len,
+               uint64_t h) const {
+    size_t mask = s.slots.size() - 1;
+    size_t i = h & mask;
+    while (s.slots[i].len != kEmptyLen && !KeyEquals(s, s.slots[i], key, len)) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void Insert(Stripe& s, size_t i, const uint32_t* key, uint32_t len,
+              const V& v) {
+    s.slots[i].offset = static_cast<uint32_t>(s.arena.size());
+    s.slots[i].len = len;
+    s.arena.insert(s.arena.end(), key, key + len);
+    s.slots[i].value = v;
+    ++s.size;
+  }
+
+  void MaybeGrow(Stripe& s) {
+    if (s.size * 4 < s.slots.size() * 3) return;
+    Grow(s, s.slots.size() * 2);
+  }
+
+  void Grow(Stripe& s, size_t cap) {
+    if (s.size > 0) ++s.rehashes;
+    std::vector<Slot> old = std::move(s.slots);
+    s.slots.assign(cap, Slot());
+    for (const Slot& slot : old) {
+      if (slot.len == kEmptyLen) continue;
+      // Re-probe; arena offsets stay valid.
+      const uint32_t* key = s.arena.data() + slot.offset;
+      size_t i = Probe(s, key, slot.len, HashSpan32(key, slot.len));
+      s.slots[i] = slot;
+    }
+  }
+
+  std::vector<Stripe> stripes_;
+  unsigned shift_ = 58;  // 64 - log2(stripes)
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_CONCURRENT_TUPLE_MAP_H_

@@ -12,6 +12,7 @@
 //
 // Canonical point names (keep in sync with the README's robustness table):
 //   chase.round       a delta-round boundary of the chase engine
+//   chase.apply       the apply phase's resolve step, per candidate
 //   registry.prepare  QueryRegistry::Prepare, before preprocessing
 //   session.fetch     SessionManager::Fetch, before stepping the cursor
 //   socket.read       the server connection loop's read path
@@ -93,6 +94,7 @@ inline bool FaultFires(const char* point) {
 }
 
 inline constexpr const char kFaultChaseRound[] = "chase.round";
+inline constexpr const char kFaultChaseApply[] = "chase.apply";
 inline constexpr const char kFaultRegistryPrepare[] = "registry.prepare";
 inline constexpr const char kFaultSessionFetch[] = "session.fetch";
 inline constexpr const char kFaultSocketRead[] = "socket.read";

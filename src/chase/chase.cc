@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <memory>
 
+#include "base/concurrent_tuple_map.h"
 #include "base/fault.h"
 #include "base/flat_hash.h"
 #include "base/thread_pool.h"
+#include "base/timer.h"
 #include "chase/estimate.h"
 #include "horn/horn.h"
 
@@ -14,6 +16,15 @@ namespace omqe {
 namespace {
 
 constexpr Value kUnbound = 0xffffffffu;
+
+// States of the shared application-dedup table (ConcurrentTupleMap value).
+// A key is an application (TGD id + body values); its value is either a
+// permanent state or, transiently within one round's resolve step, the
+// global candidate ordinal claiming it. kApplied must order BELOW every
+// ordinal (fetch-min keeps it) and kNotApplied ABOVE (any claim beats it),
+// so ordinals live in [1, UINT64_MAX).
+constexpr uint64_t kAppliedState = 0;
+constexpr uint64_t kNotAppliedState = UINT64_MAX;
 
 /// Incremental hash index over one relation, keyed by a set of positions.
 /// Unlike PositionIndex it supports appending rows as the chase grows.
@@ -100,11 +111,39 @@ struct ShardOut {
   /// shard stops emitting and the round boundary reports the abort. The
   /// partially filled buffers are never applied.
   bool aborted = false;
+  /// Set when the chase.apply fault point fired in this shard's resolve
+  /// step; the round boundary turns it into the injected-fault status.
+  bool fault = false;
   /// Candidate i is tgds[i] plus its body-variable values appended to
   /// vals in ascending variable-id order (the dedup-key order, which is
   /// also how the merge reconstructs the assignment from BodyVars bits).
   std::vector<uint32_t> tgds;
   std::vector<Value> vals;
+  /// Candidate i's dedup-key hash, computed once in the claim step and
+  /// reused by the winner step's probe — the table is touched twice per
+  /// candidate, the hash is paid once.
+  std::vector<uint64_t> cand_hash;
+
+  // ---- Parallel apply (phase B fan-out) state, valid within one round ----
+  /// Winners of the resolve step, in candidate order: the TGD, the offset
+  /// of its body values in `vals`, the depth its fresh nulls get, and
+  /// whether it roots a fresh block (1) or joins a body null's block (0).
+  std::vector<uint32_t> winner_tgds;
+  std::vector<size_t> winner_offs;
+  std::vector<uint32_t> winner_depths;
+  std::vector<uint8_t> winner_blocks;
+  /// Resolve-step tallies: fresh nulls and fresh blocks this shard's
+  /// winners will invent (inputs of the step-2 prefix sums), and whether
+  /// any winner was suppressed by the depth cap.
+  uint64_t inventions = 0;
+  uint64_t new_blocks = 0;
+  bool capped = false;
+  /// Materialized head facts, in firing order: fact f is fact_rels[f] plus
+  /// the next Arity(fact_rels[f]) values of fact_vals. The merge appends
+  /// them to the database in shard order.
+  std::vector<RelId> fact_rels;
+  std::vector<Value> fact_vals;
+
   // Scratch reused across candidates (no per-match allocation).
   std::vector<Value> assign;
   ValueTuple key;
@@ -166,10 +205,27 @@ class ChaseEngine {
       size_t round_est =
           options_.adaptive_reserve ? ReserveForRound(delta.size()) : 0;
       uint32_t shards = ShardCount(delta.size());
+      ChaseStats& stats = result_->stats;
+      ++stats.rounds;
+      if (shards > 1) ++stats.parallel_rounds;
+      if (stats.shard_candidates.size() < shards) {
+        stats.shard_candidates.resize(shards, 0);
+        stats.shard_inventions.resize(shards, 0);
+      }
+      int64_t t0 = NowNanos();
       EnumerateRound(delta, shards, round_est);
+      stats.match_nanos += static_cast<uint64_t>(NowNanos() - t0);
+      for (uint32_t s = 0; s < shards; ++s) {
+        stats.shard_candidates[s] += shard_out_[s].tgds.size();
+        stats.candidates += shard_out_[s].tgds.size();
+      }
       OMQE_RETURN_IF_ERROR(CheckCancelNow(options_.cancel));
-      OMQE_RETURN_IF_ERROR(ApplyCandidates(shards));
+      int64_t t1 = NowNanos();
+      Status applied = ApplyCandidates(shards);
+      stats.apply_nanos += static_cast<uint64_t>(NowNanos() - t1);
+      OMQE_RETURN_IF_ERROR(applied);
     }
+    result_->stats.applied_rehashes = applied_.Stats().rehashes;
 
     // Count the database part.
     for (RelId r = 0; r < result_->db.NumRelationSlots(); ++r) {
@@ -279,6 +335,22 @@ class ChaseEngine {
           }
         }
       }
+    }
+    // Pre-size the shared application-dedup table once per round. Firings
+    // and cap-suppressed applications both cost at most one table entry per
+    // candidate, and candidates are bounded by the same per-shard creation
+    // slice the match phase reserves with (ShardCreationBound), summed back
+    // over the lanes so its skew slack survives. Growth past this is a
+    // stripe-local event — at most ~1 rehash per round (chase_test pins
+    // this through ChaseStats::applied_rehashes).
+    if (round_est >= 64) {
+      uint32_t lanes = std::max(2u, ShardCount(delta_size));
+      size_t slice = ShardCreationBound(round_est, lanes);
+      size_t total;
+      if (__builtin_mul_overflow(slice, static_cast<size_t>(lanes), &total)) {
+        total = options_.max_facts;
+      }
+      applied_.Reserve(applied_.size() + std::min(total, options_.max_facts));
     }
     prev_delta_ = delta_size;
     return round_est;
@@ -432,6 +504,7 @@ class ChaseEngine {
       out.tgds.clear();
       out.vals.clear();
       out.aborted = false;
+      out.fault = false;
       if (bound >= 64 && bound <= UINT32_MAX) out.seen.Reserve(bound);
     }
     auto run = [&](uint32_t s) {
@@ -526,15 +599,30 @@ class ChaseEngine {
     out->vals.insert(out->vals.end(), key.begin() + 1, key.end());
   }
 
-  /// Phase B: the deterministic sequential merge. Walks the shards in
-  /// fixed order (shard 0's candidates first — the contiguous delta
-  /// partition makes this the 1-shard discovery order), reconstructs each
-  /// body assignment, and fires it through the unchanged Apply path:
-  /// global applied_ dedup, restricted-mode head check, depth cap, block
-  /// assignment, null invention, fact + index insertion, next delta.
+  /// Phase B dispatch. Restricted mode always applies sequentially — its
+  /// HeadSatisfied check probes the *evolving* instance, which no amount of
+  /// pre-round snapshotting can parallelize without changing its answers —
+  /// and a 1-shard round has nothing to fan out. Everything else takes the
+  /// three-step parallel pipeline. Both paths leave identical state (the
+  /// thread-sweep tests and the differential fuzzer's parallel oracle
+  /// compare full ChaseResults).
   Status ApplyCandidates(uint32_t shards) {
+    if (shards <= 1 || options_.mode == ChaseMode::kRestricted) {
+      return ApplySequential(shards);
+    }
+    return ApplyParallel(shards);
+  }
+
+  /// The sequential form of phase B. Walks the shards in fixed order
+  /// (shard 0's candidates first — the contiguous delta partition makes
+  /// this the 1-shard discovery order), reconstructs each body assignment,
+  /// and fires it through the unchanged Apply path: global applied_ dedup,
+  /// restricted-mode head check, depth cap, block assignment, null
+  /// invention, fact + index insertion, next delta.
+  Status ApplySequential(uint32_t shards) {
     for (uint32_t s = 0; s < shards; ++s) {
       ShardOut& out = shard_out_[s];
+      uint32_t nulls_before = result_->db.NullHighWater();
       size_t off = 0;
       for (size_t i = 0; i < out.tgds.size(); ++i) {
         // Checkpoint every application: apply-heavy rounds are the other
@@ -552,6 +640,319 @@ class ChaseEngine {
         }
         OMQE_RETURN_IF_ERROR(Apply(t, assign_));
       }
+      if (s < result_->stats.shard_inventions.size()) {
+        result_->stats.shard_inventions[s] +=
+            result_->db.NullHighWater() - nulls_before;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// The parallel form of phase B (oblivious mode, >1 shards): resolve /
+  /// prefix-sum / materialize, then a sequential merge. Determinism, step
+  /// by step:
+  ///  - Ordinals: shard s's candidate i gets ordinal cand_base_[s] + i —
+  ///    its exact position in the sequential shard-order walk (offset by 1
+  ///    so ordinal space stays above kAppliedState).
+  ///  - Claim (1a): fetch-min arbitration leaves each key holding the
+  ///    SMALLEST claiming ordinal (or kAppliedState from an earlier round,
+  ///    which is below every ordinal). Min is commutative, so thread
+  ///    interleaving cannot change the outcome.
+  ///  - Winners (1b): a candidate wins its key iff the post-barrier value
+  ///    equals its own ordinal — the earliest sequential occurrence, i.e.
+  ///    precisely the duplicate the sequential walk fires. Depth caps and
+  ///    block lookups read only prior-round nulls (phase A matched the
+  ///    frozen state), so they are read-only here. The winner check doubles
+  ///    as the key's final marking (one exchange-if-equal probe): fired
+  ///    winners become kAppliedState, cap-suppressed ones go back to
+  ///    kNotAppliedState — the sequential "leave seen unset".
+  ///  - Ids (2): prefix sums over per-shard invention/block tallies hand
+  ///    shard s the exact null-id and block-id ranges the sequential walk
+  ///    would have consumed when reaching its candidates.
+  ///  - Materialize (3): per-shard fact buffers, fresh nulls assigned in
+  ///    ascending existential-variable order within each winner — the
+  ///    FreshNull order. Writes to null_depth_/null_block_/blocks_ land in
+  ///    disjoint pre-sized ranges.
+  ///  - Merge: appends shard 0's facts first, through the same AddFact as
+  ///    the sequential path — so head-fact dedup, index maintenance, block
+  ///    membership, the next delta, and even a mid-round fact-budget abort
+  ///    happen at identical points.
+  Status ApplyParallel(uint32_t shards) {
+    if (cand_base_.size() < shards) {
+      cand_base_.resize(shards);
+      null_base_.resize(shards);
+      block_base_.resize(shards);
+    }
+    uint64_t ord = 1;  // 0 is kAppliedState
+    for (uint32_t s = 0; s < shards; ++s) {
+      cand_base_[s] = ord;
+      ord += shard_out_[s].tgds.size();
+    }
+    // Step 1a: claim every candidate under its global ordinal.
+    Pool()->RunShards(shards, [this](uint32_t s) { ResolveClaimShard(s); });
+    OMQE_RETURN_IF_ERROR(RoundAbortStatus(shards));
+    // Step 1b: decide winners, apply the depth cap, tally inventions.
+    Pool()->RunShards(shards, [this](uint32_t s) { ResolveWinnersShard(s); });
+    OMQE_RETURN_IF_ERROR(RoundAbortStatus(shards));
+    // Step 2: prefix sums over the tallies; carve the shared id spaces.
+    uint64_t total_inventions = 0;
+    uint64_t total_blocks = 0;
+    for (uint32_t s = 0; s < shards; ++s) {
+      ShardOut& out = shard_out_[s];
+      if (out.capped) result_->truncated = true;
+      null_base_[s] = total_inventions;
+      block_base_[s] = total_blocks;
+      total_inventions += out.inventions;
+      total_blocks += out.new_blocks;
+      result_->stats.applied += out.winner_tgds.size();
+      result_->stats.nulls_invented += out.inventions;
+      result_->stats.shard_inventions[s] += out.inventions;
+    }
+    if (total_inventions >
+        UINT32_MAX - static_cast<uint64_t>(result_->db.NullHighWater())) {
+      // The sequential path would wrap the 32-bit null space here; nothing
+      // real gets close (the fact budget trips first by orders of
+      // magnitude), but fail loudly rather than corrupt ids.
+      return Status::ResourceExhausted("chase exhausted the null id space");
+    }
+    uint32_t null_first =
+        result_->db.AllocNullRange(static_cast<uint32_t>(total_inventions));
+    null_depth_.resize(null_first + total_inventions);
+    null_block_.resize(null_first + total_inventions);
+    size_t block_first = blocks_.size();
+    blocks_.resize(block_first + total_blocks);
+    // Step 3: materialize head facts into per-shard buffers.
+    Pool()->RunShards(shards, [this, null_first, block_first](uint32_t s) {
+      MaterializeShard(
+          s, null_first + static_cast<uint32_t>(null_base_[s]),
+          static_cast<uint32_t>(block_first + block_base_[s]));
+    });
+    OMQE_RETURN_IF_ERROR(RoundAbortStatus(shards));
+    // Merge: fixed shard order through the sequential append path.
+    for (uint32_t s = 0; s < shards; ++s) {
+      ShardOut& out = shard_out_[s];
+      size_t off = 0;
+      for (size_t f = 0; f < out.fact_rels.size(); ++f) {
+        OMQE_RETURN_IF_ERROR(CheckCancel(options_.cancel));
+        RelId rel = out.fact_rels[f];
+        uint32_t arity = result_->db.Arity(rel);
+        OMQE_RETURN_IF_ERROR(AddFact(rel, out.fact_vals.data() + off, arity, 0));
+        off += arity;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Rebuilds candidate i's dedup key (TGD id + body values at `off`) into
+  /// out->key; returns the candidate's body width.
+  uint32_t CandidateKey(ShardOut* out, size_t i, size_t off) const {
+    uint32_t t = out->tgds[i];
+    uint32_t n = static_cast<uint32_t>(
+        __builtin_popcountll(onto_.tgds()[t].BodyVars()));
+    ValueTuple& key = out->key;
+    key.clear();
+    key.push_back(t);
+    for (uint32_t k = 0; k < n; ++k) key.push_back(out->vals[off + k]);
+    return n;
+  }
+
+  /// Step 1a worker: stamp this shard's candidates with their global
+  /// sequential ordinals and claim them in the shared table by fetch-min.
+  /// Hosts the chase.apply fault point (one evaluation per candidate) and
+  /// the per-candidate cancel checkpoint.
+  void ResolveClaimShard(uint32_t s) {
+    ShardOut& out = shard_out_[s];
+    out.cand_hash.clear();
+    out.cand_hash.reserve(out.tgds.size());
+    uint64_t ord = cand_base_[s];
+    size_t off = 0;
+    for (size_t i = 0; i < out.tgds.size(); ++i, ++ord) {
+      if (options_.cancel != nullptr && !options_.cancel->Check().ok()) {
+        out.aborted = true;
+        return;
+      }
+      if (FaultFires(kFaultChaseApply)) {
+        out.fault = true;
+        return;
+      }
+      uint32_t n = CandidateKey(&out, i, off);
+      uint64_t h = ConcurrentTupleMap<uint64_t>::Hash(out.key.data(),
+                                                      out.key.size());
+      out.cand_hash.push_back(h);
+      applied_.FetchMinH(out.key.data(), out.key.size(), h, ord,
+                         kNotAppliedState);
+      off += n;
+    }
+  }
+
+  /// Step 1b worker: a candidate wins its key iff the settled table value
+  /// is its own ordinal. The winner check and the key's final marking are
+  /// one locked probe (ExchangeIfEqualH with the hash cached by step 1a):
+  /// the depth cap is decided first — it reads only the candidate's body
+  /// values and frozen prior-round null depths, never the table — so the
+  /// exchange installs kAppliedState for fired winners and puts
+  /// kNotAppliedState back for cap-suppressed ones (the sequential "leave
+  /// seen unset", letting a later-round rediscovery re-attempt it). Losers
+  /// fail the exchange and skip. The marking is safe this early: finalized
+  /// values (0 / UINT64_MAX) lie outside the ordinal range, so another
+  /// shard's pending winner check on the same key still fails exactly as
+  /// it would against the winning ordinal. Winners are recorded with
+  /// everything materialization needs; their invention and fresh-block
+  /// tallies feed the step-2 prefix sums.
+  void ResolveWinnersShard(uint32_t s) {
+    ShardOut& out = shard_out_[s];
+    out.winner_tgds.clear();
+    out.winner_offs.clear();
+    out.winner_depths.clear();
+    out.winner_blocks.clear();
+    out.inventions = 0;
+    out.new_blocks = 0;
+    out.capped = false;
+    uint64_t ord = cand_base_[s];
+    size_t off = 0;
+    for (size_t i = 0; i < out.tgds.size(); ++i, ++ord) {
+      if (options_.cancel != nullptr && !options_.cancel->Check().ok()) {
+        out.aborted = true;
+        return;
+      }
+      uint32_t n = CandidateKey(&out, i, off);
+      off += n;
+      const TGD& tgd = onto_.tgds()[out.tgds[i]];
+      uint32_t max_depth = 0;
+      for (uint32_t k = 1; k < out.key.size(); ++k) {
+        Value v = out.key[k];
+        if (IsNull(v)) {
+          max_depth = std::max(max_depth, null_depth_[NullIndex(v)]);
+        }
+      }
+      VarSet existentials = tgd.ExistentialVars();
+      bool capped = existentials && max_depth + 1 > options_.null_depth;
+      if (!applied_.ExchangeIfEqualH(out.key.data(), out.key.size(),
+                                     out.cand_hash[i], ord,
+                                     capped ? kNotAppliedState
+                                            : kAppliedState)) {
+        continue;  // lost the claim: an earlier occurrence fires instead
+      }
+      if (capped) {
+        out.capped = true;
+        continue;
+      }
+      uint8_t fresh_block = 0;
+      if (existentials) {
+        out.inventions +=
+            static_cast<uint64_t>(__builtin_popcountll(existentials));
+        // Fresh block iff no body null already carries one (PickBlock's
+        // rule; body nulls are all prior-round, so null_block_ is frozen).
+        fresh_block = 1;
+        for (uint32_t k = 1; k < out.key.size(); ++k) {
+          Value v = out.key[k];
+          if (IsNull(v) && null_block_[NullIndex(v)] != UINT32_MAX) {
+            fresh_block = 0;
+            break;
+          }
+        }
+        out.new_blocks += fresh_block;
+      }
+      out.winner_tgds.push_back(out.tgds[i]);
+      out.winner_offs.push_back(off - n);
+      out.winner_depths.push_back(max_depth + 1);
+      out.winner_blocks.push_back(fresh_block);
+    }
+  }
+
+  /// Step 3 worker: fire this shard's winners into its fact buffers using
+  /// the pre-assigned null and block id ranges. Mutates only disjoint
+  /// slices of the shared side arrays (pre-sized in step 2) plus the
+  /// shard's own buffers; never touches the applied table (step 1b's
+  /// exchange already finalized every key).
+  void MaterializeShard(uint32_t s, uint32_t next_null, uint32_t next_block) {
+    ShardOut& out = shard_out_[s];
+    out.fact_rels.clear();
+    out.fact_vals.clear();
+    for (size_t w = 0; w < out.winner_tgds.size(); ++w) {
+      if (options_.cancel != nullptr && !options_.cancel->Check().ok()) {
+        out.aborted = true;
+        return;
+      }
+      uint32_t t = out.winner_tgds[w];
+      const TGD& tgd = onto_.tgds()[t];
+      std::vector<Value>& assign = out.assign;
+      assign.assign(tgd.num_vars(), kUnbound);
+      size_t k = out.winner_offs[w];
+      VarSet rest = tgd.BodyVars();
+      while (rest) {
+        uint32_t v = static_cast<uint32_t>(__builtin_ctzll(rest));
+        rest &= rest - 1;
+        assign[v] = out.vals[k++];
+      }
+      VarSet existentials = tgd.ExistentialVars();
+      if (existentials) {
+        uint32_t block;
+        if (out.winner_blocks[w]) {
+          // Fresh block rooted at the instantiated guard fact (absent for
+          // unguarded TGDs), built in place in this shard's blocks_ slice.
+          ChaseBlock& nb = blocks_[next_block];
+          block = next_block++;
+          int guard = tgd.GuardAtom();
+          if (guard >= 0) {
+            nb.has_source = true;
+            nb.source_rel = tgd.body()[guard].rel;
+            nb.source_tuple.clear();
+            for (Term term : tgd.body()[guard].terms) {
+              nb.source_tuple.push_back(assign[VarOf(term)]);
+            }
+          }
+        } else {
+          // PickBlock's other arm: the block of the first body null (in
+          // ascending variable order) that carries one.
+          block = UINT32_MAX;
+          rest = tgd.BodyVars();
+          while (rest) {
+            uint32_t v = static_cast<uint32_t>(__builtin_ctzll(rest));
+            rest &= rest - 1;
+            if (IsNull(assign[v])) {
+              uint32_t b = null_block_[NullIndex(assign[v])];
+              if (b != UINT32_MAX) {
+                block = b;
+                break;
+              }
+            }
+          }
+        }
+        uint32_t depth = out.winner_depths[w];
+        VarSet ex = existentials;
+        while (ex) {
+          uint32_t v = static_cast<uint32_t>(__builtin_ctzll(ex));
+          ex &= ex - 1;
+          assign[v] = MakeNull(next_null);
+          null_depth_[next_null] = depth;
+          null_block_[next_null] = block;
+          ++next_null;
+        }
+      }
+      for (const Atom& h : tgd.head()) {
+        out.fact_rels.push_back(h.rel);
+        for (Term term : h.terms) {
+          out.fact_vals.push_back(assign[VarOf(term)]);
+        }
+      }
+    }
+  }
+
+  /// Collects the per-shard abort flags after a parallel apply step: an
+  /// injected chase.apply fault outranks a cancel (the flags are only ever
+  /// set together when both raced, and the fault is the scripted outcome).
+  Status RoundAbortStatus(uint32_t shards) {
+    bool aborted = false;
+    bool fault = false;
+    for (uint32_t s = 0; s < shards; ++s) {
+      aborted |= shard_out_[s].aborted;
+      fault |= shard_out_[s].fault;
+    }
+    if (fault) return Status::Internal("injected fault at chase.apply");
+    if (aborted) {
+      Status st = CheckCancelNow(options_.cancel);
+      return st.ok() ? Status::Cancelled("chase apply aborted") : st;
     }
     return Status::OK();
   }
@@ -597,21 +998,28 @@ class ChaseEngine {
         max_depth = std::max(max_depth, null_depth_[NullIndex(assign[v])]);
       }
     }
-    char& seen = applied_.InsertOrGet(key.data(), key.size(), 0);
-    if (seen) return Status::OK();
+    // The resolve step of this application (dedup + cap check). Same fault
+    // point as the parallel resolve shards, so the robustness sweep covers
+    // whichever path the thread count selects.
+    if (FaultFires(kFaultChaseApply)) {
+      return Status::Internal("injected fault at chase.apply");
+    }
+    uint64_t& seen =
+        applied_.InsertOrGet(key.data(), key.size(), kNotAppliedState);
+    if (seen == kAppliedState) return Status::OK();
 
     VarSet existentials = tgd.ExistentialVars();
     uint32_t block = UINT32_MAX;
     if (existentials) {
       if (options_.mode == ChaseMode::kRestricted && HeadSatisfied(t, assign, 0)) {
-        seen = 1;  // monotone: once satisfied, always satisfied
+        seen = kAppliedState;  // monotone: once satisfied, always satisfied
         return Status::OK();
       }
       if (max_depth + 1 > options_.null_depth) {
         result_->truncated = true;
-        // Leave `seen` unset so a later run with a larger cap would fire;
-        // within this run the same application is cheap to re-suppress.
-        seen = 0;
+        // Leave the entry not-applied so a later run with a larger cap
+        // would fire; within this run it is cheap to re-suppress.
+        seen = kNotAppliedState;
         return Status::OK();
       }
       block = PickBlock(tgd, assign, body_vars);
@@ -625,8 +1033,11 @@ class ChaseEngine {
         null_depth_.push_back(max_depth + 1);
         null_block_.push_back(block);
       }
+      result_->stats.nulls_invented +=
+          static_cast<uint64_t>(__builtin_popcountll(existentials));
     }
-    seen = 1;
+    seen = kAppliedState;
+    ++result_->stats.applied;
 
     ValueTuple tuple;
     for (const Atom& h : tgd.head()) {
@@ -709,7 +1120,11 @@ class ChaseEngine {
   size_t prev_delta_ = 0;
   std::vector<DynIndex> indexes_;
   std::vector<std::vector<uint32_t>> rel_indexes_;
-  TupleMap<char> applied_;
+  /// Shared application-dedup table. Sequential rounds use the quiescent
+  /// single-probe path (InsertOrGet); parallel rounds use the concurrent
+  /// claim primitives (FetchMin/Load/Store). The two modes never overlap —
+  /// RunShards barriers separate them.
+  ConcurrentTupleMap<uint64_t> applied_;
   std::vector<uint32_t> null_depth_;
   std::vector<uint32_t> null_block_;
   std::vector<ChaseBlock> blocks_;
@@ -723,6 +1138,12 @@ class ChaseEngine {
   /// of a converging chase are mostly this small.
   static constexpr size_t kMinParallelDelta = 256;
   std::vector<ShardOut> shard_out_;          // reused across rounds
+  // Parallel-apply prefix sums, valid within one round: shard s's first
+  // candidate ordinal, and its offsets into the round's null and block id
+  // ranges.
+  std::vector<uint64_t> cand_base_;
+  std::vector<uint64_t> null_base_;
+  std::vector<uint64_t> block_base_;
   std::unique_ptr<ThreadPool> pool_;         // lazily spawned, num_threads-1
 };
 

@@ -85,6 +85,25 @@ StatusOr<std::shared_ptr<const PreparedOMQ>> QueryRegistry::Prepare(
     return prepared.status();
   }
   ++stats_.prepares;
+  // Fold the artifact's chase counters (its final saturation run) into the
+  // registry-lifetime aggregate the STATS line reports.
+  const ChaseStats& cs = prepared.value()->chase().stats;
+  chase_stats_.rounds += cs.rounds;
+  chase_stats_.parallel_rounds += cs.parallel_rounds;
+  chase_stats_.candidates += cs.candidates;
+  chase_stats_.applied += cs.applied;
+  chase_stats_.nulls_invented += cs.nulls_invented;
+  chase_stats_.match_nanos += cs.match_nanos;
+  chase_stats_.apply_nanos += cs.apply_nanos;
+  chase_stats_.applied_rehashes += cs.applied_rehashes;
+  if (chase_stats_.shard_candidates.size() < cs.shard_candidates.size()) {
+    chase_stats_.shard_candidates.resize(cs.shard_candidates.size(), 0);
+    chase_stats_.shard_inventions.resize(cs.shard_inventions.size(), 0);
+  }
+  for (size_t s = 0; s < cs.shard_candidates.size(); ++s) {
+    chase_stats_.shard_candidates[s] += cs.shard_candidates[s];
+    chase_stats_.shard_inventions[s] += cs.shard_inventions[s];
+  }
   queries_[name] = prepared.value();
   return std::move(prepared).value();
 }
@@ -135,6 +154,11 @@ std::vector<std::string> QueryRegistry::Names() const {
 RegistryStats QueryRegistry::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   return stats_;
+}
+
+ChaseStats QueryRegistry::chase_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return chase_stats_;
 }
 
 }  // namespace omqe::server

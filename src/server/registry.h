@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "base/cancel.h"
+#include "chase/chase.h"
 #include "chase/estimate.h"
 #include "core/prepared.h"
 
@@ -86,6 +87,10 @@ class QueryRegistry {
   size_t size() const;
   std::vector<std::string> Names() const;
   RegistryStats stats() const;
+  /// Chase observability, aggregated over every successful Prepare (the
+  /// final saturation run of each): phase timings, candidate/apply totals,
+  /// and per-shard-lane counters. The server's STATS line exports this.
+  ChaseStats chase_stats() const;
 
   /// Requests cooperative cancellation of the Prepare currently running (if
   /// any): its CancelToken is flagged and it returns Cancelled at the next
@@ -111,6 +116,7 @@ class QueryRegistry {
   std::mutex prepare_mu_;  // serializes the (vocab-mutating) prepare phase
   std::unordered_map<std::string, std::shared_ptr<const PreparedOMQ>> queries_;
   mutable RegistryStats stats_;  // hit/miss counters tick inside const Get()
+  ChaseStats chase_stats_;       // summed over successful prepares (mu_)
   /// Token of the Prepare currently holding prepare_mu_ (guarded by mu_, so
   /// CancelInFlight never races the token's stack lifetime: the pointer is
   /// published under mu_ before the chase starts and cleared under mu_

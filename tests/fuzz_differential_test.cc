@@ -66,6 +66,43 @@ TEST_P(ParallelChaseFuzzTest, ParallelChaseBitIdenticalAcrossFamilies) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ParallelChaseFuzzTest,
                          ::testing::Range<uint64_t>(0, kParallelSeeds));
 
+// Apply-heavy slice of the parallel oracle: invention-dense ontologies
+// (high existential chance, deep chains, multi-atom heads) over seed
+// databases large enough that delta rounds cross the engine's parallel
+// threshold — so the three-step parallel APPLY (claim / prefix-sum /
+// materialize) runs for real, not just the sharded match phase the default
+// specs exercise. Sessions and the exponential multi-wildcard check are
+// off: the bit-identity oracle plus the answer-set checks are the point,
+// and these cases chase hundreds of facts per round, twice each.
+constexpr uint64_t kApplyHeavySeeds = 8;
+
+class ApplyHeavyParallelChaseFuzzTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ApplyHeavyParallelChaseFuzzTest, ParallelApplyBitIdentical) {
+  DiffOptions options;
+  options.parallel_threads = 4;
+  options.check_sessions = false;
+  options.max_multiwild_arity = 2;
+  for (GenFamily family : kAllFamilies) {
+    GenSpec spec = RandomSpec(family, GetParam());
+    spec.existential_chance = 0.85;
+    spec.chase_depth = 3;
+    spec.max_head_atoms = 3;
+    spec.facts = 300;
+    spec.fanout = 3;
+    DiffReport report = RunDifferentialSpec(spec, options);
+    ASSERT_TRUE(report.ok)
+        << "parallel-apply mismatch in check '" << report.check << "'\n"
+        << report.failure << "\nreplay spec:\n"
+        << SerializeSpec(spec);
+    EXPECT_TRUE(report.parallel_checked || report.chase_skipped);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ApplyHeavyParallelChaseFuzzTest,
+                         ::testing::Range<uint64_t>(0, kApplyHeavySeeds));
+
 // The regression corpus: minimized specs of previously-found mismatches and
 // hand-picked structural edge cases. Every file must replay clean.
 TEST(CorpusReplayTest, EveryCorpusSpecAgreesWithOracle) {

@@ -484,10 +484,13 @@ TEST(RobustnessTest, FaultSweepInProcessPointsFailCleanAndRecover) {
   FaultSpec once;
   ASSERT_TRUE(ParseFaultSpec("n1", &once));
 
-  // chase.round / registry.prepare: the armed PREPARE fails with a clean
-  // INTERNAL error, publishes nothing, and the next (disarmed) PREPARE of
-  // the same name succeeds and serves the exact oracle rows.
-  for (const char* point : {kFaultChaseRound, kFaultRegistryPrepare}) {
+  // chase.round / chase.apply / registry.prepare: the armed PREPARE fails
+  // with a clean INTERNAL error, publishes nothing, and the next (disarmed)
+  // PREPARE of the same name succeeds and serves the exact oracle rows.
+  // chase.apply fires inside the apply phase's resolve step — mid-round,
+  // after candidates are buffered — the deepest of the three points.
+  for (const char* point :
+       {kFaultChaseRound, kFaultChaseApply, kFaultRegistryPrepare}) {
     FaultInjector::Instance().Reset();
     FaultInjector::Instance().Arm(point, once);
     std::string r =

@@ -170,6 +170,19 @@ TEST(ServerTest, ProtocolRoundTripsThroughInProcessClient) {
         "\"forced_closes\": 0", "\"faults_fired\": 0"}) {
     EXPECT_NE(r.find(field), std::string::npos) << field << "\n" << r;
   }
+  // The chase STAT line (PR 8): phase timings and parallel-apply counters,
+  // aggregated over the successful PREPARE above — the chase ran, so the
+  // totals are live, not zero.
+  EXPECT_NE(r.find("STAT {\"bench\": \"server_chase\""), std::string::npos) << r;
+  EXPECT_NE(r.find("\"series\": \"chase\""), std::string::npos) << r;
+  for (const char* field :
+       {"\"rounds\": ", "\"parallel_rounds\": ", "\"candidates\": ",
+        "\"applied\": ", "\"nulls_invented\": ", "\"match_nanos\": ",
+        "\"apply_nanos\": ", "\"applied_rehashes\": ",
+        "\"shard_candidates\": [", "\"shard_inventions\": ["}) {
+    EXPECT_NE(r.find(field), std::string::npos) << field << "\n" << r;
+  }
+  EXPECT_EQ(r.find("\"rounds\": 0,"), std::string::npos) << r;
   EXPECT_EQ(ResponseTerminator(r), "OK STATS");
 
   r = client.Roundtrip("CLOSE 1");
