@@ -46,37 +46,10 @@
 
 #include "base/flat_hash.h"
 #include "base/hash.h"
+#include "base/spinlock.h"
 #include "base/status.h"
 
 namespace omqe {
-
-/// Tiny test-and-set lock for per-stripe critical sections a few dozen
-/// nanoseconds long. A full std::mutex is overkill there: stripes make
-/// contention rare, and the hold time never spans an allocation except on
-/// stripe growth. After a bounded busy-wait the loop yields the timeslice:
-/// on an oversubscribed machine (8 lanes on a 1-core CI container) the
-/// holder may be preempted mid-section, and spinning through its whole
-/// quantum turns a 20ns critical section into a multi-millisecond stall.
-class SpinLock {
- public:
-  void lock() {
-    int spins = 0;
-    while (flag_.test_and_set(std::memory_order_acquire)) {
-      if (++spins < 64) {
-#if defined(__x86_64__) || defined(__i386__)
-        __builtin_ia32_pause();
-#endif
-      } else {
-        std::this_thread::yield();
-        spins = 0;
-      }
-    }
-  }
-  void unlock() { flag_.clear(std::memory_order_release); }
-
- private:
-  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
-};
 
 template <typename V>
 class ConcurrentTupleMap {

@@ -1,0 +1,220 @@
+#include "base/epoch.h"
+
+#include <algorithm>
+
+#include "base/status.h"
+
+namespace omqe {
+
+namespace {
+
+/// Live-domain registry: thread-exit slot release must not touch a domain
+/// that died first, so the thread-local cache validates its entries here.
+/// Leaked on purpose (like the Global domain) so no static-destruction
+/// order can invalidate it under a late-exiting thread.
+struct DomainRegistry {
+  std::mutex mu;
+  std::vector<EpochDomain*> live;
+
+  static DomainRegistry& Get() {
+    static DomainRegistry* registry = new DomainRegistry;
+    return *registry;
+  }
+};
+
+std::atomic<uint64_t> g_next_domain_id{1};
+
+}  // namespace
+
+/// Per-thread cache of (domain -> owned slot). One entry in practice (the
+/// Global domain); private test domains add more. The destructor runs at
+/// thread exit and returns each slot to its domain — if the domain is still
+/// alive, which the id check (never-reused 64-bit ids) makes ABA-proof.
+struct EpochDomain::TlsCache {
+  struct Entry {
+    uint64_t domain_id = 0;
+    EpochDomain* domain = nullptr;
+    Slot* slot = nullptr;
+  };
+  std::vector<Entry> entries;
+
+  ~TlsCache() {
+    DomainRegistry& registry = DomainRegistry::Get();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const Entry& e : entries) {
+      for (EpochDomain* d : registry.live) {
+        if (d == e.domain && d->id_ == e.domain_id) {
+          d->ReleaseSlot(e.slot);
+          break;
+        }
+      }
+    }
+  }
+};
+
+EpochDomain::TlsCache& EpochDomain::Cache() {
+  thread_local TlsCache cache;
+  return cache;
+}
+
+EpochDomain::EpochDomain()
+    : id_(g_next_domain_id.fetch_add(1, std::memory_order_relaxed)) {
+  DomainRegistry& registry = DomainRegistry::Get();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.live.push_back(this);
+}
+
+EpochDomain::~EpochDomain() {
+  {
+    DomainRegistry& registry = DomainRegistry::Get();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.live.erase(
+        std::remove(registry.live.begin(), registry.live.end(), this),
+        registry.live.end());
+  }
+  // Owner contract: no reader of this domain outlives it, so everything
+  // still retired is unreachable and safe to run down now.
+  std::vector<Retired> leftover;
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    leftover.swap(retired_);
+  }
+  for (const Retired& r : leftover) r.fn(r.p);
+}
+
+EpochDomain& EpochDomain::Global() {
+  // Leaked: the Global domain must outlive every thread-exit slot release
+  // and every late retire callback, so it is never destroyed.
+  static EpochDomain* domain = new EpochDomain;
+  return *domain;
+}
+
+EpochDomain::Slot* EpochDomain::AcquireSlot() {
+  for (size_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (!slots_[i].owned.load(std::memory_order_relaxed) &&
+        slots_[i].owned.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+      return &slots_[i];
+    }
+  }
+  // More than kMaxThreads concurrent reader threads: a deployment-size
+  // assumption was violated, not a recoverable condition.
+  OMQE_CHECK(false && "EpochDomain out of reader slots");
+  return nullptr;
+}
+
+void EpochDomain::ReleaseSlot(Slot* slot) {
+  slot->depth = 0;
+  slot->epoch.store(kIdle, std::memory_order_seq_cst);
+  slot->owned.store(false, std::memory_order_release);
+}
+
+void EpochDomain::Retire(void* p, void (*fn)(void*)) {
+  // The stamp must not predate the unlink that made `p` unreachable: a
+  // seq_cst load cannot run ahead of the caller's preceding publish store.
+  const uint64_t epoch = global_.load(std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    retired_.push_back(Retired{p, fn, epoch});
+  }
+  retired_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t EpochDomain::MinActiveEpoch() const {
+  uint64_t min = kIdle;
+  for (size_t i = 0; i < kMaxThreads; ++i) {
+    if (!slots_[i].owned.load(std::memory_order_relaxed)) continue;
+    const uint64_t e = slots_[i].epoch.load(std::memory_order_seq_cst);
+    min = std::min(min, e);  // kIdle slots never lower the minimum
+  }
+  return min;
+}
+
+size_t EpochDomain::TryReclaim() {
+  std::vector<Retired> ready;
+  {
+    // The slot scan runs under retire_mu_ ON PURPOSE: the mutex
+    // synchronizes with every Retire() enqueue, so the scan is ordered
+    // after each retirer's unlink store — that edge (plus the readers'
+    // pin/validate handshake) is what makes "min pinned epoch has moved
+    // past the retire epoch" imply "no reader still holds the pointer",
+    // even with several writer threads sharing one domain.
+    std::lock_guard<std::mutex> lock(retire_mu_);
+    const uint64_t min = MinActiveEpoch();
+    size_t keep = 0;
+    for (size_t i = 0; i < retired_.size(); ++i) {
+      // Two-epoch lag: a reader may pin epoch E+1 concurrently with a
+      // retire stamped E by a different writer and still (formally) read
+      // the old pointer; a reader pinned at E+2 provably cannot. Readers
+      // at exactly E+1 hold the object back one extra sweep.
+      if (retired_[i].epoch + 2 <= min) {
+        ready.push_back(retired_[i]);
+      } else {
+        retired_[keep++] = retired_[i];
+      }
+    }
+    retired_.resize(keep);
+  }
+  // Callbacks run outside every lock: they may be arbitrarily expensive
+  // destructors and may themselves Retire().
+  for (const Retired& r : ready) r.fn(r.p);
+  reclaimed_count_.fetch_add(ready.size(), std::memory_order_relaxed);
+  return ready.size();
+}
+
+size_t EpochDomain::pending() const {
+  std::lock_guard<std::mutex> lock(retire_mu_);
+  return retired_.size();
+}
+
+EpochDomain::Stats EpochDomain::stats() const {
+  Stats s;
+  s.retired = retired_count_.load(std::memory_order_relaxed);
+  s.reclaimed = reclaimed_count_.load(std::memory_order_relaxed);
+  s.pins = pin_count_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kMaxThreads; ++i) {
+    if (slots_[i].owned.load(std::memory_order_relaxed)) ++s.slots_in_use;
+  }
+  return s;
+}
+
+EpochGuard::EpochGuard(EpochDomain& domain) {
+  EpochDomain::TlsCache& cache = EpochDomain::Cache();
+  EpochDomain::Slot* slot = nullptr;
+  for (const EpochDomain::TlsCache::Entry& e : cache.entries) {
+    if (e.domain == &domain && e.domain_id == domain.id_) {
+      slot = e.slot;
+      break;
+    }
+  }
+  if (slot == nullptr) {
+    slot = domain.AcquireSlot();
+    cache.entries.push_back({domain.id_, &domain, slot});
+  }
+  if (slot->depth == 0) {
+    // Pin-and-validate: publish the epoch, then re-read the global. Once
+    // the validation load returns the pinned value, any pointer unlinked
+    // before the epoch advanced this far is invisible to this reader (the
+    // seq_cst chain through the global counter), which is exactly what
+    // lets TryReclaim trust the pinned VALUE rather than mere presence.
+    uint64_t e = domain.global_.load(std::memory_order_relaxed);
+    for (;;) {
+      slot->epoch.store(e, std::memory_order_seq_cst);
+      const uint64_t now = domain.global_.load(std::memory_order_seq_cst);
+      if (now == e) break;
+      e = now;
+    }
+    domain.pin_count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ++slot->depth;
+  slot_ = slot;
+}
+
+EpochGuard::~EpochGuard() {
+  if (--slot_->depth == 0) {
+    slot_->epoch.store(EpochDomain::kIdle, std::memory_order_seq_cst);
+  }
+}
+
+}  // namespace omqe

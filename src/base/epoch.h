@@ -1,0 +1,172 @@
+// Epoch-based reclamation (EBR) — the memory backbone of the server's
+// lock-free (RCU-style) read paths.
+//
+// The problem: a reader walking a lock-free structure loads a raw pointer
+// that a concurrent writer is about to unlink and free. Refcounting every
+// read is exactly the cost RCU exists to avoid; instead, readers announce
+// "I am reading" by pinning the current *epoch* into a per-thread slot
+// (EpochGuard), and writers never free an unlinked object directly — they
+// Retire() it, tagged with the epoch at which it became unreachable. A
+// retired object is reclaimed only once every pinned reader's epoch has
+// advanced past the retire epoch, which proves no reader can still hold a
+// pointer obtained before the unlink.
+//
+// The read side is two seq_cst atomic stores per guard (pin, unpin) and
+// zero loops, zero CAS, zero locks: wait-free once the thread owns its
+// slot (first guard on a thread claims one with a bounded CAS scan; it is
+// released at thread exit). The correctness handshake with writers is a
+// Dekker pair of seq_cst operations:
+//
+//   reader:  slot.store(epoch)      writer:  ptr.store(new)
+//            load(ptr)                       scan slots
+//
+// In the seq_cst total order either the writer's scan sees the reader's
+// pin (and holds the retired object back), or the reader's load sees the
+// new pointer (and never touches the old object). Both are safe; there is
+// no third interleaving. The contract writers must keep: an object is
+// Retire()d only AFTER it is unreachable from the published structure.
+//
+// Writers serialize retirement on a small internal mutex — by design: RCU
+// removes the read-side cost, and the structures built on this (registry
+// snapshots, session tables) keep their writers behind locks anyway.
+// Reclamation (TryReclaim) runs retire callbacks; callers must invoke it
+// with no locks held so a potentially expensive destructor (a session
+// overlay, a whole PreparedOMQ) never stalls concurrent readers or
+// writers — the server asserts this via CountedMutex::HeldByThisThread().
+//
+// There is one process-wide domain (Global()): per-thread slots are a
+// bounded resource and a single domain lets every RCU structure share
+// them, like kernel RCU. Tests may construct private domains; a thread's
+// slot cache distinguishes domains by an ABA-safe generation id.
+#ifndef OMQE_BASE_EPOCH_H_
+#define OMQE_BASE_EPOCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace omqe {
+
+class EpochGuard;
+
+class EpochDomain {
+ public:
+  /// Concurrent threads that may hold guards simultaneously. Slots are
+  /// released at thread exit, so this bounds LIVE reader threads, not
+  /// lifetime thread churn (one slot per connection thread, reclaimed when
+  /// the connection closes).
+  static constexpr size_t kMaxThreads = 512;
+  /// Slot value meaning "not reading".
+  static constexpr uint64_t kIdle = UINT64_MAX;
+
+  EpochDomain();
+  ~EpochDomain();
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  /// The process-wide domain every server structure pins into.
+  static EpochDomain& Global();
+
+  /// Defers `fn(p)` until no reader pinned at or before the current epoch
+  /// remains. MUST be called only after `p` is unreachable from the
+  /// published structure (new readers cannot find it); the epoch machinery
+  /// protects exactly the readers that found it before the unlink.
+  void Retire(void* p, void (*fn)(void*));
+
+  /// Typed convenience: retire-with-delete.
+  template <typename T>
+  void RetireDelete(T* p) {
+    Retire(p, [](void* q) { delete static_cast<T*>(q); });
+  }
+
+  /// Bumps the global epoch so objects retired at the previous one become
+  /// reclaimable as soon as the readers that could hold them unpin.
+  void Advance() { global_.fetch_add(1, std::memory_order_seq_cst); }
+
+  /// Runs the retire callbacks whose epoch every active reader has moved
+  /// past; returns how many ran. Callbacks run with no internal lock held
+  /// (a callback may Retire recursively). Callers must hold no external
+  /// locks either — callbacks can run arbitrary destructors.
+  size_t TryReclaim();
+
+  /// Advance + TryReclaim: the writer-side sweep after a batch of retires.
+  size_t ReclaimSweep() {
+    Advance();
+    return TryReclaim();
+  }
+
+  /// Retired objects not yet reclaimed (e.g. held back by a pinned reader).
+  size_t pending() const;
+
+  /// Current global epoch (tests / observability).
+  uint64_t epoch() const { return global_.load(std::memory_order_relaxed); }
+
+  struct Stats {
+    uint64_t retired = 0;    ///< Retire() calls over the domain's lifetime
+    uint64_t reclaimed = 0;  ///< callbacks actually run
+    uint64_t pins = 0;       ///< outermost EpochGuard constructions
+    size_t slots_in_use = 0; ///< threads currently owning a slot
+  };
+  Stats stats() const;
+
+ private:
+  friend class EpochGuard;
+
+  /// One reader thread's announcement cell, padded to its own cache line so
+  /// pin/unpin stores never false-share with a neighbor's.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdle};
+    std::atomic<bool> owned{false};
+    /// Reentrancy depth — touched only by the owning thread.
+    uint32_t depth = 0;
+  };
+
+  struct Retired {
+    void* p;
+    void (*fn)(void*);
+    uint64_t epoch;
+  };
+
+  /// Thread-local (domain -> owned slot) cache; defined in epoch.cc. Its
+  /// destructor releases the thread's slots at thread exit.
+  struct TlsCache;
+  static TlsCache& Cache();
+
+  Slot* AcquireSlot();          // claims a free slot (bounded CAS scan)
+  void ReleaseSlot(Slot* slot); // at thread exit
+  uint64_t MinActiveEpoch() const;
+
+  std::atomic<uint64_t> global_{1};
+  /// Monotonic process-wide id so a thread's cached (domain -> slot)
+  /// mapping can never alias a dead domain reincarnated at the same
+  /// address.
+  const uint64_t id_;
+  Slot slots_[kMaxThreads];
+  mutable std::mutex retire_mu_;
+  std::vector<Retired> retired_;        // guarded by retire_mu_
+  std::atomic<uint64_t> retired_count_{0};
+  std::atomic<uint64_t> reclaimed_count_{0};
+  std::atomic<uint64_t> pin_count_{0};
+};
+
+/// RAII reader pin: while alive, any pointer loaded from an RCU-published
+/// structure of the same domain stays valid. Guards are meant to be SHORT —
+/// cover the pointer walk and whatever refcount/copy escapes the value, not
+/// the work done on it; a long-pinned epoch delays every reclamation in the
+/// domain. Nested guards on one thread are free (depth count).
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochDomain& domain = EpochDomain::Global());
+  ~EpochGuard();
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochDomain::Slot* slot_;
+};
+
+}  // namespace omqe
+
+#endif  // OMQE_BASE_EPOCH_H_

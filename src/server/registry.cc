@@ -10,7 +10,8 @@ namespace omqe::server {
 
 QueryRegistry::QueryRegistry(const Ontology* onto, const Database* db,
                              RegistryOptions options)
-    : onto_(onto), db_(db), options_(std::move(options)) {
+    : onto_(onto), db_(db), options_(std::move(options)),
+      snapshot_(new Snapshot) {
   OMQE_CHECK(onto_ != nullptr && db_ != nullptr);
   if (options_.prepare_threads > 0) {
     options_.prepare.chase.num_threads = options_.prepare_threads;
@@ -31,18 +32,55 @@ QueryRegistry::QueryRegistry(const Ontology* onto, const Database* db,
   }
 }
 
+QueryRegistry::~QueryRegistry() {
+  // Owner contract: no reader of this registry is live anymore. Drain our
+  // retired snapshots (no pinned readers -> everything pending reclaims),
+  // then free the current version directly.
+  EpochDomain::Global().ReclaimSweep();
+  delete snapshot_.load(std::memory_order_relaxed);
+}
+
+void QueryRegistry::PublishLocked(Snapshot* next) {
+  Snapshot* old = snapshot_.load(std::memory_order_relaxed);
+  // seq_cst store: the writer half of the Dekker handshake with readers'
+  // pin stores (see base/epoch.h). Retire only AFTER the swap makes the
+  // old version unreachable to new readers.
+  snapshot_.store(next, std::memory_order_seq_cst);
+  EpochDomain::Global().RetireDelete(old);
+}
+
 StatusOr<std::shared_ptr<const PreparedOMQ>> QueryRegistry::Prepare(
     const std::string& name, const CQ& query) {
-  std::lock_guard<std::mutex> prepare_lock(prepare_mu_);
+  auto result = PrepareLocked(name, query);
+  // Reclamation runs with every lock dropped: a retired snapshot's map may
+  // hold the last reference to a replaced PreparedOMQ, and its teardown
+  // must never stall readers or writers.
+  OMQE_CHECK(CountedMutex::HeldByThisThread() == 0);
+  EpochDomain::Global().ReclaimSweep();
+  return result;
+}
+
+StatusOr<std::shared_ptr<const PreparedOMQ>> QueryRegistry::PrepareLocked(
+    const std::string& name, const CQ& query) {
+  std::lock_guard<CountedMutex> prepare_lock(prepare_mu_);
+  // Bugfix (shutdown/PREPARE race): a call that was parked on prepare_mu_
+  // when BeginDrain() fired has no published token for CancelInFlight to
+  // flag — without this re-check it would run a full chase during drain.
+  if (draining_.load(std::memory_order_acquire)) {
+    std::lock_guard<CountedMutex> lock(mu_);
+    ++stats_.prepare_failures;
+    ++stats_.cancelled;
+    return Status::Cancelled("server is draining");
+  }
   if (FaultFires(kFaultRegistryPrepare)) {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<CountedMutex> lock(mu_);
     ++stats_.prepare_failures;
     return Status::Internal("injected fault at registry.prepare");
   }
   if (options_.max_estimated_chase_facts > 0 &&
       admission_estimate_.exceeds_budget) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      std::lock_guard<CountedMutex> lock(mu_);
       ++stats_.prepare_failures;
       ++stats_.rejected_by_estimate;
     }
@@ -57,107 +95,143 @@ StatusOr<std::shared_ptr<const PreparedOMQ>> QueryRegistry::Prepare(
   // CancelInFlight can never touch a dead stack slot.
   uint64_t deadline_ms;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<CountedMutex> lock(mu_);
     deadline_ms = options_.prepare_deadline_ms;
   }
   CancelToken token(deadline_ms > 0
                         ? Deadline::AfterMillis(static_cast<int64_t>(deadline_ms))
                         : Deadline::Never());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::lock_guard<CountedMutex> lock(mu_);
     in_flight_ = &token;
   }
+  // Drain may have started between the first re-check and the token
+  // publication; make the sticky flag authoritative once the token is
+  // visible so the chase never starts doomed.
+  if (draining_.load(std::memory_order_acquire)) token.Cancel();
   PrepareOptions popts = options_.prepare;
   popts.chase.cancel = &token;
   auto prepared =
       PreparedOMQ::Prepare(MakeOMQ(*onto_, query), *db_, popts);
-  std::lock_guard<std::mutex> lock(mu_);
-  in_flight_ = nullptr;
-  if (!prepared.ok()) {
-    ++stats_.prepare_failures;
-    if (prepared.status().code() == StatusCode::kDeadlineExceeded) {
-      ++stats_.deadline_exceeded;
-    } else if (prepared.status().code() == StatusCode::kCancelled) {
-      ++stats_.cancelled;
+  {
+    std::lock_guard<CountedMutex> lock(mu_);
+    in_flight_ = nullptr;
+    if (!prepared.ok()) {
+      ++stats_.prepare_failures;
+      if (prepared.status().code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.deadline_exceeded;
+      } else if (prepared.status().code() == StatusCode::kCancelled) {
+        ++stats_.cancelled;
+      }
+      // A failed prepare publishes nothing: `name` keeps whatever artifact
+      // it had (possibly none) and stays re-preparable.
+      return prepared.status();
     }
-    // A failed prepare publishes nothing: `name` keeps whatever artifact it
-    // had (possibly none) and stays re-preparable.
-    return prepared.status();
+    ++stats_.prepares;
+    // Fold the artifact's chase counters (its final saturation run) into
+    // the registry-lifetime aggregate the STATS line reports.
+    const ChaseStats& cs = prepared.value()->chase().stats;
+    chase_stats_.rounds += cs.rounds;
+    chase_stats_.parallel_rounds += cs.parallel_rounds;
+    chase_stats_.candidates += cs.candidates;
+    chase_stats_.applied += cs.applied;
+    chase_stats_.nulls_invented += cs.nulls_invented;
+    chase_stats_.match_nanos += cs.match_nanos;
+    chase_stats_.apply_nanos += cs.apply_nanos;
+    chase_stats_.applied_rehashes += cs.applied_rehashes;
+    if (chase_stats_.shard_candidates.size() < cs.shard_candidates.size()) {
+      chase_stats_.shard_candidates.resize(cs.shard_candidates.size(), 0);
+      chase_stats_.shard_inventions.resize(cs.shard_inventions.size(), 0);
+    }
+    for (size_t s = 0; s < cs.shard_candidates.size(); ++s) {
+      chase_stats_.shard_candidates[s] += cs.shard_candidates[s];
+      chase_stats_.shard_inventions[s] += cs.shard_inventions[s];
+    }
+    // Copy-on-write publish: readers mid-walk keep the old snapshot alive
+    // through their epoch pin; it is retired, not freed.
+    Snapshot* next =
+        new Snapshot(*snapshot_.load(std::memory_order_relaxed));
+    next->queries[name] = prepared.value();
+    PublishLocked(next);
   }
-  ++stats_.prepares;
-  // Fold the artifact's chase counters (its final saturation run) into the
-  // registry-lifetime aggregate the STATS line reports.
-  const ChaseStats& cs = prepared.value()->chase().stats;
-  chase_stats_.rounds += cs.rounds;
-  chase_stats_.parallel_rounds += cs.parallel_rounds;
-  chase_stats_.candidates += cs.candidates;
-  chase_stats_.applied += cs.applied;
-  chase_stats_.nulls_invented += cs.nulls_invented;
-  chase_stats_.match_nanos += cs.match_nanos;
-  chase_stats_.apply_nanos += cs.apply_nanos;
-  chase_stats_.applied_rehashes += cs.applied_rehashes;
-  if (chase_stats_.shard_candidates.size() < cs.shard_candidates.size()) {
-    chase_stats_.shard_candidates.resize(cs.shard_candidates.size(), 0);
-    chase_stats_.shard_inventions.resize(cs.shard_inventions.size(), 0);
-  }
-  for (size_t s = 0; s < cs.shard_candidates.size(); ++s) {
-    chase_stats_.shard_candidates[s] += cs.shard_candidates[s];
-    chase_stats_.shard_inventions[s] += cs.shard_inventions[s];
-  }
-  queries_[name] = prepared.value();
   return std::move(prepared).value();
 }
 
 void QueryRegistry::CancelInFlight() {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<CountedMutex> lock(mu_);
   if (in_flight_ != nullptr) in_flight_->Cancel();
 }
 
+void QueryRegistry::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+  CancelInFlight();
+}
+
 void QueryRegistry::set_prepare_deadline_ms(uint64_t ms) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<CountedMutex> lock(mu_);
   options_.prepare_deadline_ms = ms;
 }
 
 std::shared_ptr<const PreparedOMQ> QueryRegistry::Get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = queries_.find(name);
-  if (it == queries_.end()) {
-    ++stats_.misses;
+  // Lock-free hot path: pin, walk the immutable snapshot, copy the
+  // shared_ptr out (the copy is what outlives the guard), unpin.
+  EpochGuard guard;
+  const Snapshot* snap = snapshot_.load(std::memory_order_seq_cst);
+  auto it = snap->queries.find(name);
+  if (it == snap->queries.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
-  ++stats_.hits;
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second;
 }
 
 bool QueryRegistry::Evict(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (queries_.erase(name) == 0) return false;
-  ++stats_.evictions;
+  {
+    std::lock_guard<CountedMutex> lock(mu_);
+    Snapshot* cur = snapshot_.load(std::memory_order_relaxed);
+    if (cur->queries.find(name) == cur->queries.end()) return false;
+    Snapshot* next = new Snapshot(*cur);
+    next->queries.erase(name);
+    PublishLocked(next);
+    ++stats_.evictions;
+  }
+  OMQE_CHECK(CountedMutex::HeldByThisThread() == 0);
+  EpochDomain::Global().ReclaimSweep();
   return true;
 }
 
 size_t QueryRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return queries_.size();
+  EpochGuard guard;
+  return snapshot_.load(std::memory_order_seq_cst)->queries.size();
 }
 
 std::vector<std::string> QueryRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
-  names.reserve(queries_.size());
-  for (const auto& [name, _] : queries_) names.push_back(name);
+  {
+    EpochGuard guard;
+    const Snapshot* snap = snapshot_.load(std::memory_order_seq_cst);
+    names.reserve(snap->queries.size());
+    for (const auto& [name, _] : snap->queries) names.push_back(name);
+  }
   std::sort(names.begin(), names.end());
   return names;
 }
 
 RegistryStats QueryRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  RegistryStats out;
+  {
+    std::lock_guard<CountedMutex> lock(mu_);
+    out = stats_;
+  }
+  out.hits = hits_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  return out;
 }
 
 ChaseStats QueryRegistry::chase_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<CountedMutex> lock(mu_);
   return chase_stats_;
 }
 

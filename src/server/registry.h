@@ -10,17 +10,26 @@
 // keep the artifact alive through their refcount and drain normally (the
 // same shared-ownership contract core/prepared.h gives sessions).
 //
-// All methods are thread-safe with one caveat: the preprocessing phase
-// reads AND writes the environment's shared unfrozen Vocabulary (arity
-// lookups on every row, fresh relations during normalization), so callers
-// that let other threads read the vocabulary concurrently — e.g. to render
-// rows — must hold their own exclusive vocabulary lock around Prepare
+// Read path (RCU): the name table is an immutable Snapshot behind an atomic
+// pointer. Get()/Names()/size() pin an EpochGuard, walk the snapshot, and
+// copy out the shared_ptr they need — no lock, no writer can stall them.
+// Writers (Prepare publish, Evict) copy-on-write a new Snapshot under mu_,
+// swap the pointer, Retire() the old version to the global epoch domain,
+// and sweep reclamation after dropping every lock. The shared_ptr refcount
+// still guards PreparedOMQ teardown; the epoch machinery only protects the
+// snapshot map itself.
+//
+// One caveat remains from the write side: the preprocessing phase reads AND
+// writes the environment's shared unfrozen Vocabulary (arity lookups on
+// every row, fresh relations during normalization), so callers that let
+// other threads read the vocabulary concurrently — e.g. to render rows —
+// must hold their own exclusive vocabulary lock around Prepare
 // (OmqeServer::DoPrepare does). Prepare additionally serializes on a
-// dedicated mutex so two prepares never interleave; Get/Evict/stats take
-// only a short registry lock.
+// dedicated mutex so two prepares never interleave.
 #ifndef OMQE_SERVER_REGISTRY_H_
 #define OMQE_SERVER_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -29,6 +38,8 @@
 #include <vector>
 
 #include "base/cancel.h"
+#include "base/counted_mutex.h"
+#include "base/epoch.h"
 #include "chase/chase.h"
 #include "chase/estimate.h"
 #include "core/prepared.h"
@@ -62,7 +73,7 @@ struct RegistryStats {
   uint64_t hits = 0;                ///< Get() found the name
   uint64_t misses = 0;              ///< Get() did not
   uint64_t deadline_exceeded = 0;   ///< prepares aborted by their deadline
-  uint64_t cancelled = 0;           ///< prepares revoked by CancelInFlight
+  uint64_t cancelled = 0;           ///< prepares revoked by cancel/drain
 };
 
 class QueryRegistry {
@@ -71,21 +82,24 @@ class QueryRegistry {
   /// instance every registered query is prepared against.
   QueryRegistry(const Ontology* onto, const Database* db,
                 RegistryOptions options = {});
+  ~QueryRegistry();
 
   /// Estimator pre-pass + full preprocessing; publishes under `name`.
   /// Re-preparing an existing name replaces the artifact (old sessions keep
-  /// the old one alive until they close).
+  /// the old one alive until they close). Fails fast with Cancelled once
+  /// BeginDrain() has been called — including for a call that was already
+  /// queued on the prepare mutex when drain started.
   StatusOr<std::shared_ptr<const PreparedOMQ>> Prepare(const std::string& name,
                                                        const CQ& query);
 
-  /// The artifact for `name`, or nullptr when absent.
+  /// The artifact for `name`, or nullptr when absent. Lock-free.
   std::shared_ptr<const PreparedOMQ> Get(const std::string& name) const;
 
   /// Removes `name`. Live sessions keep their reference. False if absent.
   bool Evict(const std::string& name);
 
-  size_t size() const;
-  std::vector<std::string> Names() const;
+  size_t size() const;                ///< lock-free
+  std::vector<std::string> Names() const;  ///< lock-free
   RegistryStats stats() const;
   /// Chase observability, aggregated over every successful Prepare (the
   /// final saturation run of each): phase timings, candidate/apply totals,
@@ -94,15 +108,38 @@ class QueryRegistry {
 
   /// Requests cooperative cancellation of the Prepare currently running (if
   /// any): its CancelToken is flagged and it returns Cancelled at the next
-  /// chase checkpoint. Used by server shutdown so drain is not held hostage
-  /// by a long saturation. Safe from any thread; a no-op when idle.
+  /// chase checkpoint. NOT sticky — the next Prepare runs normally (deadline
+  /// retry paths depend on that). Safe from any thread; a no-op when idle.
   void CancelInFlight();
+
+  /// Server drain: sticky. Cancels the in-flight Prepare AND makes every
+  /// subsequent (or queued-on-the-mutex) Prepare fail fast with Cancelled —
+  /// closing the window where a PREPARE that had not yet published its
+  /// token would run a full chase during shutdown.
+  void BeginDrain();
 
   /// Replaces the per-PREPARE deadline at runtime (0 = none). Takes effect
   /// for the next Prepare call; the in-flight one (if any) keeps its token.
   void set_prepare_deadline_ms(uint64_t ms);
 
  private:
+  /// One immutable published version of the name table. Readers walk it
+  /// under an EpochGuard; writers replace the whole map (tiny: names are
+  /// few, artifacts are shared_ptr-shared with the old version).
+  struct Snapshot {
+    std::unordered_map<std::string, std::shared_ptr<const PreparedOMQ>>
+        queries;
+  };
+
+  /// Publishes `next` (ownership transfers) and retires the displaced
+  /// version. Caller holds mu_.
+  void PublishLocked(Snapshot* next);
+
+  /// The serialized prepare body; Prepare() wraps it so the post-publish
+  /// reclamation sweep runs after prepare_mu_ is released.
+  StatusOr<std::shared_ptr<const PreparedOMQ>> PrepareLocked(
+      const std::string& name, const CQ& query);
+
   const Ontology* onto_;
   const Database* db_;
   RegistryOptions options_;
@@ -112,11 +149,17 @@ class QueryRegistry {
   /// vocabulary lock and must stay short).
   ChaseEstimate admission_estimate_;
 
-  mutable std::mutex mu_;
-  std::mutex prepare_mu_;  // serializes the (vocab-mutating) prepare phase
-  std::unordered_map<std::string, std::shared_ptr<const PreparedOMQ>> queries_;
-  mutable RegistryStats stats_;  // hit/miss counters tick inside const Get()
-  ChaseStats chase_stats_;       // summed over successful prepares (mu_)
+  /// Writer-side locks are CountedMutex so server_test can assert the read
+  /// path never touches them.
+  mutable CountedMutex mu_;
+  CountedMutex prepare_mu_;  // serializes the (vocab-mutating) prepare phase
+  std::atomic<Snapshot*> snapshot_;
+  std::atomic<bool> draining_{false};
+  /// Read-path counters tick without mu_.
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  RegistryStats stats_;     // writer-side counters (guarded by mu_)
+  ChaseStats chase_stats_;  // summed over successful prepares (mu_)
   /// Token of the Prepare currently holding prepare_mu_ (guarded by mu_, so
   /// CancelInFlight never races the token's stack lifetime: the pointer is
   /// published under mu_ before the chase starts and cleared under mu_

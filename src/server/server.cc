@@ -174,6 +174,7 @@ void OmqeServer::DoStats(std::string* out) {
   rfield("prepare_deadline_exceeded", rs.deadline_exceeded);
   rfield("prepare_cancelled", rs.cancelled);
   rfield("fetch_deadline_hits", ss.fetch_deadline_hits);
+  rfield("fetch_deadline_empty", ss.fetch_deadline_empty);
   rfield("shed_requests",
          wire_stats_.shed_requests.load(std::memory_order_relaxed));
   rfield("write_timeout_closes",

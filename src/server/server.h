@@ -109,13 +109,17 @@ class OmqeServer {
   void RequestShutdown() { shutdown_.store(true, std::memory_order_release); }
 
   /// Graceful-shutdown entry point (the SHUTDOWN verb): raises the shutdown
-  /// flag AND revokes the in-flight PREPARE (if any) so drain is not held
-  /// hostage by a long chase saturation. Connection drain itself — waiting
-  /// out live connections up to drain_deadline_ms, then force-closing — is
-  /// ServeTcp's job, since it owns the connection threads.
+  /// flag AND puts the registry into sticky drain — the in-flight PREPARE's
+  /// token is revoked so drain is not held hostage by a long chase
+  /// saturation, and any PREPARE still parked on the prepare mutex (token
+  /// not yet published, so CancelInFlight alone could not reach it) fails
+  /// fast with Cancelled instead of chasing during drain. Connection drain
+  /// itself — waiting out live connections up to drain_deadline_ms, then
+  /// force-closing — is ServeTcp's job, since it owns the connection
+  /// threads.
   void BeginShutdown() {
     RequestShutdown();
-    registry_.CancelInFlight();
+    registry_.BeginDrain();
   }
 
   QueryRegistry& registry() { return registry_; }

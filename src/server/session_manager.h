@@ -3,18 +3,27 @@
 //
 // A managed session wraps one EnumerationSession (partial answers) or
 // CompleteSession (complete answers) plus serving state: a per-session
-// row budget, a last-use timestamp for idle reaping, and a private mutex so
-// two connections fetching on the same id serialize instead of racing.
+// row budget, a last-use timestamp for idle reaping, and a private spinlock
+// so two connections fetching on the same id serialize instead of racing.
 // Opening a session is O(1) — the core link overlay is copy-on-write, so
 // spin-up no longer scales with the prepared query's progress-tree count
 // (server_test asserts this through LinkOverlay::Stats).
 //
-// Locking: the id->session map is guarded by a short-lived manager mutex;
-// cursor stepping happens under the session's own mutex with the manager
-// lock released, so fetches on different sessions proceed in parallel.
-// Sessions are shared_ptr-owned: Close (or a concurrent reap) during an
-// in-flight Fetch is safe — the fetch finishes on its reference and the
-// storage dies with the last owner.
+// Concurrency (RCU read path): the sid -> session map is a sharded
+// open-addressed table of tagged slots. Lookup — and therefore every
+// Fetch/Reset/OverlayStats — pins an EpochGuard, probes the shard's
+// immutable-to-readers slot array, and copies the shared_ptr out of the
+// slot's Box without taking ANY mutex (server_test pins this with a
+// process-wide lock counter). Writers (Open/Close/ReapIdle/CloseAll) take a
+// per-shard CountedMutex, publish slot transitions with seq_cst stores, and
+// never free anything in place: displaced Boxes and outgrown slot arrays
+// are Retire()d to the global epoch domain and reclaimed only after every
+// pinned reader has moved on — which is also how session teardown
+// (a possibly last-ref overlay destructor) is kept out from under every
+// lock. Slot tags are the sid (live), 0 (never used — probe stops), or a
+// tombstone (closed — probe continues); sids are never reused, so a reader
+// that re-finds its tag but a Box with a different sid knows the slot was
+// recycled and the session is gone.
 //
 // StatsJson() exports the counters in the BENCH JSON format (the same
 // {"bench":..., "rows":[...]} shape every harness emits and CI validates),
@@ -25,11 +34,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "base/cancel.h"
+#include "base/counted_mutex.h"
+#include "base/epoch.h"
+#include "base/spinlock.h"
 #include "core/prepared.h"
 
 namespace omqe::server {
@@ -47,6 +58,10 @@ struct SessionLimits {
   /// partial batch, NOT an error: the rows were already consumed from the
   /// cursor and dropping them would silently skip answers). The client sees
   /// a short batch and re-FETCHes; fetch_deadline_hits counts occurrences.
+  /// A deadline that expires before the FIRST row is the exception: there
+  /// is nothing to return, so the fetch fails with DeadlineExceeded
+  /// (retryable) instead of an empty not-done batch the client would spin
+  /// on (fetch_deadline_empty counts these).
   uint64_t fetch_deadline_ms = 0;
 };
 
@@ -60,11 +75,13 @@ struct SessionManagerStats {
   uint64_t budget_exhausted = 0;  ///< fetches truncated by max_rows
   uint64_t open_rejected = 0;     ///< Open refused by max_sessions
   uint64_t fetch_deadline_hits = 0;  ///< fetches cut short by the deadline
+  uint64_t fetch_deadline_empty = 0; ///< of those, zero-row ones that errored
 };
 
 class SessionManager {
  public:
   explicit SessionManager(SessionLimits limits = {});
+  ~SessionManager();
 
   /// Opens a cursor over `prepared` (complete or partial mode; the artifact
   /// must have the matching normalization). Returns the session id.
@@ -75,6 +92,13 @@ class SessionManager {
   /// when the cursor is exhausted or the row budget is spent.
   Status Fetch(uint64_t sid, uint64_t n, std::vector<ValueTuple>* out,
                bool* done);
+
+  /// Fetch under an explicit deadline (Fetch derives its deadline from
+  /// limits_ and delegates here). Public as the deterministic seam for
+  /// deadline regression tests. Zero rows + expired deadline returns
+  /// DeadlineExceeded; any gathered rows return OK as a partial batch.
+  Status FetchWithDeadline(uint64_t sid, uint64_t n, Deadline deadline,
+                           std::vector<ValueTuple>* out, bool* done);
 
   /// Restarts the cursor and its row budget (preprocessing is shared and
   /// never repeated; the pruned overlay stays valid per the S' observation).
@@ -108,12 +132,16 @@ class SessionManager {
 
  private:
   struct Session {
-    std::mutex mu;
+    /// Spinlock, not std::mutex: the critical section is cursor stepping
+    /// (nanoseconds per row) and the common case is one client per session,
+    /// so parking in the kernel buys nothing and would put a mutex back on
+    /// the FETCH hot path.
+    SpinLock mu;
     std::unique_ptr<EnumerationSession> partial;  // exactly one of the two
     std::unique_ptr<CompleteSession> complete;
-    uint64_t rows_emitted = 0;
-    /// Atomic: ReapIdle reads it under the manager lock only, concurrently
-    /// with fetches that store it under the session lock.
+    uint64_t rows_emitted = 0;  // guarded by mu
+    /// Atomic: ReapIdle reads it concurrently with fetches that store it
+    /// under the session lock.
     std::atomic<int64_t> last_used_ns{0};
     /// The client has fetched or reset at least once (guarded by mu).
     /// Until then the session is in its open-to-first-fetch window and
@@ -123,13 +151,80 @@ class SessionManager {
     bool reap_deferred = false;
   };
 
+  /// An immutable published (sid, session) pair. Readers copy the
+  /// shared_ptr out under their epoch pin; writers retire the whole Box on
+  /// close, so the (possibly final) session reference is dropped by the
+  /// epoch sweep, outside every lock.
+  struct Box {
+    uint64_t sid;
+    std::shared_ptr<Session> session;
+  };
+
+  /// Slot tags: 0 = never occupied (reader probes stop), kTombstone =
+  /// closed (probes continue), anything else = that sid.
+  static constexpr uint64_t kTombstone = UINT64_MAX;
+
+  struct Slot {
+    std::atomic<uint64_t> tag{0};
+    std::atomic<Box*> box{nullptr};
+  };
+
+  /// One published version of a shard's probe array. Boxes are NOT owned by
+  /// the table (growth carries them over); the table owns only the slots.
+  struct Table {
+    explicit Table(size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new Slot[cap]) {}
+    size_t capacity;
+    size_t mask;
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  static constexpr size_t kShards = 16;
+  static constexpr size_t kInitialCapacity = 16;  // per shard, power of two
+
+  struct alignas(64) Shard {
+    CountedMutex mu;  ///< writer lock: Open/Close/ReapIdle/CloseAll
+    std::atomic<Table*> table{nullptr};
+    size_t live = 0;    ///< slots tagged with a sid (guarded by mu)
+    size_t filled = 0;  ///< live + tombstones (guarded by mu)
+  };
+
+  static size_t ShardOf(uint64_t sid) { return sid & (kShards - 1); }
+  static size_t HashSid(uint64_t sid) {
+    uint64_t x = sid * 0x9E3779B97F4A7C15ull;
+    return static_cast<size_t>(x ^ (x >> 32));
+  }
+
+  /// Lock-free sid lookup (the FETCH hot path). Returns nullptr if absent.
   std::shared_ptr<Session> Lookup(uint64_t sid) const;
 
+  /// Grows/rehashes the shard if an insert would push the load factor past
+  /// 1/2, then inserts. Caller holds shard.mu.
+  void InsertLocked(Shard& shard, uint64_t sid, std::shared_ptr<Session> s);
+
+  /// Tombstones `sid`'s slot and retires its Box. Caller holds shard.mu.
+  /// False if absent.
+  bool EraseLocked(Shard& shard, uint64_t sid);
+
   SessionLimits limits_;
-  mutable std::mutex mu_;
-  uint64_t next_sid_ = 1;
-  std::unordered_map<uint64_t, std::shared_ptr<Session>> sessions_;
-  SessionManagerStats stats_;
+  std::atomic<uint64_t> next_sid_{1};
+  std::atomic<uint64_t> live_{0};
+  Shard shards_[kShards];
+
+  /// Hot-path counters: plain relaxed atomics, no lock anywhere.
+  struct AtomicStats {
+    std::atomic<uint64_t> opened{0};
+    std::atomic<uint64_t> closed{0};
+    std::atomic<uint64_t> reaped{0};
+    std::atomic<uint64_t> fetch_calls{0};
+    std::atomic<uint64_t> rows{0};
+    std::atomic<uint64_t> resets{0};
+    std::atomic<uint64_t> budget_exhausted{0};
+    std::atomic<uint64_t> open_rejected{0};
+    std::atomic<uint64_t> fetch_deadline_hits{0};
+    std::atomic<uint64_t> fetch_deadline_empty{0};
+  };
+  mutable AtomicStats stats_;
 };
 
 }  // namespace omqe::server

@@ -20,6 +20,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <memory>
@@ -30,6 +32,7 @@
 #include <vector>
 
 #include "base/cancel.h"
+#include "base/epoch.h"
 #include "base/fault.h"
 #include "base/timer.h"
 #include "chase/chase.h"
@@ -447,9 +450,25 @@ TEST(RobustnessTest, FetchDeadlineReturnsPartialBatchesWithoutLosingRows) {
   // One giant fetch cannot finish inside 1ms, so it must come back as a
   // partial batch: rows so far, done=false, counter ticked. The rows left
   // the cursor — an implementation that errored instead would lose them.
+  // On an overloaded machine the 1ms can also burn before the FIRST row;
+  // that answers retryable DEADLINE with the cursor untouched (the
+  // zero-row regression below), so this drain retries exactly as a real
+  // client would — an error with rows in the batch would still fail here.
+  auto fetch_retrying = [&](std::vector<ValueTuple>* batch, bool* done) {
+    for (;;) {
+      Status s = manager.Fetch(*sid, kRows, batch, done);
+      if (s.ok()) return;
+      if (s.code() != StatusCode::kDeadlineExceeded || !batch->empty()) {
+        *done = true;  // break the caller's drain loop before failing
+        ASSERT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+        ASSERT_TRUE(batch->empty());
+        return;
+      }
+    }
+  };
   std::vector<ValueTuple> first;
   bool done = true;
-  ASSERT_TRUE(manager.Fetch(*sid, kRows, &first, &done).ok());
+  fetch_retrying(&first, &done);
   EXPECT_FALSE(done);
   EXPECT_LT(first.size(), static_cast<size_t>(kRows));
   EXPECT_GE(first.size(), 128u);  // the checkpoint stride guarantees progress
@@ -460,7 +479,7 @@ TEST(RobustnessTest, FetchDeadlineReturnsPartialBatchesWithoutLosingRows) {
   std::vector<ValueTuple> rows = first;
   while (!done) {
     std::vector<ValueTuple> batch;
-    ASSERT_TRUE(manager.Fetch(*sid, kRows, &batch, &done).ok());
+    fetch_retrying(&batch, &done);
     rows.insert(rows.end(), batch.begin(), batch.end());
   }
   ASSERT_EQ(rows.size(), static_cast<size_t>(kRows));
@@ -471,6 +490,204 @@ TEST(RobustnessTest, FetchDeadlineReturnsPartialBatchesWithoutLosingRows) {
   EXPECT_EQ(distinct.count("p" + std::to_string(kRows - 1) + ",o" +
                            std::to_string(kRows - 1)),
             1u);
+}
+
+TEST(RobustnessTest, ZeroRowFetchDeadlineIsRetryableNotAnEmptySpin) {
+  // Bugfix regression: the fetch-deadline checkpoint at (emitted & 127) == 0
+  // includes emitted == 0, so a deadline that expired before the first row
+  // used to answer an EMPTY batch with done=false — a loaded client would
+  // spin on empty FETCHes forever with no retryable signal. With nothing
+  // gathered there is nothing to lose: the fetch must fail DeadlineExceeded.
+  World w;
+  Ontology onto = w.Onto("HasOffice(x, y) -> Office(y)");
+  w.Load("HasOffice(mary, room1) HasOffice(john, room4)");
+  OMQ omq = MakeOMQ(onto, w.Query("q(x, y) :- HasOffice(x, y)"));
+  auto prepared = PreparedOMQ::Prepare(omq, w.db);
+  ASSERT_TRUE(prepared.ok());
+
+  server::SessionManager manager;
+  auto sid = manager.Open(*prepared, /*complete=*/false);
+  ASSERT_TRUE(sid.ok());
+
+  // Deterministic via the public deadline seam: already expired at entry.
+  std::vector<ValueTuple> rows;
+  bool done = true;
+  Status s = manager.FetchWithDeadline(*sid, 10, Deadline::AfterMillis(0),
+                                       &rows, &done);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded) << s.ToString();
+  EXPECT_TRUE(rows.empty());
+  EXPECT_FALSE(done) << "an errored fetch must not report the cursor done";
+  EXPECT_EQ(manager.stats().fetch_deadline_hits, 1u);
+  EXPECT_EQ(manager.stats().fetch_deadline_empty, 1u);
+
+  // The session is untouched: a retry with a sane deadline gets every row.
+  done = false;
+  ASSERT_TRUE(
+      manager.FetchWithDeadline(*sid, 10, Deadline::Never(), &rows, &done)
+          .ok());
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(done);
+
+  // And the wire maps it to the retryable DEADLINE code.
+  EXPECT_EQ(server::ErrCodeFor(s), server::ErrCode::kDeadline);
+  EXPECT_TRUE(server::IsRetryable(server::ErrCode::kDeadline));
+}
+
+TEST(RobustnessTest, ZeroRowFetchDeadlineAnswersErrDeadlineOnTheWire) {
+  // The wire-level half of the zero-row regression: a FETCH whose 1ms
+  // deadline burns entirely while a concurrent fetch holds the session
+  // cursor must answer ERR DEADLINE (retryable), never "OK 0 rows, not
+  // done". The lock-holder fetches a six-figure row count, which the
+  // partial-batch test above already establishes takes far longer than the
+  // deadline, so the window is wide; the attempt loop absorbs scheduling
+  // noise anyway.
+  constexpr int kRows = 100000;
+  server::ServerOptions options;
+  options.limits.fetch_deadline_ms = 1;
+  World w;
+  Ontology onto = w.Onto("HasOffice(x, y) -> Office(y)");
+  std::string facts;
+  facts.reserve(static_cast<size_t>(kRows) * 24);
+  for (int i = 0; i < kRows; ++i) {
+    facts += "HasOffice(p" + std::to_string(i) + ", o" + std::to_string(i) +
+             ")\n";
+  }
+  w.Load(facts);
+  auto srv = std::make_unique<server::OmqeServer>(&w.vocab, &onto, &w.db,
+                                                  options);
+  server::InProcessClient client(srv.get());
+  ASSERT_FALSE(server::IsError(
+      client.Roundtrip("PREPARE big q(x, y) :- HasOffice(x, y)")));
+  uint64_t sid = 0;
+  ASSERT_TRUE(server::ParseOpenSession(client.Roundtrip("OPEN big"), &sid));
+
+  server::SessionManager& manager = srv->sessions();
+  bool saw_deadline_err = false;
+  for (int attempt = 0; attempt < 5 && !saw_deadline_err; ++attempt) {
+    std::atomic<bool> holder_started{false};
+    std::thread holder([&manager, &holder_started, sid] {
+      std::vector<ValueTuple> sink;
+      bool hdone = false;
+      holder_started.store(true, std::memory_order_release);
+      // Holds the session spinlock for the whole six-figure enumeration.
+      manager.FetchWithDeadline(sid, kRows, Deadline::Never(), &sink, &hdone);
+    });
+    while (!holder_started.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // This FETCH parks on the session lock until the holder drains the
+    // cursor — far past its 1ms deadline — then wakes with zero rows
+    // gathered.
+    std::string r = client.Roundtrip("FETCH " + std::to_string(sid) + " 5");
+    holder.join();
+    if (server::IsError(r)) {
+      server::ErrCode code;
+      ASSERT_TRUE(server::ParseErrCode(ResponseTerminator(r), &code)) << r;
+      EXPECT_EQ(code, server::ErrCode::kDeadline) << r;
+      EXPECT_EQ(ResponseRows(r).size(), 0u) << r;
+      saw_deadline_err = true;
+    } else {
+      // Lost the race (the holder finished before the FETCH parked):
+      // restart the cursor and try again.
+      ASSERT_FALSE(server::IsError(
+          client.Roundtrip("RESET " + std::to_string(sid))));
+    }
+  }
+  EXPECT_TRUE(saw_deadline_err)
+      << "zero-row deadline fetch never surfaced ERR DEADLINE";
+  EXPECT_GE(manager.stats().fetch_deadline_empty, 1u);
+}
+
+TEST(RobustnessTest, ClosedSessionTeardownIsEpochDeferredAndLockFree) {
+  // Bugfix regression: Close/CloseAll/ReapIdle used to destroy the (possibly
+  // last-ref) session — cursor, overlay and all — while holding the manager
+  // mutex, stalling every concurrent Open/Lookup behind an arbitrarily
+  // expensive destructor. Now the slot's Box is epoch-retired: a pinned
+  // reader provably delays the teardown (observed through a weak_ptr on the
+  // artifact the session keeps alive), and when the teardown does run, a
+  // CountedMutex assertion inside the sweep enforces that zero locks are
+  // held.
+  World w;
+  Ontology onto = w.Onto("HasOffice(x, y) -> Office(y)");
+  w.Load("HasOffice(mary, room1)");
+  auto prepared_a = PreparedOMQ::Prepare(
+      MakeOMQ(onto, w.Query("q(x, y) :- HasOffice(x, y)")), w.db);
+  ASSERT_TRUE(prepared_a.ok());
+  auto prepared_b = PreparedOMQ::Prepare(
+      MakeOMQ(onto, w.Query("q(x) :- Office(x)")), w.db);
+  ASSERT_TRUE(prepared_b.ok());
+
+  server::SessionManager manager;
+  std::weak_ptr<const PreparedOMQ> probe = *prepared_a;
+  auto sid = manager.Open(std::move(*prepared_a), /*complete=*/false);
+  ASSERT_TRUE(sid.ok());
+  prepared_a->reset();
+  // The session's cursor now holds the ONLY reference behind the probe.
+  ASSERT_FALSE(probe.expired());
+
+  {
+    EpochGuard guard;  // a pinned reader somewhere in the fleet
+    ASSERT_TRUE(manager.Close(*sid).ok());
+    // Unreachable immediately (lookups miss)...
+    std::vector<ValueTuple> rows;
+    bool done = false;
+    EXPECT_EQ(manager.Fetch(*sid, 1, &rows, &done).code(),
+              StatusCode::kNotFound);
+    // ...but NOT destroyed: the reader's pin holds the retired Box — and
+    // with it the session and its artifact — back.
+    EXPECT_FALSE(probe.expired())
+        << "session destroyed while a reader was pinned";
+  }
+  // Reader gone; the next writer sweep (any Open/Close does one, asserting
+  // no locks are held) runs the deferred teardown.
+  auto sid2 = manager.Open(std::move(*prepared_b), /*complete=*/false);
+  ASSERT_TRUE(sid2.ok());
+  EXPECT_TRUE(probe.expired()) << "deferred teardown never ran";
+  ASSERT_TRUE(manager.Close(*sid2).ok());
+}
+
+TEST(RobustnessTest, ShutdownCancelsQueuedPrepareBeforeItChases) {
+  // Bugfix regression: a PREPARE parked behind the in-flight one has not
+  // published its CancelToken yet, so BeginShutdown's CancelInFlight could
+  // not reach it — it would run its FULL multi-second chase during drain.
+  // The sticky drain flag, re-checked after the prepare mutex is acquired,
+  // fails it fast instead.
+  HeavyServer w;  // no deadline: only drain can stop these PREPAREs
+  server::InProcessClient c1(w.srv.get());
+  server::InProcessClient c2(w.srv.get());
+  auto first = std::async(std::launch::async, [&] {
+    return c1.Roundtrip(std::string("PREPARE heavy ") + kHeavyQuery);
+  });
+  // Let the first PREPARE enter its chase, then queue a second behind it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto second = std::async(std::launch::async, [&] {
+    return c2.Roundtrip(std::string("PREPARE heavy2 ") + kHeavyQuery);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const int64_t start = NowNanos();
+  w.srv->BeginShutdown();
+  std::string r1 = first.get();
+  std::string r2 = second.get();
+  const int64_t elapsed_ms = (NowNanos() - start) / 1'000'000;
+
+  server::ErrCode code;
+  ASSERT_TRUE(server::IsError(r1)) << r1;
+  ASSERT_TRUE(server::ParseErrCode(ResponseTerminator(r1), &code)) << r1;
+  EXPECT_EQ(code, server::ErrCode::kCancelled) << r1;
+  ASSERT_TRUE(server::IsError(r2)) << r2;
+  ASSERT_TRUE(server::ParseErrCode(ResponseTerminator(r2), &code)) << r2;
+  EXPECT_EQ(code, server::ErrCode::kCancelled) << r2;
+
+  // Both aborted at drain speed: the first at its next chase checkpoint,
+  // the second WITHOUT entering the chase at all. The heavy chase runs for
+  // many seconds, so this bound fails if the queued PREPARE ever runs it.
+  EXPECT_LT(elapsed_ms, 3000) << "queued PREPARE chased during drain";
+  EXPECT_EQ(w.srv->registry().stats().cancelled, 2u);
+  EXPECT_EQ(w.srv->registry().Get("heavy"), nullptr);
+  EXPECT_EQ(w.srv->registry().Get("heavy2"), nullptr);
 }
 
 // ---------------------------------------------------------------------------
