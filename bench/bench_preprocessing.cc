@@ -5,6 +5,7 @@
 #include <string>
 
 #include "base/timer.h"
+#include "base/trace.h"
 #include "bench_util.h"
 #include "chase/chase.h"
 #include "chase/query_directed.h"
@@ -116,6 +117,66 @@ int main(int argc, char** argv) {
   }
   std::printf("\nExpected shape: chase_ms shrinks with threads up to the "
               "core count; identical stays yes everywhere.\n");
+
+  // E2obs: observability overhead on the E2t chase path — the same
+  // single-thread chase with tracing disarmed vs armed (armed adds three
+  // ScopedSpans per chase round: round / match / apply). The acceptance
+  // budget is <= 2% overhead; reps are interleaved (disarmed, armed,
+  // disarmed, ...) and each side takes its min so allocator/page-cache
+  // drift hits both sides equally instead of masquerading as
+  // instrumentation cost (CI's perf-smoke gates on the emitted
+  // overhead_pct).
+  bench::PrintHeader("E2obs: tracing overhead on the chase (1 thread)",
+                     "armed   chase_ms   overhead_pct");
+  {
+    const uint32_t n = smoke ? 4000u : 160000u;
+    const int reps = 7;
+    Vocabulary vocab;
+    Database db(&vocab);
+    OfficeParams params;
+    params.researchers = n;
+    GenerateOffice(params, &db);
+    OMQ omq = OfficeOMQ(&vocab);
+
+    auto one_ms = [&]() {
+      Stopwatch watch;
+      auto chase = QueryDirectedChase(db, omq.ontology, omq.query);
+      double ms = watch.ElapsedSeconds() * 1e3;
+      if (!chase.ok()) std::exit(1);
+      return ms;
+    };
+    trace::Disable();
+    one_ms();  // warm-up: page in the workload before either timed side
+    one_ms();
+    double disarmed_ms = 0, armed_ms = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      // Alternate which side runs first so frequency/boost ramp-up over the
+      // run cannot systematically favor one side.
+      for (int leg = 0; leg < 2; ++leg) {
+        const bool armed = (leg == 0) == (rep % 2 == 1);
+        if (armed) {
+          trace::Enable();
+        } else {
+          trace::Disable();
+        }
+        double ms = one_ms();
+        double& best = armed ? armed_ms : disarmed_ms;
+        if (rep == 0 || ms < best) best = ms;
+      }
+    }
+    trace::Disable();
+    trace::Clear();
+    const double overhead_pct =
+        disarmed_ms > 0 ? (armed_ms - disarmed_ms) / disarmed_ms * 100.0 : 0;
+    std::printf("%5s   %8.1f   %12s\n", "no", disarmed_ms, "-");
+    std::printf("%5s   %8.1f   %11.2f%%\n", "yes", armed_ms, overhead_pct);
+    json.AddRow("E2obs").Set("armed", 0).Set("facts", db.TotalFacts())
+        .Set("chase_ms", disarmed_ms);
+    json.AddRow("E2obs").Set("armed", 1).Set("facts", db.TotalFacts())
+        .Set("chase_ms", armed_ms).Set("overhead_pct", overhead_pct);
+  }
+  std::printf("\nExpected shape: overhead_pct stays within the 2%% "
+              "observability budget.\n");
 
   // E2a: apply-heavy thread sweep. The office workload is match-dominated
   // (few existentials fire), so E2t mostly measures phase A. This series

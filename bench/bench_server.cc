@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "base/timer.h"
+#include "base/trace.h"
 #include "bench_util.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -370,6 +371,90 @@ int main(int argc, char** argv) {
           .Set("wall_ms", wall_ms)
           .Set("fetch_per_s", per_s);
     }
+  }
+
+  bench::PrintHeader(
+      "S6obs: tracing overhead on the lock-free fetch path (8 threads)",
+      "armed   wall_ms   fetch_per_s   overhead_pct");
+  {
+    // The S6 loop with tracing disarmed vs armed (armed adds a session.fetch
+    // span per Fetch call; the per-answer enum-delay histogram records on
+    // BOTH sides — metrics are always on, that cost is part of the baseline).
+    const uint32_t kThreads = 8;
+    const uint32_t kFetchesPerThread = smoke ? 400 : 4000;
+    Env env(smoke ? 200u : 20000u);
+    server::OmqeServer srv(&env.vocab, &env.onto, &env.db, {});
+    server::InProcessClient seed(&srv);
+    std::string r =
+        seed.Roundtrip(std::string("PREPARE q ") + kOfficeQueryText);
+    if (server::IsError(r)) {
+      std::fprintf(stderr, "%s", r.c_str());
+      return 1;
+    }
+    auto run_ms = [&]() {
+      std::vector<uint64_t> sids(kThreads, 0);
+      for (uint32_t t = 0; t < kThreads; ++t) {
+        auto sid = srv.sessions().Open(srv.registry().Get("q"),
+                                       /*complete=*/false);
+        if (!sid.ok()) std::exit(1);
+        sids[t] = sid.value();
+      }
+      Stopwatch watch;
+      std::vector<std::thread> fleet;
+      for (uint32_t t = 0; t < kThreads; ++t) {
+        fleet.emplace_back([&srv, sid = sids[t], kFetchesPerThread] {
+          std::vector<ValueTuple> rows;
+          for (uint32_t i = 0; i < kFetchesPerThread; ++i) {
+            if (srv.registry().Get("q") == nullptr) std::abort();
+            rows.clear();
+            bool done = false;
+            if (!srv.sessions().Fetch(sid, 16, &rows, &done).ok()) {
+              std::abort();
+            }
+            if (done) srv.sessions().Reset(sid);
+          }
+        });
+      }
+      for (std::thread& t : fleet) t.join();
+      double ms = watch.ElapsedSeconds() * 1e3;
+      for (uint64_t sid : sids) srv.sessions().Close(sid);
+      return ms;
+    };
+    // Interleave reps and alternate which side runs first within each rep so
+    // scheduler/allocator/boost drift hits both sides equally.
+    const int reps = 5;
+    trace::Disable();
+    run_ms();  // warm-up
+    double disarmed_ms = 0, armed_ms = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (int leg = 0; leg < 2; ++leg) {
+        const bool armed = (leg == 0) == (rep % 2 == 1);
+        if (armed) {
+          trace::Enable();
+        } else {
+          trace::Disable();
+        }
+        double ms = run_ms();
+        double& best = armed ? armed_ms : disarmed_ms;
+        if (rep == 0 || ms < best) best = ms;
+      }
+    }
+    trace::Disable();
+    trace::Clear();
+    const uint64_t fetches = static_cast<uint64_t>(kThreads) * kFetchesPerThread;
+    const double overhead_pct =
+        disarmed_ms > 0 ? (armed_ms - disarmed_ms) / disarmed_ms * 100.0 : 0;
+    std::printf("%5s   %7.1f   %11.0f   %12s\n", "no", disarmed_ms,
+                disarmed_ms > 0 ? fetches / (disarmed_ms / 1e3) : 0, "-");
+    std::printf("%5s   %7.1f   %11.0f   %11.2f%%\n", "yes", armed_ms,
+                armed_ms > 0 ? fetches / (armed_ms / 1e3) : 0, overhead_pct);
+    json.AddRow("S6obs").Set("armed", 0).Set("fetches", fetches)
+        .Set("wall_ms", disarmed_ms)
+        .Set("fetch_per_s", disarmed_ms > 0 ? fetches / (disarmed_ms / 1e3) : 0);
+    json.AddRow("S6obs").Set("armed", 1).Set("fetches", fetches)
+        .Set("wall_ms", armed_ms)
+        .Set("fetch_per_s", armed_ms > 0 ? fetches / (armed_ms / 1e3) : 0)
+        .Set("overhead_pct", overhead_pct);
   }
 
   std::printf("\nExpected shape: S1 speedup approaches N x as preprocessing "

@@ -42,12 +42,16 @@ struct DelayStats {
   double mean_ns = 0;
   double p50_ns = 0;
   double p95_ns = 0;
+  double p99_ns = 0;
+  double p999_ns = 0;
   double max_ns = 0;
 };
 
 /// Statistics over a set of per-answer delays. Shared by MeasureDelays and
 /// the delay regression test, so the numbers the JSON baselines record are
-/// by construction the numbers the tests assert on.
+/// by construction the numbers the tests assert on. The tail quantiles
+/// (p99/p999) are the constant-delay guarantee's observable: the mean hides
+/// a stalling enumerator, the tail does not.
 inline DelayStats ComputeDelayStats(std::vector<int64_t> delays) {
   DelayStats stats;
   stats.answers = delays.size();
@@ -56,9 +60,14 @@ inline DelayStats ComputeDelayStats(std::vector<int64_t> delays) {
   for (int64_t d : delays) sum += static_cast<double>(d);
   stats.mean_ns = sum / static_cast<double>(delays.size());
   std::sort(delays.begin(), delays.end());
-  stats.p50_ns = static_cast<double>(delays[delays.size() / 2]);
-  stats.p95_ns = static_cast<double>(delays[delays.size() * 95 / 100]);
-  stats.max_ns = static_cast<double>(delays.back());
+  auto at = [&](size_t rank) {
+    return static_cast<double>(delays[std::min(rank, delays.size() - 1)]);
+  };
+  stats.p50_ns = at(delays.size() / 2);
+  stats.p95_ns = at(delays.size() * 95 / 100);
+  stats.p99_ns = at(delays.size() * 99 / 100);
+  stats.p999_ns = at(delays.size() * 999 / 1000);
+  stats.max_ns = at(delays.size() - 1);
   return stats;
 }
 
@@ -145,6 +154,8 @@ class JsonRow {
     Set(p + "delay_mean_ns", stats.mean_ns);
     Set(p + "delay_p50_ns", stats.p50_ns);
     Set(p + "delay_p95_ns", stats.p95_ns);
+    Set(p + "delay_p99_ns", stats.p99_ns);
+    Set(p + "delay_p999_ns", stats.p999_ns);
     Set(p + "delay_max_ns", stats.max_ns);
     return *this;
   }

@@ -29,6 +29,7 @@
 #include "base/fault.h"
 #include "base/rng.h"
 #include "base/timer.h"
+#include "base/trace.h"
 #include "data/loader.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -188,6 +189,18 @@ int main(int argc, char** argv) {
       numeric(v, 100, &retries);
     } else if (const char* v = value("--backoff-ms=")) {
       numeric(v, 60'000, &backoff_ms);
+    } else if (const char* v = value("--log-level=")) {
+      if (!server::ParseLogLevel(v, &options.log_level)) {
+        std::fprintf(stderr,
+                     "--log-level expects error|warn|info|debug, got '%s'\n",
+                     v);
+        return 2;
+      }
+    } else if (const char* v = value("--slow-request-ms=")) {
+      options.slow_request_ms = static_cast<int64_t>(numeric(v, INT64_MAX, &n));
+      // Arm tracing so slow-request lines carry the spans recorded during
+      // the offending request (HandleLine dumps the current thread's ring).
+      if (options.slow_request_ms > 0) trace::Enable();
     } else if (const char* v = value("--fault=")) {
       // --fault=<point>:<spec>, e.g. --fault=chase.round:n2 or
       // --fault=socket.write:p0.01@7 — arms one injection point (fault.h).

@@ -1,0 +1,236 @@
+#include "base/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace omqe::metrics {
+
+void Gauge::SetCallback(std::function<int64_t()> provider) {
+  std::lock_guard<CountedMutex> lk(cb_mu_);
+  provider_ = std::move(provider);
+}
+
+int64_t Gauge::Value() const {
+  std::lock_guard<CountedMutex> lk(cb_mu_);
+  if (provider_) return provider_();
+  return value_.load(std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Snapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  // Nearest-rank: the q-quantile is sample ceil(q * count), 1-based,
+  // clamped into [1, count].
+  uint64_t rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      uint64_t upper = BucketUpper(b);
+      return upper < max ? upper : max;
+    }
+  }
+  return max;
+}
+
+Histogram::Snapshot Histogram::TakeSnapshot() const {
+  Snapshot s;
+  for (const Stripe& st : stripes_) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      s.buckets[b] += st.buckets[b].load(std::memory_order_relaxed);
+    }
+    s.sum += st.sum.load(std::memory_order_relaxed);
+    uint64_t m = st.max.load(std::memory_order_relaxed);
+    if (m > s.max) s.max = m;
+  }
+  for (size_t b = 0; b < kBuckets; ++b) s.count += s.buckets[b];
+  return s;
+}
+
+Registry& Registry::Global() {
+  static Registry* g = new Registry();  // leaked: outlives exit-time records
+  return *g;
+}
+
+Registry::Entry* Registry::FindOrCreate(std::string_view name, Kind kind) {
+  std::lock_guard<CountedMutex> lk(mu_);
+  for (auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        std::fprintf(stderr, "metrics: kind mismatch for '%.*s'\n",
+                     static_cast<int>(name.size()), name.data());
+        std::abort();
+      }
+      return e.get();
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = std::string(name);
+  e->kind = kind;
+  switch (kind) {
+    case Kind::kCounter:
+      e->counter = std::make_unique<Counter>();
+      break;
+    case Kind::kGauge:
+      e->gauge = std::make_unique<Gauge>();
+      break;
+    case Kind::kHistogram:
+      e->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back().get();
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  return FindOrCreate(name, Kind::kCounter)->counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  return FindOrCreate(name, Kind::kGauge)->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  return FindOrCreate(name, Kind::kHistogram)->histogram.get();
+}
+
+namespace {
+
+// Splits "base{label=\"x\"}" into base and "label=\"x\"" (empty if no labels).
+void SplitName(const std::string& name, std::string* base,
+               std::string* labels) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    *base = name;
+    labels->clear();
+    return;
+  }
+  *base = name.substr(0, brace);
+  size_t close = name.rfind('}');
+  *labels = name.substr(brace + 1,
+                        close == std::string::npos ? std::string::npos
+                                                   : close - brace - 1);
+}
+
+// "base_count{label}" or "base_count" — suffix goes before the brace, and a
+// summary's extra label (quantile) merges with any existing labels.
+void AppendLine(std::string* out, const std::string& base,
+                const std::string& suffix, const std::string& labels,
+                const std::string& extra_label, uint64_t value) {
+  out->append(base);
+  out->append(suffix);
+  if (!labels.empty() || !extra_label.empty()) {
+    out->push_back('{');
+    out->append(labels);
+    if (!labels.empty() && !extra_label.empty()) out->push_back(',');
+    out->append(extra_label);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  out->append(std::to_string(value));
+  out->push_back('\n');
+}
+
+// Metric names may embed label quotes ({verb="FETCH"}); escape for JSON.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<CountedMutex> lk(mu_);
+  std::string out;
+  std::string base, labels;
+  for (const auto& e : entries_) {
+    SplitName(e->name, &base, &labels);
+    switch (e->kind) {
+      case Kind::kCounter:
+        out.append("# TYPE ").append(base).append(" counter\n");
+        AppendLine(&out, base, "", labels, "", e->counter->Value());
+        break;
+      case Kind::kGauge: {
+        out.append("# TYPE ").append(base).append(" gauge\n");
+        int64_t v = e->gauge->Value();
+        out.append(base);
+        if (!labels.empty()) {
+          out.push_back('{');
+          out.append(labels);
+          out.push_back('}');
+        }
+        out.push_back(' ');
+        out.append(std::to_string(v));
+        out.push_back('\n');
+        break;
+      }
+      case Kind::kHistogram: {
+        Histogram::Snapshot s = e->histogram->TakeSnapshot();
+        out.append("# TYPE ").append(base).append(" summary\n");
+        AppendLine(&out, base, "", labels, "quantile=\"0.5\"",
+                   s.Quantile(0.5));
+        AppendLine(&out, base, "", labels, "quantile=\"0.99\"",
+                   s.Quantile(0.99));
+        AppendLine(&out, base, "", labels, "quantile=\"0.999\"",
+                   s.Quantile(0.999));
+        AppendLine(&out, base, "_sum", labels, "", s.sum);
+        AppendLine(&out, base, "_count", labels, "", s.count);
+        AppendLine(&out, base, "_max", labels, "", s.max);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::RenderBenchJson() const {
+  std::lock_guard<CountedMutex> lk(mu_);
+  std::string out = "{\"bench\": \"metrics\", \"smoke\": false, \"rows\": [";
+  bool first_row = true;
+  auto begin_row = [&](const char* series) {
+    if (!first_row) out.append(", ");
+    first_row = false;
+    out.append("{\"series\": \"").append(series).append("\"");
+  };
+  // One row of all counters, one of all gauges — the scalar surface.
+  begin_row("counters");
+  for (const auto& e : entries_) {
+    if (e->kind != Kind::kCounter) continue;
+    out.append(", \"").append(JsonEscape(e->name)).append("\": ");
+    out.append(std::to_string(e->counter->Value()));
+  }
+  out.push_back('}');
+  begin_row("gauges");
+  for (const auto& e : entries_) {
+    if (e->kind != Kind::kGauge) continue;
+    out.append(", \"").append(JsonEscape(e->name)).append("\": ");
+    out.append(std::to_string(e->gauge->Value()));
+  }
+  out.push_back('}');
+  for (const auto& e : entries_) {
+    if (e->kind != Kind::kHistogram) continue;
+    Histogram::Snapshot s = e->histogram->TakeSnapshot();
+    begin_row("histogram");
+    out.append(", \"name\": \"").append(JsonEscape(e->name)).append("\"");
+    out.append(", \"count\": ").append(std::to_string(s.count));
+    out.append(", \"sum\": ").append(std::to_string(s.sum));
+    out.append(", \"p50\": ").append(std::to_string(s.Quantile(0.5)));
+    out.append(", \"p99\": ").append(std::to_string(s.Quantile(0.99)));
+    out.append(", \"p999\": ").append(std::to_string(s.Quantile(0.999)));
+    out.append(", \"max\": ").append(std::to_string(s.max));
+    out.push_back('}');
+  }
+  out.append("]}");
+  return out;
+}
+
+}  // namespace omqe::metrics

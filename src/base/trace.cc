@@ -1,0 +1,172 @@
+#include "base/trace.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "base/counted_mutex.h"
+
+namespace omqe::trace {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Each slot is seqlock-protected: seq is bumped to odd before the fields are
+// written and to even after, with release ordering; a reader that sees the
+// same even seq before and after its field loads got a consistent span.
+struct Slot {
+  std::atomic<uint32_t> seq{0};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<int64_t> start_ns{0};
+  std::atomic<int64_t> dur_ns{0};
+  std::atomic<uint64_t> arg{0};
+};
+
+struct Ring {
+  Slot slots[kRingCapacity];
+  std::atomic<uint64_t> head{0};  // next write position (monotonic)
+  uint32_t tid = 0;
+
+  void Write(const char* name, int64_t start_ns, int64_t dur_ns,
+             uint64_t arg) {
+    uint64_t pos = head.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots[pos % kRingCapacity];
+    uint32_t seq = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(seq + 1, std::memory_order_release);  // odd: write in flight
+    s.name.store(name, std::memory_order_relaxed);
+    s.start_ns.store(start_ns, std::memory_order_relaxed);
+    s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+    s.arg.store(arg, std::memory_order_relaxed);
+    s.seq.store(seq + 2, std::memory_order_release);  // even: complete
+  }
+
+  // Appends every consistent, non-empty slot to *out.
+  void Snapshot(std::vector<Span>* out) const {
+    for (const Slot& s : slots) {
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        uint32_t before = s.seq.load(std::memory_order_acquire);
+        if (before == 0) break;          // never written
+        if (before & 1) continue;        // writer in flight; retry
+        Span span;
+        span.name = s.name.load(std::memory_order_relaxed);
+        span.start_ns = s.start_ns.load(std::memory_order_relaxed);
+        span.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+        span.arg = s.arg.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s.seq.load(std::memory_order_relaxed) != before) continue;
+        span.tid = tid;
+        out->push_back(span);
+        break;
+      }
+    }
+  }
+
+  void Reset() {
+    for (Slot& s : slots) s.seq.store(0, std::memory_order_relaxed);
+    head.store(0, std::memory_order_relaxed);
+  }
+};
+
+// All rings ever allocated (never freed) plus the parked ones available for
+// adoption. Touched once per thread lifetime + on dump/clear.
+struct RingDirectory {
+  CountedMutex mu;
+  std::vector<Ring*> all;
+  std::vector<Ring*> free;
+  uint32_t next_tid = 0;
+};
+
+RingDirectory& Directory() {
+  static RingDirectory* d = new RingDirectory();  // leaked: exit-time spans
+  return *d;
+}
+
+Ring* AcquireRing() {
+  RingDirectory& d = Directory();
+  std::lock_guard<CountedMutex> lk(d.mu);
+  if (!d.free.empty()) {
+    Ring* r = d.free.back();
+    d.free.pop_back();
+    return r;
+  }
+  Ring* r = new Ring();
+  r->tid = d.next_tid++;
+  d.all.push_back(r);
+  return r;
+}
+
+void ReleaseRing(Ring* r) {
+  RingDirectory& d = Directory();
+  std::lock_guard<CountedMutex> lk(d.mu);
+  d.free.push_back(r);  // retained spans stay dumpable until adoption
+}
+
+// Thread-exit RAII: parks the ring for reuse by later threads.
+struct RingHolder {
+  Ring* ring = nullptr;
+  ~RingHolder() {
+    if (ring != nullptr) ReleaseRing(ring);
+  }
+};
+
+Ring& ThreadRing() {
+  thread_local RingHolder holder;
+  if (holder.ring == nullptr) holder.ring = AcquireRing();
+  return *holder.ring;
+}
+
+}  // namespace
+
+void Enable() { g_enabled.store(true, std::memory_order_relaxed); }
+void Disable() { g_enabled.store(false, std::memory_order_relaxed); }
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void RecordSpan(const char* name, int64_t start_ns, int64_t dur_ns,
+                uint64_t arg) {
+  if (!Enabled()) return;  // a span disarmed mid-flight is dropped, not kept
+  ThreadRing().Write(name, start_ns, dur_ns, arg);
+}
+
+std::vector<Span> Dump() {
+  RingDirectory& d = Directory();
+  std::vector<Span> out;
+  {
+    std::lock_guard<CountedMutex> lk(d.mu);
+    for (const Ring* r : d.all) r->Snapshot(&out);
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+std::vector<Span> DumpCurrentThread(int64_t since_ns) {
+  std::vector<Span> out;
+  ThreadRing().Snapshot(&out);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](const Span& s) { return s.start_ns < since_ns; }),
+            out.end());
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+void Clear() {
+  RingDirectory& d = Directory();
+  std::lock_guard<CountedMutex> lk(d.mu);
+  for (Ring* r : d.all) r->Reset();
+}
+
+std::string FormatSpan(const Span& s) {
+  std::string out;
+  out.reserve(64);
+  out.append(s.name == nullptr ? "?" : s.name);
+  out.append(" start=").append(std::to_string(s.start_ns));
+  out.append(" dur=").append(std::to_string(s.dur_ns));
+  out.append(" arg=").append(std::to_string(s.arg));
+  out.append(" tid=").append(std::to_string(s.tid));
+  return out;
+}
+
+}  // namespace omqe::trace

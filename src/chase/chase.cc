@@ -8,6 +8,7 @@
 #include "base/flat_hash.h"
 #include "base/thread_pool.h"
 #include "base/timer.h"
+#include "base/trace.h"
 #include "chase/estimate.h"
 #include "horn/horn.h"
 
@@ -212,8 +213,12 @@ class ChaseEngine {
         stats.shard_candidates.resize(shards, 0);
         stats.shard_inventions.resize(shards, 0);
       }
+      trace::ScopedSpan round_span("chase.round", delta.size());
       int64_t t0 = NowNanos();
-      EnumerateRound(delta, shards, round_est);
+      {
+        trace::ScopedSpan match_span("chase.match", shards);
+        EnumerateRound(delta, shards, round_est);
+      }
       stats.match_nanos += static_cast<uint64_t>(NowNanos() - t0);
       for (uint32_t s = 0; s < shards; ++s) {
         stats.shard_candidates[s] += shard_out_[s].tgds.size();
@@ -221,7 +226,11 @@ class ChaseEngine {
       }
       OMQE_RETURN_IF_ERROR(CheckCancelNow(options_.cancel));
       int64_t t1 = NowNanos();
-      Status applied = ApplyCandidates(shards);
+      Status applied;
+      {
+        trace::ScopedSpan apply_span("chase.apply", stats.candidates);
+        applied = ApplyCandidates(shards);
+      }
       stats.apply_nanos += static_cast<uint64_t>(NowNanos() - t1);
       OMQE_RETURN_IF_ERROR(applied);
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "base/trace.h"
+
 #include "eval/brute.h"  // kNoValue
 
 namespace omqe {
@@ -26,7 +28,10 @@ StatusOr<std::shared_ptr<const PreparedOMQ>> PreparedOMQ::Prepare(
   if (options.for_partial && db.HasNulls()) {
     return Status::InvalidArgument("input databases must be null-free");
   }
-  auto chase = QueryDirectedChase(db, omq.ontology, omq.query, options.chase);
+  StatusOr<std::shared_ptr<ChaseResult>> chase = [&] {
+    trace::ScopedSpan span("prepare.chase", db.TotalFacts());
+    return QueryDirectedChase(db, omq.ontology, omq.query, options.chase);
+  }();
   if (!chase.ok()) return chase.status();
 
   auto p = std::shared_ptr<PreparedOMQ>(new PreparedOMQ());
@@ -38,19 +43,25 @@ StatusOr<std::shared_ptr<const PreparedOMQ>> PreparedOMQ::Prepare(
   p->for_partial_ = options.for_partial;
   p->chase_ = std::move(chase).value();
   if (options.for_complete) {
+    trace::ScopedSpan span("prepare.normalize");
     OMQE_RETURN_IF_ERROR(Normalize(omq.query, p->chase_->db,
                                    /*answers_constants_only=*/true,
                                    &p->complete_norm_));
   }
   if (options.for_partial) {
-    OMQE_RETURN_IF_ERROR(Normalize(omq.query, p->chase_->db,
-                                   /*answers_constants_only=*/false,
-                                   &p->partial_norm_));
+    {
+      trace::ScopedSpan span("prepare.normalize");
+      OMQE_RETURN_IF_ERROR(Normalize(omq.query, p->chase_->db,
+                                     /*answers_constants_only=*/false,
+                                     &p->partial_norm_));
+    }
+    trace::ScopedSpan span("prepare.collect_trees");
     p->BuildSlots();
     p->BuildSubtrees();
     p->CollectProgressTrees();
     p->LinkLists();
     p->ReleaseBuildState();
+    span.set_arg(p->pool_.size());
   }
   return std::shared_ptr<const PreparedOMQ>(std::move(p));
 }

@@ -131,6 +131,36 @@ StatusOr<Request> ParseRequest(std::string_view line) {
     }
     return req;
   }
+  if (EqualsIgnoreCase(verb, "METRICS")) {
+    req.verb = Verb::kMetrics;
+    std::string_view format = NextToken(&rest);
+    if (EqualsIgnoreCase(format, "json")) {
+      req.arg = "json";
+    } else if (!format.empty()) {
+      return Status::InvalidArgument("METRICS takes at most 'json'");
+    }
+    if (!Trim(rest).empty()) {
+      return Status::InvalidArgument("METRICS takes at most 'json'");
+    }
+    return req;
+  }
+  if (EqualsIgnoreCase(verb, "TRACE")) {
+    req.verb = Verb::kTrace;
+    std::string_view sub = NextToken(&rest);
+    if (EqualsIgnoreCase(sub, "on")) {
+      req.arg = "on";
+    } else if (EqualsIgnoreCase(sub, "off")) {
+      req.arg = "off";
+    } else if (EqualsIgnoreCase(sub, "dump")) {
+      req.arg = "dump";
+    } else {
+      return Status::InvalidArgument("TRACE takes on|off|dump");
+    }
+    if (!Trim(rest).empty()) {
+      return Status::InvalidArgument("TRACE takes exactly one subcommand");
+    }
+    return req;
+  }
   if (EqualsIgnoreCase(verb, "STATS") || EqualsIgnoreCase(verb, "QUIT") ||
       EqualsIgnoreCase(verb, "SHUTDOWN")) {
     req.verb = EqualsIgnoreCase(verb, "STATS")  ? Verb::kStats
@@ -143,7 +173,7 @@ StatusOr<Request> ParseRequest(std::string_view line) {
   }
   return Status::InvalidArgument("unknown verb '" + std::string(verb) +
                                  "' (PREPARE OPEN FETCH RESET CLOSE EVICT "
-                                 "STATS QUIT SHUTDOWN)");
+                                 "STATS METRICS TRACE QUIT SHUTDOWN)");
 }
 
 std::string OkLine(std::string_view detail) {
@@ -218,6 +248,14 @@ std::string RowLine(std::string_view rendered_tuple) {
 
 std::string StatLine(std::string_view json) {
   return "STAT " + std::string(json);
+}
+
+std::string MetricLine(std::string_view exposition_line) {
+  return "METRIC " + std::string(exposition_line);
+}
+
+std::string SpanLine(std::string_view rendered_span) {
+  return "SPAN " + std::string(rendered_span);
 }
 
 bool IsTerminator(std::string_view line) {

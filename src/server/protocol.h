@@ -10,6 +10,9 @@
 //   CLOSE <sid>
 //   EVICT <name>
 //   STATS
+//   METRICS [json]                full metric registry (Prometheus text, or
+//                                 one BENCH-JSON STAT line with "json")
+//   TRACE on|off|dump             arm/disarm span tracing; dump retained spans
 //   QUIT                          close this connection
 //   SHUTDOWN                      stop the server loop
 //
@@ -21,6 +24,9 @@
 //   ROW <v1>,<v2>,...             one answer tuple (FETCH data line)
 //   STAT <json>                   registry/session counters (STATS data line,
 //                                 one line of BENCH-format JSON)
+//   METRIC <text>                 one Prometheus exposition line (METRICS
+//                                 data line; "METRICS json" uses STAT instead)
+//   SPAN <text>                   one trace span (TRACE dump data line)
 //
 // FETCH's terminator is "OK FETCH <k> more|done": <k> rows were emitted and
 // the cursor either has more answers or is exhausted (end of enumeration,
@@ -70,6 +76,8 @@ enum class Verb {
   kClose,
   kEvict,
   kStats,
+  kMetrics,
+  kTrace,
   kQuit,
   kShutdown,
 };
@@ -81,6 +89,7 @@ struct Request {
   bool complete = false;   // OPEN mode (default: partial)
   uint64_t session = 0;    // FETCH / RESET / CLOSE
   uint64_t count = 0;      // FETCH row count
+  std::string arg;         // METRICS format / TRACE subcommand (lowercased)
 };
 
 /// Parses one request line. Leading/trailing whitespace is ignored; empty
@@ -126,6 +135,8 @@ std::string ErrLine(ErrCode code, std::string_view message);
 std::string ErrLineFor(const Status& status);
 std::string RowLine(std::string_view rendered_tuple);
 std::string StatLine(std::string_view json);
+std::string MetricLine(std::string_view exposition_line);
+std::string SpanLine(std::string_view rendered_span);
 
 /// True when `line` is a terminator (OK/ERR) rather than a data line.
 bool IsTerminator(std::string_view line);

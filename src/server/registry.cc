@@ -4,6 +4,7 @@
 
 #include "base/fault.h"
 #include "base/str.h"
+#include "base/trace.h"
 #include "core/omq.h"
 
 namespace omqe::server {
@@ -16,6 +17,35 @@ QueryRegistry::QueryRegistry(const Ontology* onto, const Database* db,
   if (options_.prepare_threads > 0) {
     options_.prepare.chase.num_threads = options_.prepare_threads;
   }
+  if (options_.metrics == nullptr) {
+    owned_metrics_ = std::make_unique<metrics::Registry>();
+    options_.metrics = owned_metrics_.get();
+  }
+  metrics_ = options_.metrics;
+  m_.prepares = metrics_->GetCounter("omqe_prepares_total");
+  m_.prepare_failures = metrics_->GetCounter("omqe_prepare_failures_total");
+  m_.rejected_by_estimate =
+      metrics_->GetCounter("omqe_prepare_rejected_by_estimate_total");
+  m_.evictions = metrics_->GetCounter("omqe_evictions_total");
+  m_.hits = metrics_->GetCounter("omqe_registry_hits_total");
+  m_.misses = metrics_->GetCounter("omqe_registry_misses_total");
+  m_.deadline_exceeded =
+      metrics_->GetCounter("omqe_prepare_deadline_exceeded_total");
+  m_.cancelled = metrics_->GetCounter("omqe_prepare_cancelled_total");
+  m_.chase_rounds = metrics_->GetCounter("omqe_chase_rounds_total");
+  m_.chase_parallel_rounds =
+      metrics_->GetCounter("omqe_chase_parallel_rounds_total");
+  m_.chase_candidates = metrics_->GetCounter("omqe_chase_candidates_total");
+  m_.chase_applied = metrics_->GetCounter("omqe_chase_applied_total");
+  m_.chase_nulls_invented =
+      metrics_->GetCounter("omqe_chase_nulls_invented_total");
+  m_.chase_match_nanos = metrics_->GetCounter("omqe_chase_match_nanos_total");
+  m_.chase_apply_nanos = metrics_->GetCounter("omqe_chase_apply_nanos_total");
+  m_.chase_applied_rehashes =
+      metrics_->GetCounter("omqe_chase_applied_rehashes_total");
+  m_.size = metrics_->GetGauge("omqe_registry_size");
+  m_.size->SetCallback(
+      [this]() -> int64_t { return static_cast<int64_t>(size()); });
   if (options_.max_estimated_chase_facts > 0) {
     // Admission control, computed once: bound the chase at the DEEPEST cap
     // the query-directed chase could adaptively saturate to (max_depth,
@@ -33,6 +63,9 @@ QueryRegistry::QueryRegistry(const Ontology* onto, const Database* db,
 }
 
 QueryRegistry::~QueryRegistry() {
+  // The gauge callback captures `this`; unbind before the snapshot dies so
+  // a metric registry that outlives us can still render safely.
+  m_.size->SetCallback(nullptr);
   // Owner contract: no reader of this registry is live anymore. Drain our
   // retired snapshots (no pinned readers -> everything pending reclaims),
   // then free the current version directly.
@@ -67,23 +100,18 @@ StatusOr<std::shared_ptr<const PreparedOMQ>> QueryRegistry::PrepareLocked(
   // when BeginDrain() fired has no published token for CancelInFlight to
   // flag — without this re-check it would run a full chase during drain.
   if (draining_.load(std::memory_order_acquire)) {
-    std::lock_guard<CountedMutex> lock(mu_);
-    ++stats_.prepare_failures;
-    ++stats_.cancelled;
+    m_.prepare_failures->Inc();
+    m_.cancelled->Inc();
     return Status::Cancelled("server is draining");
   }
   if (FaultFires(kFaultRegistryPrepare)) {
-    std::lock_guard<CountedMutex> lock(mu_);
-    ++stats_.prepare_failures;
+    m_.prepare_failures->Inc();
     return Status::Internal("injected fault at registry.prepare");
   }
   if (options_.max_estimated_chase_facts > 0 &&
       admission_estimate_.exceeds_budget) {
-    {
-      std::lock_guard<CountedMutex> lock(mu_);
-      ++stats_.prepare_failures;
-      ++stats_.rejected_by_estimate;
-    }
+    m_.prepare_failures->Inc();
+    m_.rejected_by_estimate->Inc();
     return Status::ResourceExhausted(
         "chase-size estimate exceeds the admission budget (bound " +
         std::to_string(admission_estimate_.fact_bound) + ", budget " +
@@ -111,34 +139,37 @@ StatusOr<std::shared_ptr<const PreparedOMQ>> QueryRegistry::PrepareLocked(
   if (draining_.load(std::memory_order_acquire)) token.Cancel();
   PrepareOptions popts = options_.prepare;
   popts.chase.cancel = &token;
+  trace::ScopedSpan prepare_span("registry.prepare");
   auto prepared =
       PreparedOMQ::Prepare(MakeOMQ(*onto_, query), *db_, popts);
   {
     std::lock_guard<CountedMutex> lock(mu_);
     in_flight_ = nullptr;
     if (!prepared.ok()) {
-      ++stats_.prepare_failures;
+      m_.prepare_failures->Inc();
       if (prepared.status().code() == StatusCode::kDeadlineExceeded) {
-        ++stats_.deadline_exceeded;
+        m_.deadline_exceeded->Inc();
       } else if (prepared.status().code() == StatusCode::kCancelled) {
-        ++stats_.cancelled;
+        m_.cancelled->Inc();
       }
       // A failed prepare publishes nothing: `name` keeps whatever artifact
       // it had (possibly none) and stays re-preparable.
       return prepared.status();
     }
-    ++stats_.prepares;
+    m_.prepares->Inc();
     // Fold the artifact's chase counters (its final saturation run) into
-    // the registry-lifetime aggregate the STATS line reports.
+    // the registry-lifetime aggregate that both the STATS line and METRICS
+    // report (scalars in the metric counters, shard-lane arrays here).
     const ChaseStats& cs = prepared.value()->chase().stats;
-    chase_stats_.rounds += cs.rounds;
-    chase_stats_.parallel_rounds += cs.parallel_rounds;
-    chase_stats_.candidates += cs.candidates;
-    chase_stats_.applied += cs.applied;
-    chase_stats_.nulls_invented += cs.nulls_invented;
-    chase_stats_.match_nanos += cs.match_nanos;
-    chase_stats_.apply_nanos += cs.apply_nanos;
-    chase_stats_.applied_rehashes += cs.applied_rehashes;
+    prepare_span.set_arg(prepared.value()->chase().db.TotalFacts());
+    m_.chase_rounds->Inc(cs.rounds);
+    m_.chase_parallel_rounds->Inc(cs.parallel_rounds);
+    m_.chase_candidates->Inc(cs.candidates);
+    m_.chase_applied->Inc(cs.applied);
+    m_.chase_nulls_invented->Inc(cs.nulls_invented);
+    m_.chase_match_nanos->Inc(cs.match_nanos);
+    m_.chase_apply_nanos->Inc(cs.apply_nanos);
+    m_.chase_applied_rehashes->Inc(cs.applied_rehashes);
     if (chase_stats_.shard_candidates.size() < cs.shard_candidates.size()) {
       chase_stats_.shard_candidates.resize(cs.shard_candidates.size(), 0);
       chase_stats_.shard_inventions.resize(cs.shard_inventions.size(), 0);
@@ -180,10 +211,10 @@ std::shared_ptr<const PreparedOMQ> QueryRegistry::Get(
   const Snapshot* snap = snapshot_.load(std::memory_order_seq_cst);
   auto it = snap->queries.find(name);
   if (it == snap->queries.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    m_.misses->Inc();
     return nullptr;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  m_.hits->Inc();
   return it->second;
 }
 
@@ -195,7 +226,7 @@ bool QueryRegistry::Evict(const std::string& name) {
     Snapshot* next = new Snapshot(*cur);
     next->queries.erase(name);
     PublishLocked(next);
-    ++stats_.evictions;
+    m_.evictions->Inc();
   }
   OMQE_CHECK(CountedMutex::HeldByThisThread() == 0);
   EpochDomain::Global().ReclaimSweep();
@@ -220,19 +251,35 @@ std::vector<std::string> QueryRegistry::Names() const {
 }
 
 RegistryStats QueryRegistry::stats() const {
+  // A view over the metric counters — the single source of truth, so this
+  // can never disagree with what METRICS renders.
   RegistryStats out;
-  {
-    std::lock_guard<CountedMutex> lock(mu_);
-    out = stats_;
-  }
-  out.hits = hits_.load(std::memory_order_relaxed);
-  out.misses = misses_.load(std::memory_order_relaxed);
+  out.prepares = m_.prepares->Value();
+  out.prepare_failures = m_.prepare_failures->Value();
+  out.rejected_by_estimate = m_.rejected_by_estimate->Value();
+  out.evictions = m_.evictions->Value();
+  out.hits = m_.hits->Value();
+  out.misses = m_.misses->Value();
+  out.deadline_exceeded = m_.deadline_exceeded->Value();
+  out.cancelled = m_.cancelled->Value();
   return out;
 }
 
 ChaseStats QueryRegistry::chase_stats() const {
-  std::lock_guard<CountedMutex> lock(mu_);
-  return chase_stats_;
+  ChaseStats out;
+  {
+    std::lock_guard<CountedMutex> lock(mu_);
+    out = chase_stats_;  // shard-lane arrays
+  }
+  out.rounds = m_.chase_rounds->Value();
+  out.parallel_rounds = m_.chase_parallel_rounds->Value();
+  out.candidates = m_.chase_candidates->Value();
+  out.applied = m_.chase_applied->Value();
+  out.nulls_invented = m_.chase_nulls_invented->Value();
+  out.match_nanos = m_.chase_match_nanos->Value();
+  out.apply_nanos = m_.chase_apply_nanos->Value();
+  out.applied_rehashes = m_.chase_applied_rehashes->Value();
+  return out;
 }
 
 }  // namespace omqe::server

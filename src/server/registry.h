@@ -40,6 +40,7 @@
 #include "base/cancel.h"
 #include "base/counted_mutex.h"
 #include "base/epoch.h"
+#include "base/metrics.h"
 #include "chase/chase.h"
 #include "chase/estimate.h"
 #include "core/prepared.h"
@@ -63,6 +64,10 @@ struct RegistryOptions {
   /// left exactly as it was (a previously published artifact survives, a
   /// new name stays absent and re-preparable).
   uint64_t prepare_deadline_ms = 0;
+  /// Metric registry the registry's counters live in (null = the registry
+  /// owns a private one). The counters ARE the bookkeeping — stats() and the
+  /// STATS line read them back, so the two surfaces cannot drift.
+  metrics::Registry* metrics = nullptr;
 };
 
 struct RegistryStats {
@@ -155,11 +160,34 @@ class QueryRegistry {
   CountedMutex prepare_mu_;  // serializes the (vocab-mutating) prepare phase
   std::atomic<Snapshot*> snapshot_;
   std::atomic<bool> draining_{false};
-  /// Read-path counters tick without mu_.
-  mutable std::atomic<uint64_t> hits_{0};
-  mutable std::atomic<uint64_t> misses_{0};
-  RegistryStats stats_;     // writer-side counters (guarded by mu_)
-  ChaseStats chase_stats_;  // summed over successful prepares (mu_)
+  /// Backing store when no external metric registry was injected.
+  std::unique_ptr<metrics::Registry> owned_metrics_;
+  metrics::Registry* metrics_ = nullptr;
+  /// The registry's bookkeeping lives directly in metric counters — there is
+  /// no shadow struct for METRICS and STATS to disagree about. The hot-path
+  /// pair (hits/misses on Get) are lock-free striped counters.
+  struct Counters {
+    metrics::Counter* prepares;
+    metrics::Counter* prepare_failures;
+    metrics::Counter* rejected_by_estimate;
+    metrics::Counter* evictions;
+    metrics::Counter* hits;
+    metrics::Counter* misses;
+    metrics::Counter* deadline_exceeded;
+    metrics::Counter* cancelled;
+    metrics::Counter* chase_rounds;
+    metrics::Counter* chase_parallel_rounds;
+    metrics::Counter* chase_candidates;
+    metrics::Counter* chase_applied;
+    metrics::Counter* chase_nulls_invented;
+    metrics::Counter* chase_match_nanos;
+    metrics::Counter* chase_apply_nanos;
+    metrics::Counter* chase_applied_rehashes;
+    metrics::Gauge* size;  ///< callback view over the live snapshot
+  };
+  Counters m_;
+  /// Shard-lane arrays only (the scalars live in m_); guarded by mu_.
+  ChaseStats chase_stats_;
   /// Token of the Prepare currently holding prepare_mu_ (guarded by mu_, so
   /// CancelInFlight never races the token's stack lifetime: the pointer is
   /// published under mu_ before the chase starts and cleared under mu_

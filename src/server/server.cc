@@ -8,8 +8,10 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <ctime>
 #include <future>
@@ -18,10 +20,66 @@
 #include "base/fault.h"
 #include "base/str.h"
 #include "base/timer.h"
+#include "base/trace.h"
 #include "cq/parser.h"
 #include "server/protocol.h"
 
 namespace omqe::server {
+
+namespace {
+
+/// Registry options with the server's metric registry injected (unless the
+/// caller already supplied one) — evaluated in the member-init list, where
+/// `metrics_` is constructed before `registry_`.
+RegistryOptions WithMetrics(RegistryOptions o, metrics::Registry* m) {
+  if (o.metrics == nullptr) o.metrics = m;
+  return o;
+}
+
+/// The wire name of `verb`, doubling as its trace-span name and latency
+/// label. Static literals: trace rings store the pointer, never a copy.
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kPrepare: return "PREPARE";
+    case Verb::kOpen: return "OPEN";
+    case Verb::kFetch: return "FETCH";
+    case Verb::kReset: return "RESET";
+    case Verb::kClose: return "CLOSE";
+    case Verb::kEvict: return "EVICT";
+    case Verb::kStats: return "STATS";
+    case Verb::kMetrics: return "METRICS";
+    case Verb::kTrace: return "TRACE";
+    case Verb::kQuit: return "QUIT";
+    case Verb::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+}  // namespace
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "error") *out = LogLevel::kError;
+  else if (lower == "warn") *out = LogLevel::kWarn;
+  else if (lower == "info") *out = LogLevel::kInfo;
+  else if (lower == "debug") *out = LogLevel::kDebug;
+  else return false;
+  return true;
+}
 
 // ---------------------------------------------------------------------------
 // OmqeServer. (ThreadPool lives in base/thread_pool.cc now.)
@@ -31,10 +89,27 @@ OmqeServer::OmqeServer(Vocabulary* vocab, const Ontology* onto,
                        const Database* db, ServerOptions options)
     : vocab_(vocab),
       options_(options),
-      registry_(onto, db, options.registry),
-      sessions_(options.limits),
+      registry_(onto, db, WithMetrics(options.registry, &metrics_)),
+      sessions_(options.limits, &metrics_),
       pool_(options.threads, options.max_queue) {
   OMQE_CHECK(vocab_ != nullptr);
+  wire_stats_.shed_requests = metrics_.GetCounter("omqe_shed_requests_total");
+  wire_stats_.write_timeout_closes =
+      metrics_.GetCounter("omqe_write_timeout_closes_total");
+  wire_stats_.oversized_lines =
+      metrics_.GetCounter("omqe_oversized_lines_total");
+  wire_stats_.forced_closes = metrics_.GetCounter("omqe_forced_closes_total");
+  // The fault injector is process-global; expose it as a callback gauge so
+  // the metric is a view, never a copy that can lag.
+  metrics_.GetGauge("omqe_faults_fired")->SetCallback([]() -> int64_t {
+    return static_cast<int64_t>(FaultInjector::Instance().fired());
+  });
+  for (size_t v = 0; v < kNumVerbs; ++v) {
+    std::string name = "omqe_request_latency_ns{verb=\"";
+    name += VerbName(static_cast<Verb>(v));
+    name += "\"}";
+    verb_latency_[v] = metrics_.GetHistogram(name);
+  }
   if (options_.limits.idle_timeout_ms > 0) {
     // Sessions go idle without traffic, so reaping needs its own clock: a
     // half-timeout cadence bounds overstay at 1.5x the configured limit.
@@ -49,6 +124,25 @@ OmqeServer::OmqeServer(Vocabulary* vocab, const Ontology* onto,
       }
     });
   }
+}
+
+void OmqeServer::LogEvent(LogLevel level, const char* event,
+                          const std::string& detail) const {
+  if (level > options_.log_level) return;
+  // One write per event: format the whole line first so concurrent
+  // connection threads never interleave mid-line.
+  std::string line = "omqe_server ts_ns=";
+  line += std::to_string(NowNanos());
+  line += " level=";
+  line += LogLevelName(level);
+  line += " event=";
+  line += event;
+  if (!detail.empty()) {
+    line += ' ';
+    line += detail;
+  }
+  line += '\n';
+  std::fwrite(line.data(), 1, line.size(), stderr);
 }
 
 OmqeServer::~OmqeServer() {
@@ -175,14 +269,10 @@ void OmqeServer::DoStats(std::string* out) {
   rfield("prepare_cancelled", rs.cancelled);
   rfield("fetch_deadline_hits", ss.fetch_deadline_hits);
   rfield("fetch_deadline_empty", ss.fetch_deadline_empty);
-  rfield("shed_requests",
-         wire_stats_.shed_requests.load(std::memory_order_relaxed));
-  rfield("write_timeout_closes",
-         wire_stats_.write_timeout_closes.load(std::memory_order_relaxed));
-  rfield("oversized_lines",
-         wire_stats_.oversized_lines.load(std::memory_order_relaxed));
-  rfield("forced_closes",
-         wire_stats_.forced_closes.load(std::memory_order_relaxed));
+  rfield("shed_requests", wire_stats_.shed_requests->Value());
+  rfield("write_timeout_closes", wire_stats_.write_timeout_closes->Value());
+  rfield("oversized_lines", wire_stats_.oversized_lines->Value());
+  rfield("forced_closes", wire_stats_.forced_closes->Value());
   rfield("faults_fired", FaultInjector::Instance().fired());
   rob += "}]}";
   *out += StatLine(rob) + "\n";
@@ -223,6 +313,45 @@ void OmqeServer::DoStats(std::string* out) {
   *out += OkLine("STATS") + "\n";
 }
 
+void OmqeServer::DoMetrics(const Request& req, std::string* out) {
+  if (req.arg == "json") {
+    *out += StatLine(metrics_.RenderBenchJson()) + "\n";
+  } else {
+    const std::string text = metrics_.RenderPrometheus();
+    size_t start = 0;
+    while (start < text.size()) {
+      size_t nl = text.find('\n', start);
+      if (nl == std::string::npos) nl = text.size();
+      *out += MetricLine(std::string_view(text).substr(start, nl - start)) +
+              "\n";
+      start = nl + 1;
+    }
+  }
+  *out += OkLine("METRICS") + "\n";
+}
+
+void OmqeServer::DoTrace(const Request& req, std::string* out) {
+  if (req.arg == "on") {
+    // Re-arm from a clean buffer so a dump reflects traffic since this
+    // TRACE on, not whatever an earlier armed window left behind.
+    trace::Clear();
+    trace::Enable();
+    *out += OkLine("TRACE on") + "\n";
+    return;
+  }
+  if (req.arg == "off") {
+    trace::Disable();
+    *out += OkLine("TRACE off") + "\n";
+    return;
+  }
+  // dump: recording continues while we snapshot (seqlock slots).
+  std::vector<trace::Span> spans = trace::Dump();
+  for (const trace::Span& s : spans) {
+    *out += SpanLine(trace::FormatSpan(s)) + "\n";
+  }
+  *out += OkLine("TRACE " + std::to_string(spans.size()) + " spans") + "\n";
+}
+
 bool OmqeServer::HandleLine(std::string_view line, std::string* out) {
   auto request = ParseRequest(line);
   if (!request.ok()) {
@@ -230,6 +359,35 @@ bool OmqeServer::HandleLine(std::string_view line, std::string* out) {
     return true;
   }
   const Request& req = request.value();
+  const int64_t start_ns = NowNanos();
+  bool keep;
+  {
+    trace::ScopedSpan span(VerbName(req.verb));
+    keep = Dispatch(req, out);
+  }
+  const int64_t dur_ns = NowNanos() - start_ns;
+  verb_latency_[static_cast<size_t>(req.verb)]->Record(
+      static_cast<uint64_t>(dur_ns));
+  if (options_.slow_request_ms > 0 &&
+      dur_ns >= options_.slow_request_ms * 1'000'000) {
+    // Structured slow-request line, with the spans this thread recorded
+    // during the request when tracing is armed (arm via TRACE on or
+    // --slow-request-ms, which enables tracing in the CLI front end).
+    std::string detail = "verb=";
+    detail += VerbName(req.verb);
+    detail += " dur_ns=" + std::to_string(dur_ns);
+    detail += " request=\"";
+    detail.append(line.substr(0, 200));
+    detail += '"';
+    for (const trace::Span& s : trace::DumpCurrentThread(start_ns)) {
+      detail += " span=\"" + trace::FormatSpan(s) + "\"";
+    }
+    LogEvent(LogLevel::kWarn, "slow_request", detail);
+  }
+  return keep;
+}
+
+bool OmqeServer::Dispatch(const Request& req, std::string* out) {
   switch (req.verb) {
     case Verb::kPrepare:
       DoPrepare(req, out);
@@ -264,6 +422,12 @@ bool OmqeServer::HandleLine(std::string_view line, std::string* out) {
     case Verb::kStats:
       DoStats(out);
       return true;
+    case Verb::kMetrics:
+      DoMetrics(req, out);
+      return true;
+    case Verb::kTrace:
+      DoTrace(req, out);
+      return true;
     case Verb::kQuit:
       *out += OkLine("BYE") + "\n";
       return false;
@@ -293,7 +457,10 @@ std::string InProcessClient::Roundtrip(std::string_view line) {
     // Shed at the door: the pool's bounded queue is full, so answer
     // OVERLOAD now instead of parking this request behind work it would
     // time out waiting on. Retryable by contract — no server state changed.
-    server_->wire_stats().shed_requests.fetch_add(1, std::memory_order_relaxed);
+    server_->wire_stats().shed_requests->Inc();
+    server_->LogEvent(LogLevel::kWarn, "shed",
+                      "reason=queue_full request=\"" +
+                          std::string(line.substr(0, 80)) + "\"");
     return ErrLine(ErrCode::kOverload,
                    "worker queue full, retry after backoff") +
            "\n";
@@ -316,6 +483,7 @@ namespace {
 /// forever). Slices stay short so a server-wide shutdown is observed
 /// within ~100ms even mid-stall.
 bool SendAll(OmqeServer* server, int fd, std::string_view data) {
+  trace::ScopedSpan span("conn.write", data.size());
   const int64_t timeout_ms = server->options().write_timeout_ms;
   const Deadline deadline =
       timeout_ms > 0 ? Deadline::AfterMillis(timeout_ms) : Deadline::Never();
@@ -329,8 +497,10 @@ bool SendAll(OmqeServer* server, int fd, std::string_view data) {
     }
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
       if (deadline.expired()) {
-        server->wire_stats().write_timeout_closes.fetch_add(
-            1, std::memory_order_relaxed);
+        server->wire_stats().write_timeout_closes->Inc();
+        server->LogEvent(LogLevel::kWarn, "write_timeout_close",
+                         "fd=" + std::to_string(fd) + " pending_bytes=" +
+                             std::to_string(data.size() - written));
         return false;
       }
       if (server->shutdown_requested()) return false;
@@ -378,7 +548,13 @@ void ServeConnection(OmqeServer* server, int fd) {
     }
     if (ready == 0) continue;  // timeout: re-check shutdown
     if (FaultFires(kFaultSocketRead)) break;  // injected: drop the connection
+    const int64_t read_start_ns = trace::Enabled() ? NowNanos() : 0;
     ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (read_start_ns != 0 && n > 0) {
+      trace::RecordSpan("conn.read", read_start_ns,
+                        NowNanos() - read_start_ns,
+                        static_cast<uint64_t>(n));
+    }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
       continue;  // non-blocking fd: poll readiness can be spurious
     }
@@ -404,8 +580,10 @@ void ServeConnection(OmqeServer* server, int fd) {
     // than buffer without limit for a client that never sends a newline.
     const size_t cap = server->options().max_line_bytes;
     if (open && cap > 0 && buffer.size() > cap) {
-      server->wire_stats().oversized_lines.fetch_add(1,
-                                                     std::memory_order_relaxed);
+      server->wire_stats().oversized_lines->Inc();
+      server->LogEvent(LogLevel::kWarn, "oversize_close",
+                       "fd=" + std::to_string(fd) + " buffered_bytes=" +
+                           std::to_string(buffer.size()));
       SendAll(server, fd,
               ErrLine(ErrCode::kBadReq,
                       "line too long (max " + std::to_string(cap) + " bytes)") +
@@ -487,6 +665,7 @@ Status ServeTcp(OmqeServer* server, uint16_t port,
     if (ready == 0) continue;  // timeout: re-check shutdown
     int conn = ::accept(listen_fd, nullptr, nullptr);
     if (conn < 0) continue;
+    server->LogEvent(LogLevel::kInfo, "accept", "fd=" + std::to_string(conn));
     // Non-blocking: the write path (SendAll) polls POLLOUT with a deadline
     // instead of blocking forever in write() on a stalled reader, and the
     // read path tolerates a spurious wakeup.
@@ -521,8 +700,9 @@ Status ServeTcp(OmqeServer* server, uint16_t port,
     if (!forced && drain.expired()) {
       forced = true;
       for (Connection& c : connections) {
-        server->wire_stats().forced_closes.fetch_add(1,
-                                                     std::memory_order_relaxed);
+        server->wire_stats().forced_closes->Inc();
+        server->LogEvent(LogLevel::kWarn, "forced_close",
+                         "fd=" + std::to_string(c.fd) + " reason=drain_deadline");
         ::shutdown(c.fd, SHUT_RDWR);
       }
     }

@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/metrics.h"
 #include "base/thread_pool.h"
 #include "data/schema.h"
 #include "server/protocol.h"
@@ -45,6 +46,20 @@ namespace omqe::server {
 /// implementation; the alias keeps existing server call sites spelled the
 /// same.
 using ThreadPool = ::omqe::ThreadPool;
+
+/// Stderr logging verbosity for connection-lifecycle events (accept, shed,
+/// write-timeout close, oversize close, forced close, slow request). Events
+/// at or below the configured level are emitted as one structured
+/// `key=value` line each; everything still ticks its counter regardless.
+enum class LogLevel {
+  kError = 0,
+  kWarn = 1,   ///< default: sheds, closes, slow requests
+  kInfo = 2,   ///< + accepts / connection lifecycle
+  kDebug = 3,
+};
+
+/// Parses "error"/"warn"/"info"/"debug" (case-insensitive).
+bool ParseLogLevel(std::string_view text, LogLevel* out);
 
 struct ServerOptions {
   uint32_t threads = 4;
@@ -75,15 +90,24 @@ struct ServerOptions {
   /// non-reading client stalls the writer within one response block, making
   /// the write timeout deterministic to exercise.
   int sndbuf_bytes = 0;
+  /// Stderr verbosity for connection-lifecycle events (see LogLevel).
+  LogLevel log_level = LogLevel::kWarn;
+  /// When > 0, a request whose handling takes longer than this logs one
+  /// structured slow-request line (kWarn) carrying the request, the
+  /// duration, and — when tracing is armed — the spans this thread recorded
+  /// during the request. 0 = disabled.
+  int64_t slow_request_ms = 0;
 };
 
-/// Transport/robustness counters. Atomics, not mutex-guarded: they tick on
-/// connection threads and the pool's submit path concurrently.
+/// Transport/robustness counters — lock-free striped metric counters living
+/// in the server's metric registry (so the STATS line, METRICS, and
+/// robustness_test all read the same cells). They tick on connection
+/// threads and the pool's submit path concurrently.
 struct WireStats {
-  std::atomic<uint64_t> shed_requests{0};       ///< rejected with OVERLOAD
-  std::atomic<uint64_t> write_timeout_closes{0};///< stalled readers closed
-  std::atomic<uint64_t> oversized_lines{0};     ///< BADREQ line-too-long
-  std::atomic<uint64_t> forced_closes{0};       ///< drain-deadline shutdowns
+  metrics::Counter* shed_requests = nullptr;       ///< rejected with OVERLOAD
+  metrics::Counter* write_timeout_closes = nullptr;///< stalled readers closed
+  metrics::Counter* oversized_lines = nullptr;     ///< BADREQ line-too-long
+  metrics::Counter* forced_closes = nullptr;       ///< drain-deadline shutdowns
 };
 
 class OmqeServer {
@@ -127,18 +151,38 @@ class OmqeServer {
   ThreadPool& pool() { return pool_; }
   WireStats& wire_stats() { return wire_stats_; }
   const ServerOptions& options() const { return options_; }
+  /// The server's metric registry: every counter/gauge/histogram of the
+  /// registry, session manager, wire layer, and per-verb latency lives here.
+  /// Per-server (not Global()) so tests with many servers stay isolated.
+  metrics::Registry& metric_registry() { return metrics_; }
+
+  /// Emits one structured `key=value` stderr line when `level` is at or
+  /// below the configured log_level. Public: the transports and the CLI
+  /// front end log through the server they serve.
+  void LogEvent(LogLevel level, const char* event,
+                const std::string& detail) const;
 
  private:
   void DoPrepare(const Request& req, std::string* out);
   void DoOpen(const Request& req, std::string* out);
   void DoFetch(const Request& req, std::string* out);
   void DoStats(std::string* out);
+  void DoMetrics(const Request& req, std::string* out);
+  void DoTrace(const Request& req, std::string* out);
+  /// The verb switch HandleLine wraps with latency/trace instrumentation.
+  bool Dispatch(const Request& req, std::string* out);
 
   Vocabulary* vocab_;
   ServerOptions options_;
+  /// Declared before the components that register metrics in it, so it is
+  /// destroyed after them (they unbind their gauge callbacks on teardown).
+  metrics::Registry metrics_;
   QueryRegistry registry_;
   SessionManager sessions_;
   ThreadPool pool_;
+  /// Per-verb request-latency histograms, indexed by Verb.
+  static constexpr size_t kNumVerbs = static_cast<size_t>(Verb::kShutdown) + 1;
+  metrics::Histogram* verb_latency_[kNumVerbs] = {};
   /// PREPARE writes the vocabulary (parse interns constants, preprocessing
   /// reads arities and registers fresh relations); row rendering reads it.
   /// Readers share; each PREPARE is exclusive for its whole duration.

@@ -4,16 +4,44 @@
 
 #include "base/fault.h"
 #include "base/timer.h"
+#include "base/trace.h"
 
 namespace omqe::server {
 
-SessionManager::SessionManager(SessionLimits limits) : limits_(limits) {
+SessionManager::SessionManager(SessionLimits limits,
+                               metrics::Registry* metrics)
+    : limits_(limits) {
   for (Shard& shard : shards_) {
     shard.table.store(new Table(kInitialCapacity), std::memory_order_relaxed);
   }
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<metrics::Registry>();
+    metrics = owned_metrics_.get();
+  }
+  metrics_ = metrics;
+  m_.opened = metrics_->GetCounter("omqe_sessions_opened_total");
+  m_.closed = metrics_->GetCounter("omqe_sessions_closed_total");
+  m_.reaped = metrics_->GetCounter("omqe_sessions_reaped_total");
+  m_.fetch_calls = metrics_->GetCounter("omqe_fetch_calls_total");
+  m_.rows = metrics_->GetCounter("omqe_rows_emitted_total");
+  m_.resets = metrics_->GetCounter("omqe_session_resets_total");
+  m_.budget_exhausted = metrics_->GetCounter("omqe_budget_exhausted_total");
+  m_.open_rejected = metrics_->GetCounter("omqe_open_rejected_total");
+  m_.fetch_deadline_hits =
+      metrics_->GetCounter("omqe_fetch_deadline_hits_total");
+  m_.fetch_deadline_empty =
+      metrics_->GetCounter("omqe_fetch_deadline_empty_total");
+  m_.enum_delay = metrics_->GetHistogram("omqe_enum_delay_ns");
+  m_.live = metrics_->GetGauge("omqe_sessions_live");
+  m_.live->SetCallback([this]() -> int64_t {
+    return static_cast<int64_t>(live_.load(std::memory_order_relaxed));
+  });
 }
 
 SessionManager::~SessionManager() {
+  // The gauge callback captures `this`; unbind so a metric registry that
+  // outlives the manager can still render safely.
+  m_.live->SetCallback(nullptr);
   // Owner contract: no reader thread outlives the manager. CloseAll retires
   // every live Box; with no pinned readers the sweep reclaims everything
   // pending (ours and anything else queued on the global domain).
@@ -133,7 +161,7 @@ StatusOr<uint64_t> SessionManager::Open(
   const uint64_t before = live_.fetch_add(1, std::memory_order_acq_rel);
   if (limits_.max_sessions > 0 && before >= limits_.max_sessions) {
     live_.fetch_sub(1, std::memory_order_acq_rel);
-    stats_.open_rejected.fetch_add(1, std::memory_order_relaxed);
+    m_.open_rejected->Inc();
     return Status::ResourceExhausted("session limit reached");
   }
   auto session = std::make_shared<Session>();
@@ -149,7 +177,7 @@ StatusOr<uint64_t> SessionManager::Open(
     std::lock_guard<CountedMutex> lock(shard.mu);
     InsertLocked(shard, sid, std::move(session));
   }
-  stats_.opened.fetch_add(1, std::memory_order_relaxed);
+  m_.opened->Inc();
   // A growth rehash may have retired the old slot array; sweep with no
   // locks held.
   OMQE_CHECK(CountedMutex::HeldByThisThread() == 0);
@@ -177,6 +205,7 @@ Status SessionManager::FetchWithDeadline(uint64_t sid, uint64_t n,
     // consume answers the client will not see.
     return Status::Internal("injected fault at session.fetch");
   }
+  trace::ScopedSpan fetch_span("session.fetch", 0);
   uint64_t emitted = 0;
   bool exhausted = false;
   bool budget_hit = false;
@@ -185,7 +214,8 @@ Status SessionManager::FetchWithDeadline(uint64_t sid, uint64_t n,
     std::lock_guard<SpinLock> lock(session->mu);
     // Stamp at start as well as end: a single fetch that outlasts the idle
     // timeout must not look idle to a concurrent ReapIdle.
-    session->last_used_ns = NowNanos();
+    int64_t prev_ns = NowNanos();
+    session->last_used_ns = prev_ns;
     session->used = true;
     ValueTuple t;
     while (emitted < n) {
@@ -206,24 +236,31 @@ Status SessionManager::FetchWithDeadline(uint64_t sid, uint64_t n,
         exhausted = true;
         break;
       }
+      // Per-answer enumeration delay — the constant-delay SLO itself. One
+      // clock read plus a striped-histogram record per row, both lock-free
+      // (the zero-mutex pin in server_test covers this armed path).
+      const int64_t now_ns = NowNanos();
+      m_.enum_delay->Record(static_cast<uint64_t>(now_ns - prev_ns));
+      prev_ns = now_ns;
       out->push_back(t);
       ++emitted;
       ++session->rows_emitted;
     }
     session->last_used_ns = NowNanos();
   }
-  stats_.fetch_calls.fetch_add(1, std::memory_order_relaxed);
-  stats_.rows.fetch_add(emitted, std::memory_order_relaxed);
-  if (budget_hit) stats_.budget_exhausted.fetch_add(1, std::memory_order_relaxed);
+  fetch_span.set_arg(emitted);
+  m_.fetch_calls->Inc();
+  m_.rows->Inc(emitted);
+  if (budget_hit) m_.budget_exhausted->Inc();
   if (deadline_hit) {
-    stats_.fetch_deadline_hits.fetch_add(1, std::memory_order_relaxed);
+    m_.fetch_deadline_hits->Inc();
     if (emitted == 0) {
       // Bugfix (empty-batch deadline spin): the checkpoint above includes
       // emitted == 0, so a deadline that expires before the first row used
       // to produce an empty batch with done=false — a loaded client would
       // spin on empty FETCHes with no retryable signal. With nothing
       // gathered there is nothing to lose: fail retryably instead.
-      stats_.fetch_deadline_empty.fetch_add(1, std::memory_order_relaxed);
+      m_.fetch_deadline_empty->Inc();
       *done = false;
       return Status::DeadlineExceeded(
           "fetch deadline expired before the first row");
@@ -247,7 +284,7 @@ Status SessionManager::Reset(uint64_t sid) {
     session->last_used_ns = NowNanos();
     session->used = true;
   }
-  stats_.resets.fetch_add(1, std::memory_order_relaxed);
+  m_.resets->Inc();
   return Status::OK();
 }
 
@@ -259,7 +296,7 @@ Status SessionManager::Close(uint64_t sid) {
     erased = EraseLocked(shard, sid);
   }
   if (!erased) return Status::NotFound("unknown session");
-  stats_.closed.fetch_add(1, std::memory_order_relaxed);
+  m_.closed->Inc();
   // Bugfix (teardown under the manager lock): the erased session is not
   // destroyed here — its Box was retired. The sweep below (and any later
   // sweep) runs the destructor with zero locks held, so a heavy overlay
@@ -291,7 +328,7 @@ size_t SessionManager::CloseAll() {
     shard.filled = 0;
   }
   live_.fetch_sub(n, std::memory_order_acq_rel);
-  stats_.closed.fetch_add(n, std::memory_order_relaxed);
+  m_.closed->Inc(n);
   OMQE_CHECK(CountedMutex::HeldByThisThread() == 0);
   EpochDomain::Global().ReclaimSweep();
   return n;
@@ -340,7 +377,7 @@ size_t SessionManager::ReapIdle() {
       }
     }
   }
-  stats_.reaped.fetch_add(reaped, std::memory_order_relaxed);
+  m_.reaped->Inc(reaped);
   // Reaped sessions tear down in the sweep, never under a shard lock.
   OMQE_CHECK(CountedMutex::HeldByThisThread() == 0);
   EpochDomain::Global().ReclaimSweep();
@@ -362,19 +399,19 @@ size_t SessionManager::live_sessions() const {
 }
 
 SessionManagerStats SessionManager::stats() const {
+  // A view over the metric counters — the single source of truth, so this
+  // can never disagree with what METRICS renders.
   SessionManagerStats s;
-  s.opened = stats_.opened.load(std::memory_order_relaxed);
-  s.closed = stats_.closed.load(std::memory_order_relaxed);
-  s.reaped = stats_.reaped.load(std::memory_order_relaxed);
-  s.fetch_calls = stats_.fetch_calls.load(std::memory_order_relaxed);
-  s.rows = stats_.rows.load(std::memory_order_relaxed);
-  s.resets = stats_.resets.load(std::memory_order_relaxed);
-  s.budget_exhausted = stats_.budget_exhausted.load(std::memory_order_relaxed);
-  s.open_rejected = stats_.open_rejected.load(std::memory_order_relaxed);
-  s.fetch_deadline_hits =
-      stats_.fetch_deadline_hits.load(std::memory_order_relaxed);
-  s.fetch_deadline_empty =
-      stats_.fetch_deadline_empty.load(std::memory_order_relaxed);
+  s.opened = m_.opened->Value();
+  s.closed = m_.closed->Value();
+  s.reaped = m_.reaped->Value();
+  s.fetch_calls = m_.fetch_calls->Value();
+  s.rows = m_.rows->Value();
+  s.resets = m_.resets->Value();
+  s.budget_exhausted = m_.budget_exhausted->Value();
+  s.open_rejected = m_.open_rejected->Value();
+  s.fetch_deadline_hits = m_.fetch_deadline_hits->Value();
+  s.fetch_deadline_empty = m_.fetch_deadline_empty->Value();
   return s;
 }
 

@@ -40,6 +40,7 @@
 #include "base/cancel.h"
 #include "base/counted_mutex.h"
 #include "base/epoch.h"
+#include "base/metrics.h"
 #include "base/spinlock.h"
 #include "core/prepared.h"
 
@@ -80,7 +81,12 @@ struct SessionManagerStats {
 
 class SessionManager {
  public:
-  explicit SessionManager(SessionLimits limits = {});
+  /// `metrics` is where the manager's counters and the per-answer
+  /// enumeration-delay histogram live (null = a private registry). The
+  /// counters ARE the bookkeeping; stats()/StatsJson() are views over them,
+  /// so the STAT line and METRICS can never drift.
+  explicit SessionManager(SessionLimits limits = {},
+                          metrics::Registry* metrics = nullptr);
   ~SessionManager();
 
   /// Opens a cursor over `prepared` (complete or partial mode; the artifact
@@ -211,20 +217,29 @@ class SessionManager {
   std::atomic<uint64_t> live_{0};
   Shard shards_[kShards];
 
-  /// Hot-path counters: plain relaxed atomics, no lock anywhere.
-  struct AtomicStats {
-    std::atomic<uint64_t> opened{0};
-    std::atomic<uint64_t> closed{0};
-    std::atomic<uint64_t> reaped{0};
-    std::atomic<uint64_t> fetch_calls{0};
-    std::atomic<uint64_t> rows{0};
-    std::atomic<uint64_t> resets{0};
-    std::atomic<uint64_t> budget_exhausted{0};
-    std::atomic<uint64_t> open_rejected{0};
-    std::atomic<uint64_t> fetch_deadline_hits{0};
-    std::atomic<uint64_t> fetch_deadline_empty{0};
+  /// Backing store when no external metric registry was injected.
+  std::unique_ptr<metrics::Registry> owned_metrics_;
+  metrics::Registry* metrics_ = nullptr;
+  /// Hot-path bookkeeping: lock-free striped metric counters, cached as raw
+  /// pointers at construction so Fetch never touches the registry map. The
+  /// flagship is enum_delay — the per-answer inter-answer delay histogram
+  /// that makes the paper's constant-delay guarantee a number the server
+  /// reports (p50/p99/max via METRICS).
+  struct Counters {
+    metrics::Counter* opened;
+    metrics::Counter* closed;
+    metrics::Counter* reaped;
+    metrics::Counter* fetch_calls;
+    metrics::Counter* rows;
+    metrics::Counter* resets;
+    metrics::Counter* budget_exhausted;
+    metrics::Counter* open_rejected;
+    metrics::Counter* fetch_deadline_hits;
+    metrics::Counter* fetch_deadline_empty;
+    metrics::Histogram* enum_delay;
+    metrics::Gauge* live;  ///< callback view over live_
   };
-  mutable AtomicStats stats_;
+  Counters m_;
 };
 
 }  // namespace omqe::server

@@ -850,7 +850,7 @@ TEST(RobustnessTest, OversizedLineAnswersBadReqAndCloses) {
   ::close(fd);
   EXPECT_NE(response.find("ERR BADREQ"), std::string::npos) << response;
   EXPECT_NE(response.find("line too long"), std::string::npos) << response;
-  EXPECT_GE(w.srv->wire_stats().oversized_lines.load(), 1u);
+  EXPECT_GE(w.srv->wire_stats().oversized_lines->Value(), 1u);
 
   // The server itself keeps serving new connections.
   auto after = server::TcpExchange("127.0.0.1", tcp.port, "STATS\nQUIT\n");
@@ -926,7 +926,7 @@ TEST(RobustnessTest, OverloadShedsWithRetryableOverload) {
   ASSERT_TRUE(server::ParseErrCode(ResponseTerminator(shed), &code)) << shed;
   EXPECT_EQ(code, server::ErrCode::kOverload) << shed;
   EXPECT_TRUE(server::AnyRetryableError(shed)) << shed;
-  EXPECT_EQ(w.srv->wire_stats().shed_requests.load(), 1u);
+  EXPECT_EQ(w.srv->wire_stats().shed_requests->Value(), 1u);
 
   // Release the worker: the queued request completes untouched by the shed,
   // and its STATS snapshot carries the shed counter.
@@ -964,7 +964,7 @@ TEST(RobustnessTest, WriteTimeoutClosesStalledReader) {
   bool closed = false;
   for (int i = 0; i < 200 && !closed; ++i) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
-    closed = srv.wire_stats().write_timeout_closes.load() >= 1;
+    closed = srv.wire_stats().write_timeout_closes->Value() >= 1;
   }
   EXPECT_TRUE(closed) << "write timeout never fired";
   ::close(fd);

@@ -664,6 +664,215 @@ TEST(ServerTest, EstimatorRejectsExplodingOntologyBeforeChase) {
   EXPECT_EQ(registry.size(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// The observability surface: METRICS / TRACE verbs, per-verb latency
+// histograms, the enumeration-delay histogram, and the no-drift contract
+// between the legacy STAT lines and the metric registry.
+// ---------------------------------------------------------------------------
+
+TEST(ProtocolTest, ParsesMetricsAndTraceVerbs) {
+  auto metrics = server::ParseRequest("METRICS");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->verb, server::Verb::kMetrics);
+  EXPECT_TRUE(metrics->arg.empty());
+  auto json = server::ParseRequest("METRICS json");
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->arg, "json");
+  EXPECT_FALSE(server::ParseRequest("METRICS xml").ok());
+  EXPECT_FALSE(server::ParseRequest("METRICS json extra").ok());
+
+  for (const char* sub : {"on", "off", "dump"}) {
+    auto t = server::ParseRequest(std::string("TRACE ") + sub);
+    ASSERT_TRUE(t.ok()) << sub;
+    EXPECT_EQ(t->verb, server::Verb::kTrace);
+    EXPECT_EQ(t->arg, sub);
+  }
+  EXPECT_FALSE(server::ParseRequest("TRACE").ok());
+  EXPECT_FALSE(server::ParseRequest("TRACE sideways").ok());
+  EXPECT_FALSE(server::ParseRequest("TRACE dump now").ok());
+}
+
+TEST(ServerTest, MetricsVerbReportsLatencyAndEnumDelayHistograms) {
+  OfficeServer w;
+  server::InProcessClient client(w.srv.get());
+  ASSERT_FALSE(server::IsError(
+      client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+  ASSERT_FALSE(server::IsError(client.Roundtrip("OPEN offices")));
+  std::string fetched = client.Roundtrip("FETCH 1 100");
+  ASSERT_EQ(ResponseRows(fetched).size(), 3u) << fetched;
+
+  std::string r = client.Roundtrip("METRICS");
+  EXPECT_EQ(ResponseTerminator(r), "OK METRICS");
+  // The Prometheus exposition rides in METRIC lines: counters with the
+  // values this workload produced...
+  for (const char* needle : {
+           "METRIC omqe_prepares_total 1",
+           "METRIC omqe_sessions_opened_total 1",
+           "METRIC omqe_fetch_calls_total 1",
+           "METRIC omqe_rows_emitted_total 3",
+           "METRIC omqe_registry_size 1",
+           "METRIC omqe_sessions_live 1",
+       }) {
+    EXPECT_NE(r.find(needle), std::string::npos) << needle << "\n" << r;
+  }
+  // ...the flagship enumeration-delay histogram (the paper's constant-delay
+  // guarantee as a served number: one sample per answer emitted)...
+  for (const char* needle : {
+           "METRIC omqe_enum_delay_ns{quantile=\"0.5\"} ",
+           "METRIC omqe_enum_delay_ns{quantile=\"0.99\"} ",
+           "METRIC omqe_enum_delay_ns{quantile=\"0.999\"} ",
+           "METRIC omqe_enum_delay_ns_count 3",
+           "METRIC omqe_enum_delay_ns_max ",
+       }) {
+    EXPECT_NE(r.find(needle), std::string::npos) << needle << "\n" << r;
+  }
+  // ...and the per-verb request-latency histograms, with summary suffixes
+  // landing before the label brace.
+  for (const char* needle : {
+           "METRIC omqe_request_latency_ns_count{verb=\"PREPARE\"} 1",
+           "METRIC omqe_request_latency_ns_count{verb=\"OPEN\"} 1",
+           "METRIC omqe_request_latency_ns_count{verb=\"FETCH\"} 1",
+           "METRIC omqe_request_latency_ns{verb=\"FETCH\",quantile=\"0.99\"} ",
+       }) {
+    EXPECT_NE(r.find(needle), std::string::npos) << needle << "\n" << r;
+  }
+
+  // METRICS json: one STAT line in the BENCH baseline shape, label quotes
+  // escaped, histogram rows carrying the quantile fields.
+  std::string j = client.Roundtrip("METRICS json");
+  EXPECT_EQ(ResponseTerminator(j), "OK METRICS");
+  EXPECT_NE(j.find("STAT {\"bench\": \"metrics\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\"omqe_fetch_calls_total\": 1"), std::string::npos) << j;
+  EXPECT_NE(j.find("omqe_request_latency_ns{verb=\\\"FETCH\\\"}"),
+            std::string::npos)
+      << j;
+  for (const char* needle :
+       {"\"omqe_enum_delay_ns\"", "\"p50\": ", "\"p99\": ", "\"p999\": ",
+        "\"max\": "}) {
+    EXPECT_NE(j.find(needle), std::string::npos) << needle << "\n" << j;
+  }
+}
+
+TEST(ServerTest, TraceOnDumpOffRoundTrip) {
+  OfficeServer w;
+  server::InProcessClient client(w.srv.get());
+  ASSERT_FALSE(server::IsError(
+      client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+  ASSERT_FALSE(server::IsError(client.Roundtrip("OPEN offices")));
+
+  EXPECT_EQ(client.Roundtrip("TRACE on"), "OK TRACE on\n");
+  ASSERT_FALSE(server::IsError(client.Roundtrip("FETCH 1 100")));
+
+  std::string dump = client.Roundtrip("TRACE dump");
+  // The armed window covers the FETCH: its verb span and the session-manager
+  // fetch span (rows emitted in the arg) both surface as SPAN lines.
+  EXPECT_NE(dump.find("SPAN FETCH start="), std::string::npos) << dump;
+  EXPECT_NE(dump.find("SPAN session.fetch start="), std::string::npos) << dump;
+  EXPECT_NE(dump.find("arg=3"), std::string::npos) << dump;  // 3 rows fetched
+  std::string term = ResponseTerminator(dump);
+  EXPECT_EQ(term.rfind("OK TRACE ", 0), 0u) << dump;
+  EXPECT_NE(term.find(" spans"), std::string::npos) << dump;
+
+  EXPECT_EQ(client.Roundtrip("TRACE off"), "OK TRACE off\n");
+  // Disarmed: new requests record nothing (the old spans stay dumpable
+  // until the next TRACE on clears the rings).
+  ASSERT_FALSE(server::IsError(client.Roundtrip("RESET 1")));
+  std::string after = client.Roundtrip("TRACE dump");
+  EXPECT_EQ(after.find("SPAN RESET"), std::string::npos) << after;
+}
+
+TEST(ServerTest, StatLinesAgreeWithRegistryMetrics) {
+  // The no-drift contract: the legacy STAT lines are views over the metric
+  // registry, so after a mixed workload (prepare / failing open / fetch /
+  // reset / evict / shed) every STAT field must equal the corresponding
+  // registry metric — byte-for-byte in the rendered JSON.
+  server::ServerOptions options;
+  options.threads = 1;
+  options.max_queue = 1;
+  OfficeServer w(options);
+  server::InProcessClient client(w.srv.get());
+
+  ASSERT_FALSE(server::IsError(
+      client.Roundtrip(std::string("PREPARE offices ") + kOfficeQuery)));
+  ASSERT_FALSE(server::IsError(client.Roundtrip("OPEN offices")));
+  ASSERT_FALSE(server::IsError(client.Roundtrip("FETCH 1 2")));
+  ASSERT_FALSE(server::IsError(client.Roundtrip("RESET 1")));
+  ASSERT_FALSE(server::IsError(client.Roundtrip("FETCH 1 100")));
+  ASSERT_FALSE(server::IsError(client.Roundtrip("CLOSE 1")));
+  EXPECT_TRUE(server::IsError(client.Roundtrip("OPEN absent")));  // miss
+  ASSERT_FALSE(server::IsError(client.Roundtrip("EVICT offices")));
+
+  // One genuine shed: pin the single worker, fill the one queue slot, and
+  // let the next request bounce off the door (robustness_test's gate).
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  w.srv->pool().Submit([gate] { gate.wait(); });
+  while (w.srv->pool().pending() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  auto queued = std::async(std::launch::async,
+                           [&] { return client.Roundtrip("STATS"); });
+  while (w.srv->pool().pending() != 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(server::IsError(client.Roundtrip("STATS")));  // shed
+  release.set_value();
+  ASSERT_FALSE(server::IsError(queued.get()));
+
+  std::string r = client.Roundtrip("STATS");
+  ASSERT_EQ(ResponseTerminator(r), "OK STATS");
+  metrics::Registry& m = w.srv->metric_registry();
+  auto expect_field = [&](const char* field, uint64_t v) {
+    const std::string needle =
+        std::string("\"") + field + "\": " + std::to_string(v);
+    EXPECT_NE(r.find(needle), std::string::npos) << needle << "\n" << r;
+  };
+  auto counter = [&](const char* name) {
+    return m.GetCounter(name)->Value();
+  };
+  // Sessions STAT line vs the session-manager counters.
+  expect_field("opened", counter("omqe_sessions_opened_total"));
+  expect_field("closed", counter("omqe_sessions_closed_total"));
+  expect_field("fetch_calls", counter("omqe_fetch_calls_total"));
+  expect_field("rows", counter("omqe_rows_emitted_total"));
+  expect_field("resets", counter("omqe_session_resets_total"));
+  expect_field("open_rejected", counter("omqe_open_rejected_total"));
+  // Registry STAT line vs the registry counters.
+  expect_field("prepares", counter("omqe_prepares_total"));
+  expect_field("prepare_failures", counter("omqe_prepare_failures_total"));
+  expect_field("evictions", counter("omqe_evictions_total"));
+  expect_field("hits", counter("omqe_registry_hits_total"));
+  expect_field("misses", counter("omqe_registry_misses_total"));
+  // Robustness STAT line vs the wire counters (the shed really happened).
+  EXPECT_EQ(counter("omqe_shed_requests_total"), 1u);
+  expect_field("shed_requests", counter("omqe_shed_requests_total"));
+  expect_field("write_timeout_closes",
+               counter("omqe_write_timeout_closes_total"));
+  expect_field("oversized_lines", counter("omqe_oversized_lines_total"));
+  expect_field("forced_closes", counter("omqe_forced_closes_total"));
+  expect_field("prepare_deadline_exceeded",
+               counter("omqe_prepare_deadline_exceeded_total"));
+  expect_field("prepare_cancelled", counter("omqe_prepare_cancelled_total"));
+  expect_field("fetch_deadline_hits",
+               counter("omqe_fetch_deadline_hits_total"));
+  // Chase STAT line vs the chase counters (live after the PREPARE).
+  EXPECT_GT(counter("omqe_chase_rounds_total"), 0u);
+  expect_field("rounds", counter("omqe_chase_rounds_total"));
+  expect_field("candidates", counter("omqe_chase_candidates_total"));
+  expect_field("applied", counter("omqe_chase_applied_total"));
+  expect_field("nulls_invented", counter("omqe_chase_nulls_invented_total"));
+  expect_field("match_nanos", counter("omqe_chase_match_nanos_total"));
+  expect_field("apply_nanos", counter("omqe_chase_apply_nanos_total"));
+
+  // Sanity on workload shape: exactly what the exchange above did.
+  EXPECT_EQ(counter("omqe_prepares_total"), 1u);
+  EXPECT_EQ(counter("omqe_sessions_opened_total"), 1u);
+  EXPECT_EQ(counter("omqe_fetch_calls_total"), 2u);
+  EXPECT_EQ(counter("omqe_rows_emitted_total"), 5u);
+  EXPECT_EQ(counter("omqe_evictions_total"), 1u);
+  EXPECT_EQ(counter("omqe_registry_misses_total"), 1u);
+}
+
 TEST(ServerTest, TcpTransportServesAndShutsDown) {
   OfficeServer w;
   std::promise<uint16_t> port_promise;
